@@ -1,0 +1,45 @@
+"""Ablation: TDMA bus access optimization ([8], paper §2).
+
+Measures the cost of the slot-order/slot-length search and records the
+schedule-length improvement it buys on a communication-heavy workload
+— the design choice DESIGN.md's substitutions table calls out (the
+paper's platform statically schedules the bus; the access scheme is a
+real synthesis knob in this research line).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import FaultModel
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.synthesis import initial_mapping, optimize_bus_access
+from repro.workloads import GeneratorConfig, generate_workload
+
+
+@pytest.mark.parametrize("nodes", [3, 5])
+def test_bus_access_optimization(benchmark, nodes):
+    app, arch = generate_workload(GeneratorConfig(
+        processes=24, nodes=nodes, seed=41,
+        message_bytes=(16, 48), slot_length=4.0))
+    k = 2
+    policies = PolicyAssignment.uniform(app,
+                                        ProcessPolicy.re_execution(k))
+    mapping = initial_mapping(app, arch, policies)
+    fault_model = FaultModel(k=k)
+
+    result = benchmark.pedantic(
+        optimize_bus_access, args=(app, arch, mapping, policies,
+                                   fault_model),
+        kwargs={"bus_contention": True}, rounds=1, iterations=1)
+
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["evaluations"] = result.evaluations
+    benchmark.extra_info["baseline_length"] = round(
+        result.baseline_length, 1)
+    benchmark.extra_info["optimized_length"] = round(
+        result.estimate.schedule_length, 1)
+    benchmark.extra_info["improvement_pct"] = round(
+        result.improvement_percent, 1)
+    assert result.estimate.schedule_length <= \
+        result.baseline_length + 1e-9

@@ -1,0 +1,53 @@
+"""Throughput of the slack-sharing estimator — the inner loop of every
+synthesis strategy, evaluated thousands of times per search (paper §6).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import FaultModel
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.schedule import estimate_ft_schedule
+from repro.synthesis import initial_mapping
+from repro.workloads import GeneratorConfig, generate_workload
+
+
+@pytest.mark.parametrize("size,policy", [
+    (50, "reexec"),
+    (100, "reexec"),
+    (50, "replication"),
+    (100, "replication"),
+])
+def test_estimation_throughput(benchmark, size, policy):
+    app, arch = generate_workload(GeneratorConfig(
+        processes=size, nodes=4, seed=13))
+    k = 4
+    process_policy = (ProcessPolicy.re_execution(k) if policy == "reexec"
+                      else ProcessPolicy.replication(k))
+    policies = PolicyAssignment.uniform(app, process_policy)
+    mapping = initial_mapping(app, arch, policies)
+    fault_model = FaultModel(k=k)
+
+    estimate = benchmark(
+        estimate_ft_schedule, app, arch, mapping, policies, fault_model,
+        bus_contention=False)
+    benchmark.extra_info["copies"] = policies.total_copies()
+    benchmark.extra_info["schedule_length"] = round(
+        estimate.schedule_length, 1)
+    assert estimate.schedule_length > 0
+
+
+def test_estimation_with_bus_contention(benchmark):
+    app, arch = generate_workload(GeneratorConfig(
+        processes=60, nodes=4, seed=13))
+    k = 3
+    policies = PolicyAssignment.uniform(app,
+                                        ProcessPolicy.re_execution(k))
+    mapping = initial_mapping(app, arch, policies)
+
+    estimate = benchmark(
+        estimate_ft_schedule, app, arch, mapping, policies,
+        FaultModel(k=k), bus_contention=True)
+    benchmark.extra_info["schedule_length"] = round(
+        estimate.schedule_length, 1)

@@ -1,0 +1,70 @@
+"""Benchmark + regeneration harness for paper Fig. 7.
+
+Regenerates the policy-assignment comparison (FTO deviations of
+MR/SFX/MX from the MXR baseline) on the quick profile and records the
+measured series in ``extra_info`` so a benchmark run leaves the same
+rows the paper plots. The timed portion is the MXR synthesis itself —
+the paper's §6 also reports that its heuristics run in minutes; this
+tracks the reproduction's synthesis cost over time.
+
+Run:  pytest benchmarks/bench_fig7_policy_assignment.py --benchmark-only
+
+The full paper sweep (5 sizes x 3 seeds) is
+``python -m repro.experiments.fig7``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import FaultModel
+from repro.schedule.analysis import percentage_deviation
+from repro.synthesis import TabuSettings, nft_baseline, synthesize
+from repro.workloads.generator import (
+    generate_workload,
+    paper_experiment_config,
+)
+
+SETTINGS = TabuSettings(iterations=16, neighborhood=12,
+                        bus_contention=False)
+SEEDS = (1, 2)
+
+
+@pytest.mark.parametrize("size", [20, 40, 60])
+def test_fig7_policy_assignment(benchmark, size):
+    workloads = []
+    for seed in SEEDS:
+        config, k = paper_experiment_config(size, seed)
+        app, arch = generate_workload(config)
+        baseline = nft_baseline(app, arch, SETTINGS)
+        workloads.append((app, arch, FaultModel(k=k), baseline))
+
+    def synthesize_mxr():
+        return [
+            synthesize(app, arch, fm, "MXR", settings=SETTINGS,
+                       baseline=baseline)
+            for app, arch, fm, baseline in workloads
+        ]
+
+    mxr_results = benchmark.pedantic(synthesize_mxr, rounds=1,
+                                     iterations=1)
+
+    deviations = {}
+    for strategy in ("MR", "SFX", "MX"):
+        values = []
+        for (app, arch, fm, baseline), mxr in zip(workloads, mxr_results):
+            other = synthesize(app, arch, fm, strategy,
+                               settings=SETTINGS, baseline=baseline)
+            values.append(percentage_deviation(other.fto, mxr.fto))
+        deviations[strategy] = sum(values) / len(values)
+
+    benchmark.extra_info["processes"] = size
+    benchmark.extra_info["avg_fto_mxr"] = round(
+        sum(r.fto for r in mxr_results) / len(mxr_results), 1)
+    for strategy, value in deviations.items():
+        benchmark.extra_info[f"deviation_{strategy}"] = round(value, 1)
+
+    # The paper's qualitative result: replication-only trails badly,
+    # the straightforward baseline sits between it and re-execution.
+    assert deviations["MR"] > deviations["MX"]
+    assert deviations["SFX"] > min(0.0, deviations["MX"])

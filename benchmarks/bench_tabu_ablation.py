@@ -1,0 +1,54 @@
+"""Ablation: value of the tabu search over the greedy initial solution
+(the design choice DESIGN.md §2.6 calls out).
+
+Measures, on one Fig. 7-style workload, how much estimated schedule
+length the search recovers relative to the greedy load-balanced
+initial mapping, as the iteration budget grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import FaultModel
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.schedule import estimate_ft_schedule
+from repro.synthesis import TabuSearch, TabuSettings, initial_mapping
+from repro.synthesis.tabu import policy_candidates
+from repro.workloads import GeneratorConfig, generate_workload
+
+
+def _instance():
+    app, arch = generate_workload(GeneratorConfig(
+        processes=40, nodes=4, seed=29))
+    return app, arch, FaultModel(k=3)
+
+
+@pytest.mark.parametrize("iterations", [0, 8, 24])
+def test_tabu_iterations_ablation(benchmark, iterations):
+    app, arch, fault_model = _instance()
+    policies = PolicyAssignment.uniform(
+        app, ProcessPolicy.re_execution(fault_model.k))
+    initial = (policies, initial_mapping(app, arch, policies))
+    initial_length = estimate_ft_schedule(
+        app, arch, initial[1], policies, fault_model,
+        bus_contention=False).schedule_length
+
+    settings = TabuSettings(iterations=iterations, neighborhood=12,
+                            bus_contention=False)
+
+    def run():
+        search = TabuSearch(
+            app, arch, fault_model,
+            policy_space=policy_candidates(app, fault_model.k),
+            settings=settings)
+        return search.optimize(initial)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    improvement = (initial_length - result.cost) / initial_length * 100
+    benchmark.extra_info["iterations"] = iterations
+    benchmark.extra_info["initial_length"] = round(initial_length, 1)
+    benchmark.extra_info["final_length"] = round(result.cost, 1)
+    benchmark.extra_info["improvement_pct"] = round(improvement, 1)
+    # The search never returns anything worse than its start.
+    assert result.cost <= initial_length + 1e-6

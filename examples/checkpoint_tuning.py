@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Checkpoint tuning: why the per-process optimum is not global
+(paper §6, Fig. 8 intuition; §3.1 arithmetic of Fig. 1).
+
+Part 1 sweeps the checkpoint count of the paper's Fig. 1 process
+(C = 60, α = 10, μ = 10, χ = 5) in isolation, showing the classic
+U-shaped worst-case curve whose minimum is the [27] local optimum.
+
+Part 2 builds a two-process pipeline sharing one processor. Only the
+larger process defines the node's shared recovery slack, so the [27]
+optimum of the smaller one merely adds fault-free overhead — the
+global optimization of [15] strips those checkpoints and shortens the
+estimated schedule.
+
+Run:  python examples/checkpoint_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.model import (
+    Application,
+    Architecture,
+    FaultModel,
+    Message,
+    Node,
+    Process,
+)
+from repro.policies import (
+    PolicyAssignment,
+    ProcessPolicy,
+    local_optimal_checkpoints,
+    worst_case_in_isolation,
+)
+from repro.schedule import CopyMapping, estimate_ft_schedule
+from repro.synthesis import (
+    assign_local_optimal_checkpoints,
+    optimize_checkpoints_globally,
+)
+from repro.utils.textgrid import TextGrid
+from repro.workloads import fig1_process
+
+
+def part1_isolated_sweep() -> None:
+    process, _plan = fig1_process()
+    wcet = process.wcet["N1"]
+    k = 2
+    print(f"== part 1: {process.name} in isolation "
+          f"(C={wcet:.0f}, α={process.alpha:.0f}, μ={process.mu:.0f}, "
+          f"χ={process.chi:.0f}, k={k}) ==")
+    grid = TextGrid(["checkpoints", "fault-free", "worst case"])
+    for n in range(1, 9):
+        worst = worst_case_in_isolation(wcet, k, process.alpha,
+                                        process.mu, process.chi, n)
+        fault_free = wcet + n * (process.alpha + process.chi)
+        grid.add_row([n, f"{fault_free:.0f}", f"{worst:.0f}"])
+    print(grid.render())
+    optimum = local_optimal_checkpoints(wcet, k, process.alpha,
+                                        process.chi, mu=process.mu)
+    print(f"[27] local optimum: n = {optimum}")
+    print()
+
+
+def part2_global_vs_local() -> None:
+    print("== part 2: shared processor — local vs global optimum ==")
+    app = Application(
+        [Process("small", {"N1": 40.0}, alpha=2.0, mu=2.0, chi=2.0),
+         Process("large", {"N1": 80.0}, alpha=2.0, mu=2.0, chi=2.0)],
+        [Message("m", "small", "large", size_bytes=4)],
+        deadline=10_000)
+    arch = Architecture([Node("N1")])
+    k = 2
+    fault_model = FaultModel(k=k)
+    mapping = CopyMapping({("small", 0): "N1", ("large", 0): "N1"})
+
+    local = assign_local_optimal_checkpoints(
+        app, PolicyAssignment.uniform(app, ProcessPolicy.re_execution(k)),
+        k, mapping=mapping)
+    local_estimate = estimate_ft_schedule(app, arch, mapping, local,
+                                          fault_model)
+    optimized, estimate, evaluations = optimize_checkpoints_globally(
+        app, arch, mapping, local, fault_model)
+
+    grid = TextGrid(["assignment", "X(small)", "X(large)",
+                     "estimated length"])
+    grid.add_row(["[27] per-process optimum",
+                  local.of("small").checkpoints_of(0),
+                  local.of("large").checkpoints_of(0),
+                  f"{local_estimate.schedule_length:.1f}"])
+    grid.add_row(["[15] global optimization",
+                  optimized.of("small").checkpoints_of(0),
+                  optimized.of("large").checkpoints_of(0),
+                  f"{estimate.schedule_length:.1f}"])
+    print(grid.render())
+    gain = (local_estimate.schedule_length - estimate.schedule_length) \
+        / local_estimate.schedule_length * 100
+    print(f"global optimization gain: {gain:.1f} % "
+          f"({evaluations} estimate evaluations)")
+    print()
+    print("only 'large' defines the node's shared recovery slack, so")
+    print("'small' keeps fewer checkpoints than its isolated optimum —")
+    print("exactly the effect the paper's Fig. 8 measures at scale.")
+
+
+def main() -> None:
+    part1_isolated_sweep()
+    part2_global_vs_local()
+
+
+if __name__ == "__main__":
+    main()

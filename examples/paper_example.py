@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The paper's running example: Figures 5 and 6.
+
+Reconstructs the four-process application of Fig. 5a (k = 2, frozen
+{P3, m2, m3}), builds its FT-CPG (whose structure matches Fig. 5b:
+3 copies of P1, 6 of P2 and P4, 3 of the frozen P3, three
+synchronization nodes), generates the conditional schedule tables of
+Fig. 6, and exhaustively verifies all 15 fault scenarios.
+
+Run:  python examples/paper_example.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.ftcpg import NodeKind, build_ftcpg
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.runtime import verify_tolerance
+from repro.schedule import render_schedule_set, synthesize_schedule
+from repro.workloads import fig5_example
+
+
+def main() -> None:
+    app, arch, fault_model, transparency, mapping = fig5_example()
+    policies = PolicyAssignment.uniform(
+        app, ProcessPolicy.re_execution(fault_model.k))
+
+    print("== FT-CPG (paper Fig. 5b) ==")
+    graph = build_ftcpg(app, policies, fault_model, transparency)
+    counts = Counter(n.attempt.process for n in graph.nodes.values()
+                     if n.attempt is not None)
+    for process in app.process_names:
+        print(f"  copies of {process}: {counts[process]}")
+    sync = (graph.nodes_of_kind(NodeKind.SYNC_PROCESS)
+            + graph.nodes_of_kind(NodeKind.SYNC_MESSAGE))
+    print(f"  synchronization nodes: "
+          f"{sorted(n.sync_ref for n in sync)}")
+    stats = graph.stats()
+    print(f"  conditional nodes: {stats['conditional']}, "
+          f"conditional edges: {stats['conditional_edges']}")
+    print()
+
+    print("== conditional schedule tables (paper Fig. 6) ==")
+    schedule = synthesize_schedule(app, arch, mapping, policies,
+                                   fault_model, transparency)
+    print(render_schedule_set(schedule))
+    print()
+
+    report = verify_tolerance(app, arch, mapping, policies, fault_model,
+                              schedule, transparency)
+    report.raise_on_failure()
+    frozen_starts = sorted({
+        e.start for e in schedule.entries
+        if e.attempt is not None and e.attempt.process == "P3"
+        and e.attempt.attempt == 1
+    })
+    print(f"verified: {report.scenarios} scenarios tolerated; frozen P3 "
+          f"always starts at t = {frozen_starts[0]:.0f} "
+          f"(paper: a single column entry, t = 136 with the authors' "
+          "bus parameters)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""repro — Synthesis of Fault-Tolerant Embedded Systems.
+
+A from-scratch Python reproduction of
+
+    P. Eles, V. Izosimov, P. Pop, Z. Peng,
+    "Synthesis of Fault-Tolerant Embedded Systems",
+    DATE 2008, pp. 1117-1122. DOI: 10.1109/DATE.2008.4484825
+
+The library covers the paper's complete flow: application/architecture
+models with a TTP-style TDMA bus, the ``k``-transient-fault model,
+checkpointing/re-execution/replication policies, the fault-tolerant
+conditional process graph (FT-CPG), exact quasi-static conditional
+scheduling into per-node schedule tables with transparency (frozen)
+support, recovery-slack-sharing schedule length estimation, tabu-search
+mapping and policy assignment (MXR/MX/MR/SFX), global checkpoint-count
+optimization, a discrete-event distributed runtime simulator, and an
+exhaustive fault-scenario verifier. See DESIGN.md for the system map
+and EXPERIMENTS.md for the paper-vs-measured record.
+
+Quick start::
+
+    from repro.model import (Application, Architecture, Process,
+                             Message, FaultModel, Transparency)
+    from repro.policies import ProcessPolicy, PolicyAssignment
+    from repro.schedule import CopyMapping, synthesize_schedule
+    from repro.runtime import verify_tolerance
+    from repro.synthesis import synthesize
+"""
+
+from repro.errors import (
+    ContextExplosionError,
+    DeadlineMissError,
+    MappingError,
+    ModelError,
+    PolicyError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    SynthesisError,
+    ToleranceViolationError,
+    ValidationError,
+)
+from repro.model import (
+    Application,
+    Architecture,
+    BusSpec,
+    FaultModel,
+    Message,
+    Node,
+    Process,
+    Transparency,
+    merge_applications,
+    validate_model,
+)
+from repro.policies import (
+    CopyExecution,
+    CopyPlan,
+    PolicyAssignment,
+    PolicyKind,
+    ProcessPolicy,
+    local_optimal_checkpoints,
+)
+from repro.ftcpg import (
+    AttemptId,
+    ConditionLiteral,
+    FaultPlan,
+    Ftcpg,
+    Guard,
+    build_ftcpg,
+    count_fault_plans,
+    iter_fault_plans,
+)
+from repro.schedule import (
+    CopyMapping,
+    FtEstimate,
+    ScheduleSet,
+    estimate_ft_schedule,
+    fault_tolerance_overhead,
+    render_schedule_set,
+    schedule_fault_free,
+    synthesize_schedule,
+)
+from repro.runtime import simulate, verify_tolerance
+from repro.synthesis import (
+    StrategyResult,
+    SystemConfiguration,
+    TabuSettings,
+    nft_baseline,
+    synthesize,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "Architecture",
+    "AttemptId",
+    "BusSpec",
+    "ConditionLiteral",
+    "ContextExplosionError",
+    "CopyExecution",
+    "CopyMapping",
+    "CopyPlan",
+    "DeadlineMissError",
+    "FaultModel",
+    "FaultPlan",
+    "FtEstimate",
+    "Ftcpg",
+    "Guard",
+    "MappingError",
+    "Message",
+    "ModelError",
+    "Node",
+    "PolicyAssignment",
+    "PolicyError",
+    "PolicyKind",
+    "Process",
+    "ProcessPolicy",
+    "ReproError",
+    "ScheduleSet",
+    "SchedulingError",
+    "SimulationError",
+    "StrategyResult",
+    "SynthesisError",
+    "SystemConfiguration",
+    "TabuSettings",
+    "ToleranceViolationError",
+    "Transparency",
+    "ValidationError",
+    "build_ftcpg",
+    "count_fault_plans",
+    "estimate_ft_schedule",
+    "fault_tolerance_overhead",
+    "iter_fault_plans",
+    "local_optimal_checkpoints",
+    "merge_applications",
+    "nft_baseline",
+    "render_schedule_set",
+    "schedule_fault_free",
+    "simulate",
+    "synthesize",
+    "synthesize_schedule",
+    "validate_model",
+    "verify_tolerance",
+]

@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``synth``
+    Generate a synthetic workload (or load a preset) and run one
+    synthesis strategy; optionally emit and verify the exact
+    conditional schedule tables.
+``tables``
+    Print the conditional schedule tables for a preset with a naive
+    mapping — a quick way to *see* paper Fig. 6-style output.
+``verify``
+    Synthesize and exhaustively fault-inject a small instance.
+``fig7`` / ``fig8``
+    Run the paper's evaluation sweeps (quick or paper profile).
+
+Examples
+--------
+
+::
+
+    python -m repro synth --processes 20 --nodes 3 --k 2 --strategy MXR
+    python -m repro synth --preset cruise --k 2 --strategy MXR --tables
+    python -m repro tables --preset fig5
+    python -m repro verify --processes 5 --nodes 2 --k 2
+    python -m repro fig7 --profile quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments.fig7 import COMPARED, Fig7Config, run_fig7
+from repro.experiments.fig8 import Fig8Config, run_fig8
+from repro.experiments.reporting import render_rows
+from repro.model import Application, Architecture, FaultModel, Transparency
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.runtime import verify_tolerance
+from repro.schedule import (
+    render_schedule_set,
+    schedule_metrics,
+    synthesize_schedule,
+)
+from repro.synthesis import TabuSettings, initial_mapping, synthesize
+from repro.workloads import (
+    GeneratorConfig,
+    cruise_controller,
+    fig3_example,
+    fig5_example,
+    generate_workload,
+)
+
+
+def _load_workload(args) -> tuple[Application, Architecture,
+                                  Transparency | None]:
+    if args.preset == "fig3":
+        app, arch = fig3_example()
+        return app, arch, None
+    if args.preset == "fig5":
+        app, arch, __, transparency, ___ = fig5_example()
+        return app, arch, transparency
+    if args.preset == "cruise":
+        app, arch = cruise_controller()
+        return app, arch, None
+    app, arch = generate_workload(GeneratorConfig(
+        processes=args.processes, nodes=args.nodes, seed=args.seed))
+    return app, arch, None
+
+
+def _settings(args) -> TabuSettings:
+    return TabuSettings(iterations=args.iterations,
+                        neighborhood=args.neighborhood,
+                        seed=args.seed)
+
+
+def _cmd_synth(args) -> int:
+    app, arch, __ = _load_workload(args)
+    fault_model = FaultModel(k=args.k)
+    result = synthesize(app, arch, fault_model, args.strategy,
+                        settings=_settings(args))
+    print(f"workload: {app.name} ({len(app)} processes, "
+          f"{len(arch)} nodes), k = {args.k}")
+    print(f"strategy {args.strategy}: "
+          f"length {result.schedule_length:.1f} "
+          f"(NFT {result.nft_length:.1f}, FTO {result.fto:.1f} %), "
+          f"{result.evaluations} evaluations")
+    for name, policy in result.policies.items():
+        nodes = ",".join(result.mapping.node_of(name, c)
+                         for c in range(len(policy.copies)))
+        print(f"  {name}: {policy.kind.value} on {nodes}")
+    if args.tables:
+        schedule = synthesize_schedule(app, arch, result.mapping,
+                                       result.policies, fault_model)
+        print()
+        print(render_schedule_set(schedule))
+        metrics = schedule_metrics(schedule)
+        print(f"\ntable memory: {metrics.total_memory_bytes} bytes over "
+              f"{len(metrics.per_node)} locations")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    app, arch, transparency = _load_workload(args)
+    fault_model = FaultModel(k=args.k)
+    policies = PolicyAssignment.uniform(
+        app, ProcessPolicy.re_execution(args.k))
+    if args.preset == "fig5":
+        __, ___, fault_model, transparency, mapping = fig5_example()
+    else:
+        mapping = initial_mapping(app, arch, policies)
+    schedule = synthesize_schedule(app, arch, mapping, policies,
+                                   fault_model, transparency)
+    print(render_schedule_set(schedule))
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    app, arch, transparency = _load_workload(args)
+    fault_model = FaultModel(k=args.k)
+    result = synthesize(app, arch, fault_model, args.strategy,
+                        settings=_settings(args))
+    schedule = synthesize_schedule(app, arch, result.mapping,
+                                   result.policies, fault_model,
+                                   transparency)
+    report = verify_tolerance(app, arch, result.mapping, result.policies,
+                              fault_model, schedule, transparency)
+    print(f"{report.scenarios} fault scenarios simulated; "
+          f"worst makespan {report.worst_makespan:.1f} "
+          f"(deadline {app.deadline:.1f})")
+    if report.ok:
+        print("all scenarios tolerated")
+        return 0
+    for failure in report.failures[:5]:
+        print(f"FAILED {failure.plan.describe()}: "
+              f"{failure.errors[0]}")
+    for violation in report.frozen_violations[:5]:
+        print(f"TRANSPARENCY {violation}")
+    return 1
+
+
+def _cmd_fig7(args) -> int:
+    config = (Fig7Config.paper() if args.profile == "paper"
+              else Fig7Config.quick())
+    rows = run_fig7(config, verbose=True)
+    print(render_rows(
+        ["processes", "samples", "FTO(MXR) %"]
+        + [f"dev {s} %" for s in COMPARED],
+        [row.as_cells() for row in rows]))
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    config = (Fig8Config.paper() if args.profile == "paper"
+              else Fig8Config.quick())
+    rows = run_fig8(config, verbose=True)
+    print(render_rows(
+        ["processes", "samples", "FTO[27] %", "FTO[15] %",
+         "deviation %"],
+        [row.as_cells() for row in rows]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Synthesis of fault-tolerant embedded systems "
+                    "(Eles et al., DATE 2008 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p):
+        p.add_argument("--preset",
+                       choices=("fig3", "fig5", "cruise"),
+                       default=None,
+                       help="use a built-in workload instead of a "
+                            "synthetic one")
+        p.add_argument("--processes", type=int, default=12)
+        p.add_argument("--nodes", type=int, default=3)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--k", type=int, default=2,
+                       help="transient fault budget per cycle")
+
+    def add_search_args(p):
+        p.add_argument("--strategy", default="MXR",
+                       choices=("MXR", "MX", "MR", "SFX", "MC",
+                                "MC_GLOBAL"))
+        p.add_argument("--iterations", type=int, default=24)
+        p.add_argument("--neighborhood", type=int, default=16)
+
+    p_synth = sub.add_parser("synth", help="run one synthesis strategy")
+    add_workload_args(p_synth)
+    add_search_args(p_synth)
+    p_synth.add_argument("--tables", action="store_true",
+                         help="also print the conditional tables")
+    p_synth.set_defaults(func=_cmd_synth)
+
+    p_tables = sub.add_parser(
+        "tables", help="print conditional schedule tables")
+    add_workload_args(p_tables)
+    p_tables.set_defaults(func=_cmd_tables)
+
+    p_verify = sub.add_parser(
+        "verify", help="synthesize and exhaustively fault-inject")
+    add_workload_args(p_verify)
+    add_search_args(p_verify)
+    p_verify.set_defaults(func=_cmd_verify)
+
+    for name, handler in (("fig7", _cmd_fig7), ("fig8", _cmd_fig8)):
+        p_fig = sub.add_parser(name,
+                               help=f"run the paper's {name} sweep")
+        p_fig.add_argument("--profile", choices=("quick", "paper"),
+                           default="quick")
+        p_fig.set_defaults(func=handler)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

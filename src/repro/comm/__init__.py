@@ -1,0 +1,13 @@
+"""TTP-style TDMA bus substrate (paper §2).
+
+:class:`TdmaBus` turns a static :class:`~repro.model.architecture.BusSpec`
+into slot-timing arithmetic, and :class:`BusReservations` tracks which
+slots a (partial) schedule has already claimed, so several schedulers
+(fault-free list scheduler, conditional scheduler contexts, runtime
+simulator) share one consistent notion of when a frame can go out.
+"""
+
+from repro.comm.tdma import FrameWindow, TdmaBus, Transmission
+from repro.comm.reservations import BusReservations
+
+__all__ = ["BusReservations", "FrameWindow", "TdmaBus", "Transmission"]

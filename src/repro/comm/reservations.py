@@ -1,0 +1,56 @@
+"""Bus slot reservation tables.
+
+A reservation table records which ``(round, slot)`` occurrences a
+partial schedule has already claimed. The conditional scheduler forks
+one table per execution context, so the structure supports O(1)
+copy-on-write-ish cloning: a child context shares the parent's frozen
+set and adds its own overlay.
+"""
+
+from __future__ import annotations
+
+
+class BusReservations:
+    """Mutable set of reserved ``(round, slot)`` occurrences with cheap
+    hierarchical cloning."""
+
+    __slots__ = ("_parent", "_own")
+
+    def __init__(self, parent: "BusReservations | None" = None) -> None:
+        self._parent = parent
+        self._own: set[tuple[int, int]] = set()
+
+    def is_reserved(self, key: tuple[int, int]) -> bool:
+        """True if the slot occurrence is taken in this context."""
+        table: BusReservations | None = self
+        while table is not None:
+            if key in table._own:
+                return True
+            table = table._parent
+        return False
+
+    def reserve(self, key: tuple[int, int]) -> None:
+        """Claim a slot occurrence; raises if already taken."""
+        if self.is_reserved(key):
+            raise ValueError(f"bus slot {key} reserved twice")
+        self._own.add(key)
+
+    def fork(self) -> "BusReservations":
+        """Child table sharing everything reserved so far.
+
+        The child sees all current reservations but its own future
+        reservations are invisible to the parent and to siblings.
+        """
+        return BusReservations(parent=self)
+
+    def flatten(self) -> set[tuple[int, int]]:
+        """All reservations visible from this context (for inspection)."""
+        result: set[tuple[int, int]] = set()
+        table: BusReservations | None = self
+        while table is not None:
+            result |= table._own
+            table = table._parent
+        return result
+
+    def __len__(self) -> int:
+        return len(self.flatten())

@@ -1,0 +1,144 @@
+"""TDMA slot arithmetic.
+
+Time on the bus is an infinite sequence of rounds; round ``r`` starts
+at ``r * round_length`` and contains ``len(slot_order)`` slots of
+``slot_length`` each. Slot ``s`` of round ``r`` is therefore the
+half-open interval ``[r*R + s*L, r*R + (s+1)*L)`` and belongs to node
+``slot_order[s]``.
+
+A message of ``n`` frames sent by node ``N`` occupies ``n`` *distinct*
+slot occurrences owned by ``N`` (not necessarily consecutive rounds if
+some are already reserved); the data is available to all receivers at
+the end of the last frame's slot (broadcast bus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError, ValidationError
+from repro.model.architecture import BusSpec
+from repro.utils.mathutils import TIME_EPS, ceil_div
+
+#: Safety bound on slot searches; reaching it means the caller asked
+#: for a transmission absurdly far in the future (usually a logic bug).
+_MAX_SEARCH_ROUNDS = 1_000_000
+
+
+@dataclass(frozen=True)
+class FrameWindow:
+    """One reserved slot occurrence."""
+
+    round_index: int
+    slot_index: int
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """A scheduled message transmission: one or more frame windows."""
+
+    sender: str
+    frames: tuple[FrameWindow, ...]
+
+    @property
+    def start(self) -> float:
+        """Start of the first frame."""
+        return self.frames[0].start
+
+    @property
+    def arrival(self) -> float:
+        """Time at which all receivers hold the complete message."""
+        return self.frames[-1].end
+
+
+class TdmaBus:
+    """Slot arithmetic for one :class:`BusSpec`."""
+
+    def __init__(self, spec: BusSpec) -> None:
+        self._spec = spec
+        self._slots_of: dict[str, tuple[int, ...]] = {}
+        for index, owner in enumerate(spec.slot_order):
+            self._slots_of.setdefault(owner, ())
+            self._slots_of[owner] += (index,)
+
+    @property
+    def spec(self) -> BusSpec:
+        """The underlying static specification."""
+        return self._spec
+
+    @property
+    def round_length(self) -> float:
+        """Duration of one round."""
+        return self._spec.round_length
+
+    def slots_of(self, node: str) -> tuple[int, ...]:
+        """Slot indices within a round owned by ``node``."""
+        try:
+            return self._slots_of[node]
+        except KeyError:
+            raise ValidationError(f"node {node!r} owns no bus slot") from None
+
+    def slot_window(self, round_index: int, slot_index: int) -> FrameWindow:
+        """The time window of one slot occurrence."""
+        start = (round_index * self.round_length
+                 + slot_index * self._spec.slot_length)
+        return FrameWindow(round_index, slot_index, start,
+                           start + self._spec.slot_length)
+
+    def frames_needed(self, size_bytes: int) -> int:
+        """Frames required for a payload of ``size_bytes``."""
+        return ceil_div(size_bytes, self._spec.slot_payload_bytes)
+
+    def owner_slot_occurrences(self, node: str, earliest: float):
+        """Yield the node's slot windows starting at or after ``earliest``.
+
+        A generator over :class:`FrameWindow`, in time order; the frame
+        must be ready *at* the slot start (the communication controller
+        latches the frame when the slot opens), so windows whose start
+        is (within tolerance) >= ``earliest`` qualify.
+        """
+        slots = self.slots_of(node)
+        round_index = max(0, int(earliest // self.round_length) - 1)
+        for r in range(round_index, round_index + _MAX_SEARCH_ROUNDS):
+            for s in slots:
+                window = self.slot_window(r, s)
+                if window.start >= earliest - TIME_EPS:
+                    yield window
+        raise SchedulingError(
+            f"no bus slot found for {node!r} within "
+            f"{_MAX_SEARCH_ROUNDS} rounds of t={earliest}"
+        )  # pragma: no cover - defensive
+
+    def schedule_transmission(self, node: str, earliest: float,
+                              size_bytes: int,
+                              reservations: "BusReservationsLike",
+                              ) -> Transmission:
+        """Reserve the earliest free slots for a message.
+
+        ``reservations`` is consulted and updated; frames use the first
+        free slot occurrences of ``node`` at or after ``earliest``.
+        """
+        remaining = self.frames_needed(size_bytes)
+        frames: list[FrameWindow] = []
+        for window in self.owner_slot_occurrences(node, earliest):
+            key = (window.round_index, window.slot_index)
+            if reservations.is_reserved(key):
+                continue
+            reservations.reserve(key)
+            frames.append(window)
+            remaining -= 1
+            if remaining == 0:
+                break
+        return Transmission(sender=node, frames=tuple(frames))
+
+
+class BusReservationsLike:
+    """Protocol-ish base used only for documentation/typing."""
+
+    def is_reserved(self, key: tuple[int, int]) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def reserve(self, key: tuple[int, int]) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,24 @@
+"""Experiment harnesses regenerating the paper's evaluation figures.
+
+* :mod:`repro.experiments.fig7` — efficiency of fault tolerance policy
+  assignment: avg % deviation of the FTO of MR / SFX / MX from the MXR
+  baseline over application size (paper Fig. 7);
+* :mod:`repro.experiments.fig8` — efficiency of checkpoint
+  optimization: avg % deviation of the FTO of the global checkpoint
+  optimization from the per-process [27] baseline (paper Fig. 8).
+
+Both are runnable as modules (``python -m repro.experiments.fig7``) and
+wrapped by the pytest-benchmark harnesses in ``benchmarks/``.
+"""
+
+from repro.experiments.fig7 import Fig7Config, Fig7Row, run_fig7
+from repro.experiments.fig8 import Fig8Config, Fig8Row, run_fig8
+
+__all__ = [
+    "Fig7Config",
+    "Fig7Row",
+    "Fig8Config",
+    "Fig8Row",
+    "run_fig7",
+    "run_fig8",
+]

@@ -1,0 +1,16 @@
+"""Plain-text result tables for the experiment CLIs."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.utils.textgrid import TextGrid
+
+
+def render_rows(header: Sequence[str], rows: Sequence[Sequence[object]],
+                ) -> str:
+    """Render experiment rows as an aligned text table."""
+    grid = TextGrid(header)
+    for row in rows:
+        grid.add_row(row)
+    return grid.render()

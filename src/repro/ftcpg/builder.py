@@ -1,0 +1,293 @@
+"""Expansion of an application + policy assignment into an FT-CPG
+(paper §5.1).
+
+The expansion walks the application in topological order. For every
+process copy it enumerates the *entry contexts* — the distinct upstream
+fault scenarios, expressed as guards, under which the copy's first
+attempt may start — and unfolds the copy's own attempt tree under each
+entry context:
+
+* an attempt that can fail **and** recover (local faults < R, guard
+  faults < k) is a *conditional* node: its no-fault edge continues to
+  the next segment (or exits the copy), its fault edge leads to a
+  retry of the same segment;
+* an attempt that cannot fail (system budget exhausted) or whose
+  failure kills the copy (no recoveries left — fail-silent replicas)
+  is a *regular* node.
+
+Frozen processes and messages become synchronization nodes, which
+collapse the entry contexts of everything downstream — exactly why the
+paper's Fig. 5b has six copies of the non-frozen ``P2``/``P4`` but only
+three of the frozen ``P3``. This module reproduces those counts (see
+``tests/test_ftcpg_builder.py``).
+
+Semantic note: condition literals are identified by
+``(process, copy, segment, attempt)`` — *without* the entry context.
+Two FT-CPG nodes in disjoint upstream scenarios may share a literal;
+any two table columns using it are still distinguished by the upstream
+literals themselves, and the runtime meaning ("the j-th attempt of
+this segment failed") is scenario-independent, which is what the
+distributed scheduler and the fault injector key on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import ContextExplosionError, PolicyError
+from repro.ftcpg.conditions import AttemptId, ConditionLiteral, Guard
+from repro.ftcpg.graph import Ftcpg, FtcpgEdge, FtcpgNode, NodeKind
+from repro.model.application import Application
+from repro.model.fault_model import FaultModel
+from repro.model.transparency import Transparency
+from repro.policies.types import PolicyAssignment
+
+#: Hard cap on generated nodes; the FT-CPG is an analysis artifact for
+#: small instances (the schedulers do not materialize it).
+DEFAULT_MAX_NODES = 20_000
+
+
+@dataclass(frozen=True)
+class _Exit:
+    """A success exit of a copy: the node delivering the outputs."""
+
+    guard: Guard
+    node_id: str
+    copy: int
+
+
+def build_ftcpg(
+    app: Application,
+    policies: PolicyAssignment,
+    fault_model: FaultModel,
+    transparency: Transparency | None = None,
+    *,
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> Ftcpg:
+    """Build the FT-CPG of an application under a policy assignment."""
+    transparency = transparency or Transparency.none()
+    transparency.validate(app)
+    policies.validate(app, fault_model.k)
+    builder = _Builder(app, policies, fault_model.k, transparency, max_nodes)
+    return builder.build()
+
+
+class _Builder:
+    def __init__(self, app: Application, policies: PolicyAssignment,
+                 k: int, transparency: Transparency, max_nodes: int) -> None:
+        self._app = app
+        self._policies = policies
+        self._k = k
+        self._transparency = transparency
+        self._max_nodes = max_nodes
+        self._graph = Ftcpg()
+        #: process name -> list of exits across all copies.
+        self._exits: dict[str, list[_Exit]] = {}
+        #: message name -> sync node id (for frozen messages).
+        self._message_sync: dict[str, str] = {}
+
+    # -- helpers -------------------------------------------------------------
+
+    def _new_node(self, node: FtcpgNode) -> FtcpgNode:
+        if len(self._graph.nodes) >= self._max_nodes:
+            raise ContextExplosionError(
+                f"FT-CPG exceeded {self._max_nodes} nodes; reduce k or "
+                "application size (the schedulers do not need this graph)"
+            )
+        return self._graph.add_node(node)
+
+    def _delivery_alternatives(self, process: str) -> list[list[_Exit]]:
+        """Alternative delivery scenarios of one producer process.
+
+        Returns a list of alternatives; each alternative is the list of
+        exits (one per copy) that are simultaneously live under the
+        alternative's combined guard. Copies without conditional
+        behaviour have a single exit and do not multiply alternatives.
+        """
+        exits = self._exits[process]
+        per_copy: dict[int, list[_Exit]] = {}
+        for exit_ in exits:
+            per_copy.setdefault(exit_.copy, []).append(exit_)
+        combos: list[list[_Exit]] = []
+        for combo in itertools.product(*per_copy.values()):
+            guard = Guard.TRUE
+            compatible = True
+            for exit_ in combo:
+                if not guard.compatible_with(exit_.guard):
+                    compatible = False
+                    break
+                guard = guard.union(exit_.guard)
+            if compatible and guard.fault_count() <= self._k:
+                combos.append(list(combo))
+        return combos
+
+    # -- main ----------------------------------------------------------------
+
+    def build(self) -> Ftcpg:
+        for process_name in self._app.topological_order:
+            self._expand_process(process_name)
+        self._graph.validate_acyclic()
+        return self._graph
+
+    def _expand_process(self, process_name: str) -> None:
+        policy = self._policies.of(process_name)
+        frozen = self._transparency.is_frozen_process(process_name)
+
+        # 1. Gather entry contexts from the inputs.
+        #    Each context: (guard, [(source node id, message name), ...])
+        contexts: list[tuple[Guard, list[tuple[str, str | None]]]]
+        contexts = [(Guard.TRUE, [])]
+        for message in self._app.inputs_of(process_name):
+            producer = message.src
+            if self._transparency.is_frozen_message(message.name):
+                sync_id = self._ensure_message_sync(message.name)
+                contexts = [
+                    (guard, sources + [(sync_id, message.name)])
+                    for guard, sources in contexts
+                ]
+                continue
+            alternatives = self._delivery_alternatives(producer)
+            expanded = []
+            for guard, sources in contexts:
+                for alternative in alternatives:
+                    alt_guard = guard
+                    ok = True
+                    for exit_ in alternative:
+                        if not alt_guard.compatible_with(exit_.guard):
+                            ok = False
+                            break
+                        alt_guard = alt_guard.union(exit_.guard)
+                    if not ok or alt_guard.fault_count() > self._k:
+                        continue
+                    alt_sources = sources + [
+                        (exit_.node_id, message.name) for exit_ in alternative
+                    ]
+                    expanded.append((alt_guard, alt_sources))
+            contexts = _dedupe_contexts(expanded)
+            if not contexts:
+                raise PolicyError(
+                    f"no consistent entry context for {process_name!r}"
+                )
+
+        # 2. A frozen process collapses all contexts through a sync node.
+        if frozen:
+            sync = self._new_node(FtcpgNode(
+                node_id=f"sync:{process_name}",
+                kind=NodeKind.SYNC_PROCESS,
+                guard=Guard.TRUE,
+                sync_ref=process_name,
+            ))
+            for guard, sources in contexts:
+                for source_id, message_name in sources:
+                    self._graph.add_edge(FtcpgEdge(
+                        src=source_id, dst=sync.node_id, message=message_name))
+            contexts = [(Guard.TRUE, [(sync.node_id, None)])]
+
+        # 3. Expand every copy under every entry context.
+        all_exits: list[_Exit] = []
+        for copy_index, plan in enumerate(policy.copies):
+            for entry_index, (guard, sources) in enumerate(contexts):
+                exits = self._expand_copy(
+                    process_name, copy_index, plan.recoveries,
+                    plan.segments, entry_index, guard, sources,
+                )
+                all_exits.extend(exits)
+        self._exits[process_name] = all_exits
+
+        # 4. Route frozen output messages through their sync node now,
+        #    so consumers of the frozen message see a single delivery.
+        for message in self._app.outputs_of(process_name):
+            if self._transparency.is_frozen_message(message.name):
+                sync_id = self._ensure_message_sync(message.name)
+                for exit_ in all_exits:
+                    self._graph.add_edge(FtcpgEdge(
+                        src=exit_.node_id, dst=sync_id, message=message.name))
+
+    def _ensure_message_sync(self, message_name: str) -> str:
+        if message_name not in self._message_sync:
+            node = self._new_node(FtcpgNode(
+                node_id=f"sync:{message_name}",
+                kind=NodeKind.SYNC_MESSAGE,
+                guard=Guard.TRUE,
+                sync_ref=message_name,
+            ))
+            self._message_sync[message_name] = node.node_id
+        return self._message_sync[message_name]
+
+    def _expand_copy(
+        self,
+        process: str,
+        copy: int,
+        recoveries: int,
+        segments: int,
+        entry_index: int,
+        entry_guard: Guard,
+        sources: list[tuple[str, str | None]],
+    ) -> list[_Exit]:
+        """Unfold the attempt tree of one copy under one entry context."""
+        exits: list[_Exit] = []
+        counter = itertools.count()
+
+        def expand(segment: int, attempt: int, local_faults: int,
+                   guard: Guard, prev: tuple[str, ConditionLiteral | None],
+                   ) -> None:
+            attempt_id = AttemptId(process, copy, segment, attempt)
+            can_recover = (local_faults < recoveries
+                           and guard.fault_count() < self._k)
+            kind = NodeKind.CONDITIONAL if can_recover else NodeKind.REGULAR
+            # The tree index keeps ids unique: several paths may share
+            # (segment, attempt, fault count) with different histories.
+            node_id = (f"{process}/c{copy}/e{entry_index}"
+                       f"/s{segment}/a{attempt}/n{next(counter)}")
+            node = self._new_node(FtcpgNode(
+                node_id=node_id, kind=kind, guard=guard, attempt=attempt_id))
+            prev_id, condition = prev
+            if prev_id is not None:
+                self._graph.add_edge(FtcpgEdge(
+                    src=prev_id, dst=node.node_id, condition=condition))
+            else:
+                for source_id, message_name in sources:
+                    self._graph.add_edge(FtcpgEdge(
+                        src=source_id, dst=node.node_id,
+                        message=message_name))
+
+            if can_recover:
+                ok = ConditionLiteral(attempt_id, faulty=False)
+                bad = ConditionLiteral(attempt_id, faulty=True)
+                # No-fault continuation.
+                if segment == segments:
+                    exits.append(_Exit(guard.extended(ok), node.node_id, copy))
+                else:
+                    expand(segment + 1, 1, local_faults,
+                           guard.extended(ok), (node.node_id, ok))
+                # Fault: retry the same segment.
+                expand(segment, attempt + 1, local_faults + 1,
+                       guard.extended(bad), (node.node_id, bad))
+            else:
+                # Cannot branch: either it cannot fail (budget spent) or
+                # failure is silent (copy death) — continue structurally.
+                if segment == segments:
+                    exits.append(_Exit(guard, node.node_id, copy))
+                else:
+                    expand(segment + 1, 1, local_faults, guard,
+                           (node.node_id, None))
+
+        expand(1, 1, 0, entry_guard, (None, None))  # type: ignore[arg-type]
+        return exits
+
+
+def _dedupe_contexts(
+    contexts: list[tuple[Guard, list[tuple[str, str | None]]]],
+) -> list[tuple[Guard, list[tuple[str, str | None]]]]:
+    """Merge entry contexts with identical guards (their source sets
+    are merged, keeping one edge per distinct source)."""
+    merged: dict[Guard, dict[tuple[str, str | None], None]] = {}
+    order: list[Guard] = []
+    for guard, sources in contexts:
+        if guard not in merged:
+            merged[guard] = {}
+            order.append(guard)
+        for source in sources:
+            merged[guard].setdefault(source, None)
+    return [(guard, list(merged[guard])) for guard in order]

@@ -1,0 +1,140 @@
+"""The FT-CPG data structure (paper §5.1).
+
+``G(V_P ∪ V_C ∪ V_T, E_S ∪ E_C)``:
+
+* regular nodes (``V_P``) — execution attempts whose outcome does not
+  branch the schedule (they cannot fail, or fail silently);
+* conditional nodes (``V_C``) — attempts that produce a condition
+  (fault → retry, no fault → continue);
+* synchronization nodes (``V_T``) — the frozen processes/messages;
+* simple edges (``E_S``) and conditional edges (``E_C``, labelled with
+  a condition literal).
+
+Nodes carry the guard under which they exist, so the graph doubles as
+a catalogue of execution scenarios for analysis and tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.ftcpg.conditions import AttemptId, ConditionLiteral, Guard
+from repro.utils.graphs import topological_order
+
+
+class NodeKind(enum.Enum):
+    """FT-CPG node categories."""
+
+    REGULAR = "regular"
+    CONDITIONAL = "conditional"
+    SYNC_PROCESS = "sync-process"
+    SYNC_MESSAGE = "sync-message"
+
+
+@dataclass(frozen=True)
+class FtcpgNode:
+    """One FT-CPG node.
+
+    For execution nodes, ``attempt`` identifies the attempt and
+    ``guard`` the condition under which this execution happens. For
+    synchronization nodes, ``sync_ref`` names the frozen process or
+    message and ``attempt`` is ``None``.
+    """
+
+    node_id: str
+    kind: NodeKind
+    guard: Guard
+    attempt: AttemptId | None = None
+    sync_ref: str | None = None
+
+    @property
+    def is_execution(self) -> bool:
+        """True for regular/conditional execution attempts."""
+        return self.attempt is not None
+
+    def label(self) -> str:
+        """Display label (paper-style)."""
+        if self.attempt is not None:
+            return self.attempt.label()
+        prefix = "S" if self.kind is NodeKind.SYNC_PROCESS else "Sm"
+        return f"{prefix}[{self.sync_ref}]"
+
+
+@dataclass(frozen=True)
+class FtcpgEdge:
+    """One FT-CPG edge; ``condition`` is set on conditional edges and
+    ``message`` names the application message the edge carries (if
+    any — same-node data flow and intra-copy sequencing carry none)."""
+
+    src: str
+    dst: str
+    condition: ConditionLiteral | None = None
+    message: str | None = None
+
+
+@dataclass
+class Ftcpg:
+    """A built fault-tolerant conditional process graph."""
+
+    nodes: dict[str, FtcpgNode] = field(default_factory=dict)
+    edges: list[FtcpgEdge] = field(default_factory=list)
+
+    def add_node(self, node: FtcpgNode) -> FtcpgNode:
+        """Insert a node; node ids must be unique."""
+        if node.node_id in self.nodes:
+            raise ValidationError(f"duplicate FT-CPG node {node.node_id!r}")
+        self.nodes[node.node_id] = node
+        return node
+
+    def add_edge(self, edge: FtcpgEdge) -> FtcpgEdge:
+        """Insert an edge between existing nodes."""
+        for end in (edge.src, edge.dst):
+            if end not in self.nodes:
+                raise ValidationError(f"FT-CPG edge references {end!r}")
+        self.edges.append(edge)
+        return edge
+
+    # -- queries -------------------------------------------------------------
+
+    def successors(self, node_id: str) -> list[FtcpgEdge]:
+        """Outgoing edges of a node."""
+        return [e for e in self.edges if e.src == node_id]
+
+    def predecessors(self, node_id: str) -> list[FtcpgEdge]:
+        """Incoming edges of a node."""
+        return [e for e in self.edges if e.dst == node_id]
+
+    def nodes_of_kind(self, kind: NodeKind) -> list[FtcpgNode]:
+        """All nodes of one kind, in insertion order."""
+        return [n for n in self.nodes.values() if n.kind is kind]
+
+    def execution_nodes_of(self, process: str) -> list[FtcpgNode]:
+        """All execution attempts of one application process."""
+        return [n for n in self.nodes.values()
+                if n.attempt is not None and n.attempt.process == process]
+
+    @property
+    def condition_count(self) -> int:
+        """Number of conditions (conditional nodes)."""
+        return len(self.nodes_of_kind(NodeKind.CONDITIONAL))
+
+    def validate_acyclic(self) -> None:
+        """Raise :class:`ValidationError` if the graph has a cycle."""
+        succ: dict[str, list[str]] = {n: [] for n in self.nodes}
+        for edge in self.edges:
+            succ[edge.src].append(edge.dst)
+        topological_order(list(self.nodes), succ)
+
+    def stats(self) -> dict[str, int]:
+        """Node/edge counts by category (used in reports and tests)."""
+        return {
+            "regular": len(self.nodes_of_kind(NodeKind.REGULAR)),
+            "conditional": len(self.nodes_of_kind(NodeKind.CONDITIONAL)),
+            "sync": (len(self.nodes_of_kind(NodeKind.SYNC_PROCESS))
+                     + len(self.nodes_of_kind(NodeKind.SYNC_MESSAGE))),
+            "simple_edges": sum(1 for e in self.edges if e.condition is None),
+            "conditional_edges": sum(
+                1 for e in self.edges if e.condition is not None),
+        }

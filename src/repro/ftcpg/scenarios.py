@@ -1,0 +1,162 @@
+"""Enumeration of concrete fault scenarios.
+
+A *fault plan* assigns to every copy of every process a per-segment
+fault count: ``plan[(process, copy)][segment-1] = f`` means the first
+``f`` attempts of that segment fail and attempt ``f + 1`` (if the copy
+still has recoveries) succeeds. With rollback semantics the ``j``-th
+retry of a segment exists only after ``j`` consecutive failures, so
+per-segment counts enumerate fault scenarios *exactly* (DESIGN.md §6).
+
+A copy whose total faults exceed its recovery count dies fail-silently
+at the fault that exhausts the budget; the enumeration therefore allows
+per-copy totals up to ``R_j + 1`` (death) but never more — further
+faults could not hit a copy that no longer executes. The system-wide
+total is bounded by ``k``.
+
+The number of plans grows combinatorially; the exhaustive tolerance
+verifier only uses it for small instances, and :func:`count_fault_plans`
+lets callers check the size first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from collections.abc import Iterator, Mapping
+
+from repro.errors import PolicyError
+from repro.model.application import Application
+from repro.policies.types import PolicyAssignment
+
+CopyKey = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One concrete fault scenario.
+
+    ``faults`` maps ``(process, copy)`` to a tuple of per-segment fault
+    counts; copies absent from the mapping take no faults.
+    """
+
+    faults: Mapping[CopyKey, tuple[int, ...]]
+
+    @property
+    def total_faults(self) -> int:
+        """Total number of faults injected by this plan."""
+        return sum(sum(counts) for counts in self.faults.values())
+
+    def faults_in(self, process: str, copy: int, segment: int) -> int:
+        """Faults hitting one segment (1-based) of one copy."""
+        counts = self.faults.get((process, copy))
+        if counts is None or segment > len(counts):
+            return 0
+        return counts[segment - 1]
+
+    def copy_faults(self, process: str, copy: int) -> int:
+        """Total faults hitting one copy."""
+        counts = self.faults.get((process, copy))
+        return sum(counts) if counts else 0
+
+    def is_fault_free(self) -> bool:
+        """True when no fault is injected."""
+        return self.total_faults == 0
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``P1:1 P3(2):2``."""
+        if self.is_fault_free():
+            return "fault-free"
+        parts = []
+        for (process, copy), counts in sorted(self.faults.items()):
+            if sum(counts) == 0:
+                continue
+            label = process if copy == 0 else f"{process}({copy + 1})"
+            if len(counts) > 1:
+                detail = ",".join(str(c) for c in counts)
+                parts.append(f"{label}:[{detail}]")
+            else:
+                parts.append(f"{label}:{counts[0]}")
+        return " ".join(parts)
+
+
+def _copy_distributions(segments: int, max_total: int,
+                        ) -> list[tuple[int, ...]]:
+    """All per-segment fault distributions with total <= max_total.
+
+    Ordered by total then lexicographically, so the fault-free
+    distribution comes first.
+    """
+    distributions: list[tuple[int, ...]] = []
+    for total in range(max_total + 1):
+        for cuts in itertools.combinations_with_replacement(
+                range(segments), total):
+            counts = [0] * segments
+            for cut in cuts:
+                counts[cut] += 1
+            distributions.append(tuple(counts))
+    return distributions
+
+
+def iter_fault_plans(app: Application, policies: PolicyAssignment,
+                     k: int, *, include_fault_free: bool = True,
+                     ) -> Iterator[FaultPlan]:
+    """Yield every fault plan with at most ``k`` total faults.
+
+    Plans are emitted in nondecreasing order of per-copy budgets but
+    not globally sorted by total; the fault-free plan comes first when
+    ``include_fault_free`` is set.
+    """
+    if k < 0:
+        raise PolicyError(f"k must be >= 0, got {k}")
+    copies: list[CopyKey] = []
+    options: list[list[tuple[int, ...]]] = []
+    for process in app.process_names:
+        policy = policies.of(process)
+        for copy_index, plan in enumerate(policy.copies):
+            copies.append((process, copy_index))
+            cap = min(plan.recoveries + 1, k)
+            options.append(_copy_distributions(plan.segments, cap))
+
+    for combo in itertools.product(*options):
+        total = sum(sum(counts) for counts in combo)
+        if total > k:
+            continue
+        if total == 0 and not include_fault_free:
+            continue
+        faults = {
+            key: counts
+            for key, counts in zip(copies, combo)
+            if sum(counts) > 0
+        }
+        yield FaultPlan(faults=faults)
+
+
+def count_fault_plans(app: Application, policies: PolicyAssignment,
+                      k: int) -> int:
+    """Number of plans :func:`iter_fault_plans` would yield.
+
+    Counted by dynamic programming over copies (no enumeration), so it
+    is safe to call on large instances before deciding whether
+    exhaustive verification is feasible.
+    """
+    if k < 0:
+        raise PolicyError(f"k must be >= 0, got {k}")
+    # ways[b] = number of combined distributions using exactly b faults.
+    ways = [0] * (k + 1)
+    ways[0] = 1
+    for process in app.process_names:
+        policy = policies.of(process)
+        for plan in policy.copies:
+            cap = min(plan.recoveries + 1, k)
+            per_total = [0] * (cap + 1)
+            for distribution in _copy_distributions(plan.segments, cap):
+                per_total[sum(distribution)] += 1
+            updated = [0] * (k + 1)
+            for used, count in enumerate(ways):
+                if count == 0:
+                    continue
+                for extra, extra_count in enumerate(per_total):
+                    if used + extra <= k:
+                        updated[used + extra] += count * extra_count
+            ways = updated
+    return sum(ways)

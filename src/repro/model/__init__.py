@@ -1,0 +1,36 @@
+"""Application and platform models (paper §2 and §4).
+
+* :class:`Process`, :class:`Message`, :class:`Application` — the
+  directed acyclic application graph with per-node WCETs, overheads and
+  deadlines.
+* :class:`Node`, :class:`BusSpec`, :class:`Architecture` — computation
+  nodes sharing a TTP-style TDMA broadcast bus.
+* :class:`FaultModel` — at most ``k`` transient faults per execution
+  cycle, anywhere in the system.
+* :class:`Transparency` — the designer's ``frozen`` markings on
+  processes and messages.
+* :func:`merge_applications` — LCM hyperperiod merge of several
+  periodic applications into one virtual application.
+"""
+
+from repro.model.application import Application
+from repro.model.architecture import Architecture, BusSpec, Node
+from repro.model.fault_model import FaultModel
+from repro.model.merge import merge_applications
+from repro.model.message import Message
+from repro.model.process import Process
+from repro.model.transparency import Transparency
+from repro.model.validation import validate_model
+
+__all__ = [
+    "Application",
+    "Architecture",
+    "BusSpec",
+    "FaultModel",
+    "Message",
+    "Node",
+    "Process",
+    "Transparency",
+    "merge_applications",
+    "validate_model",
+]

@@ -1,0 +1,143 @@
+"""The hardware architecture model (paper §2).
+
+An architecture is a set of computation nodes sharing one broadcast
+communication channel driven by a TDMA protocol in the style of the
+Time-Triggered Protocol (TTP): time is divided into *rounds*, each
+round contains one *slot* per node in a fixed order, and a node may
+transmit one frame of bounded payload in each of its slots. The actual
+slot-timing arithmetic lives in :mod:`repro.comm.tdma`; this module
+only holds the static specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True, eq=False)
+class Node:
+    """One computation node (communication controller + CPU)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("node name must be non-empty")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.name!r})"
+
+
+@dataclass(frozen=True)
+class BusSpec:
+    """Static TDMA bus parameters.
+
+    Parameters
+    ----------
+    slot_order:
+        Node names in transmission order within one round. A node may
+        own several slots per round; every node of the architecture
+        must own at least one.
+    slot_length:
+        Duration of one slot (one frame transmission) in time units.
+    slot_payload_bytes:
+        Maximum payload of one frame; larger messages are split over
+        the sender's slots in consecutive rounds.
+    """
+
+    slot_order: tuple[str, ...]
+    slot_length: float
+    slot_payload_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.slot_order:
+            raise ValidationError("bus must have at least one slot")
+        if self.slot_length <= 0:
+            raise ValidationError("slot_length must be positive")
+        if self.slot_payload_bytes <= 0:
+            raise ValidationError("slot_payload_bytes must be positive")
+
+    @property
+    def round_length(self) -> float:
+        """Duration of one TDMA round."""
+        return self.slot_length * len(self.slot_order)
+
+
+class Architecture:
+    """A set of nodes plus the shared TDMA bus."""
+
+    def __init__(self, nodes: Iterable[Node], bus: BusSpec | None = None,
+                 *, name: str = "arch") -> None:
+        self._name = name
+        self._nodes: dict[str, Node] = {}
+        for node in nodes:
+            if node.name in self._nodes:
+                raise ValidationError(f"duplicate node name {node.name!r}")
+            self._nodes[node.name] = node
+        if not self._nodes:
+            raise ValidationError("architecture must have at least one node")
+
+        if bus is None:
+            bus = BusSpec(slot_order=tuple(self._nodes), slot_length=1.0)
+        for owner in bus.slot_order:
+            if owner not in self._nodes:
+                raise ValidationError(
+                    f"bus slot owner {owner!r} is not an architecture node"
+                )
+        missing = [n for n in self._nodes if n not in bus.slot_order]
+        if missing:
+            raise ValidationError(
+                f"nodes {missing!r} own no bus slot and could never send"
+            )
+        self._bus = bus
+
+    @classmethod
+    def homogeneous(cls, count: int, *, slot_length: float = 1.0,
+                    slot_payload_bytes: int = 32,
+                    prefix: str = "N") -> "Architecture":
+        """Convenience constructor: ``count`` nodes N1..Nc, one slot each."""
+        if count <= 0:
+            raise ValidationError("node count must be positive")
+        names = tuple(f"{prefix}{i + 1}" for i in range(count))
+        bus = BusSpec(slot_order=names, slot_length=slot_length,
+                      slot_payload_bytes=slot_payload_bytes)
+        return cls([Node(n) for n in names], bus)
+
+    @property
+    def name(self) -> str:
+        """Architecture name."""
+        return self._name
+
+    @property
+    def bus(self) -> BusSpec:
+        """The TDMA bus specification."""
+        return self._bus
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        """Node names in insertion order."""
+        return tuple(self._nodes)
+
+    @property
+    def nodes(self) -> Sequence[Node]:
+        """All nodes in insertion order."""
+        return tuple(self._nodes.values())
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ValidationError(f"unknown node {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Architecture({self._name!r}, nodes={list(self._nodes)})"

@@ -1,0 +1,46 @@
+"""The transient fault model (paper §2).
+
+At most ``k`` transient faults may occur *anywhere in the system*
+during one operation cycle of the application — several faults may hit
+different processors simultaneously, several may hit the same
+processor, and ``k`` may exceed the processor count (paper footnote 1).
+Permanent faults are out of scope (handled by hardware replication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Maximum number of transient faults per operation cycle.
+
+    Parameters
+    ----------
+    k:
+        Fault budget. ``k = 0`` degenerates to non-fault-tolerant
+        design and is accepted (useful for baselines).
+    condition_size_bytes:
+        Payload of a condition-value broadcast frame (paper §5.2: after
+        a conditional process terminates, its condition value is
+        broadcast to all other nodes). One byte is enough for one
+        boolean plus identification in any realistic encoding; it is
+        configurable for bus-load studies.
+    """
+
+    k: int
+    condition_size_bytes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValidationError(f"fault budget k must be >= 0, got {self.k}")
+        if self.condition_size_bytes <= 0:
+            raise ValidationError("condition_size_bytes must be positive")
+
+    @property
+    def tolerates_faults(self) -> bool:
+        """True when any fault tolerance is required at all."""
+        return self.k > 0

@@ -1,0 +1,59 @@
+"""The message model (paper §4).
+
+An edge ``e_ij`` of the application graph carries the output of ``Pi``
+to ``Pj`` encapsulated in a message. Messages between processes mapped
+on the same node cost nothing (their time is folded into the sender's
+WCET); messages between different nodes are transmitted on the TDMA
+bus, where their worst-case size translates into a number of frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True, eq=False)
+class Message:
+    """One message of the application graph.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the application (e.g. ``"m1"``).
+    src, dst:
+        Names of the producer and consumer processes.
+    size_bytes:
+        Worst-case payload size; translated to a frame count by the
+        bus specification.
+    """
+
+    name: str
+    src: str
+    dst: str
+    size_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("message name must be non-empty")
+        if not self.src or not self.dst:
+            raise ValidationError(
+                f"message {self.name!r} must name a source and a destination"
+            )
+        if self.src == self.dst:
+            raise ValidationError(
+                f"message {self.name!r} is a self-loop on {self.src!r}"
+            )
+        if self.size_bytes <= 0:
+            raise ValidationError(
+                f"message {self.name!r} must have a positive size"
+            )
+
+    def renamed(self, name: str, src: str, dst: str) -> "Message":
+        """Copy with new endpoints (used by the hyperperiod merge)."""
+        return Message(name=name, src=src, dst=dst,
+                       size_bytes=self.size_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Message({self.name!r}, {self.src}->{self.dst})"

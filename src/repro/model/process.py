@@ -1,0 +1,131 @@
+"""The process model (paper §4).
+
+A process is a non-preemptable unit of computation with a worst-case
+execution time for every computation node it may be mapped on, plus the
+three fault-tolerance overheads of §3:
+
+* ``alpha`` — error-detection overhead, paid at the end of every
+  execution segment;
+* ``mu`` — recovery overhead, paid when restoring a checkpoint (or the
+  initial inputs, for re-execution) after a detected fault;
+* ``chi`` — checkpointing overhead, paid for saving one checkpoint.
+
+Mapping restrictions (the "X" entries of paper Fig. 3c) are expressed
+simply by omitting a node from the ``wcet`` table. A designer-imposed
+mapping (paper §6: processes tied to sensors/actuators) is expressed
+with ``fixed_node``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True, eq=False)
+class Process:
+    """One application process.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the application (e.g. ``"P1"``).
+    wcet:
+        Worst-case execution time per node name. Nodes not listed are
+        mapping-restricted ("X" in paper Fig. 3c). Times include the
+        cost of sending messages to same-node consumers (paper §4).
+    alpha, mu, chi:
+        Fault-tolerance overheads (§3); all default to zero.
+    release:
+        Earliest start time relative to the start of the execution
+        cycle (used by the hyperperiod merge).
+    deadline:
+        Optional local hard deadline ``dlocal`` (paper §4).
+    fixed_node:
+        Node name this process *must* be mapped on, or ``None`` when
+        the mapping is left to design optimization.
+    """
+
+    name: str
+    wcet: Mapping[str, float]
+    alpha: float = 0.0
+    mu: float = 0.0
+    chi: float = 0.0
+    release: float = 0.0
+    deadline: float | None = None
+    fixed_node: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("process name must be non-empty")
+        if not self.wcet:
+            raise ValidationError(
+                f"process {self.name!r} has an empty WCET table "
+                "(it could never be mapped)"
+            )
+        for node, value in self.wcet.items():
+            if not (math.isfinite(value) and value > 0):
+                raise ValidationError(
+                    f"process {self.name!r} has invalid WCET {value!r} "
+                    f"on node {node!r}"
+                )
+        for label, value in (
+            ("alpha", self.alpha),
+            ("mu", self.mu),
+            ("chi", self.chi),
+            ("release", self.release),
+        ):
+            if not (math.isfinite(value) and value >= 0):
+                raise ValidationError(
+                    f"process {self.name!r}: {label} must be >= 0, "
+                    f"got {value!r}"
+                )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValidationError(
+                f"process {self.name!r}: local deadline must be positive"
+            )
+        if self.fixed_node is not None and self.fixed_node not in self.wcet:
+            raise ValidationError(
+                f"process {self.name!r} is fixed on node "
+                f"{self.fixed_node!r} but has no WCET there"
+            )
+        # Freeze the WCET table against accidental mutation.
+        object.__setattr__(self, "wcet", dict(self.wcet))
+
+    @property
+    def allowed_nodes(self) -> tuple[str, ...]:
+        """Node names this process may be mapped on, sorted."""
+        if self.fixed_node is not None:
+            return (self.fixed_node,)
+        return tuple(sorted(self.wcet))
+
+    def wcet_on(self, node: str) -> float:
+        """WCET on ``node``; raises if the mapping is restricted."""
+        try:
+            return self.wcet[node]
+        except KeyError:
+            raise ValidationError(
+                f"process {self.name!r} cannot execute on node {node!r}"
+            ) from None
+
+    def renamed(self, name: str, *, release: float | None = None,
+                deadline: float | None = None) -> "Process":
+        """Copy with a new name (used by the hyperperiod merge)."""
+        return Process(
+            name=name,
+            wcet=dict(self.wcet),
+            alpha=self.alpha,
+            mu=self.mu,
+            chi=self.chi,
+            release=self.release if release is None else release,
+            deadline=self.deadline if deadline is None else deadline,
+            fixed_node=self.fixed_node,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nodes = ",".join(sorted(self.wcet))
+        return f"Process({self.name!r}, nodes=[{nodes}])"
+

@@ -1,0 +1,81 @@
+"""Transparency requirements (paper §3.3 and §4).
+
+The designer may declare any process or message *frozen*
+(``T(v) = frozen``). The scheduler must then allocate the **same start
+time** to that node in *all* alternative fault-tolerant schedules,
+which contains faults (a fault in one part of the system is invisible
+to frozen items), improves debuggability (fewer distinct execution
+traces), but can increase the worst-case schedule length.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import ValidationError
+from repro.model.application import Application
+
+
+class Transparency:
+    """The ``T : V -> {frozen, not_frozen}`` function of paper §4."""
+
+    def __init__(self, frozen_processes: Iterable[str] = (),
+                 frozen_messages: Iterable[str] = ()) -> None:
+        self._processes = frozenset(frozen_processes)
+        self._messages = frozenset(frozen_messages)
+
+    @classmethod
+    def none(cls) -> "Transparency":
+        """No transparency requirements (best performance)."""
+        return cls()
+
+    @classmethod
+    def full(cls, app: Application) -> "Transparency":
+        """Fully transparent system: every process and message frozen."""
+        return cls(app.process_names, app.message_names)
+
+    @classmethod
+    def messages_only(cls, app: Application) -> "Transparency":
+        """All messages frozen (a common intermediate point: internal
+        recovery stays local, the bus schedule is static)."""
+        return cls((), app.message_names)
+
+    @property
+    def frozen_processes(self) -> frozenset[str]:
+        """Names of frozen processes."""
+        return self._processes
+
+    @property
+    def frozen_messages(self) -> frozenset[str]:
+        """Names of frozen messages."""
+        return self._messages
+
+    def is_frozen_process(self, name: str) -> bool:
+        """True when the process is frozen."""
+        return name in self._processes
+
+    def is_frozen_message(self, name: str) -> bool:
+        """True when the message is frozen."""
+        return name in self._messages
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when nothing is frozen."""
+        return not self._processes and not self._messages
+
+    def validate(self, app: Application) -> None:
+        """Check that every frozen name exists in the application."""
+        unknown = [p for p in self._processes
+                   if p not in set(app.process_names)]
+        unknown += [m for m in self._messages
+                    if m not in set(app.message_names)]
+        if unknown:
+            raise ValidationError(
+                f"transparency references unknown items: {sorted(unknown)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Transparency(processes={sorted(self._processes)}, "
+            f"messages={sorted(self._messages)})"
+        )

@@ -1,0 +1,44 @@
+"""Cross-validation of an application against an architecture.
+
+The individual model classes validate themselves locally; this module
+checks the properties that span both models (every process mappable on
+at least one existing node, fixed mappings exist, ...). Synthesis entry
+points call :func:`validate_model` once up front so later stages can
+assume a consistent model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+
+
+def validate_model(app: Application, arch: Architecture) -> None:
+    """Raise :class:`ValidationError` on any app/arch inconsistency."""
+    node_names = set(arch.node_names)
+    for process in app.processes:
+        usable = [n for n in process.wcet if n in node_names]
+        if not usable:
+            raise ValidationError(
+                f"process {process.name!r} has no WCET on any node of "
+                f"architecture {arch.name!r}"
+            )
+        if process.fixed_node is not None and process.fixed_node not in node_names:
+            raise ValidationError(
+                f"process {process.name!r} is fixed on {process.fixed_node!r} "
+                "which is not part of the architecture"
+            )
+        if process.release >= app.deadline:
+            raise ValidationError(
+                f"process {process.name!r} releases at {process.release} "
+                f"on/after the global deadline {app.deadline}"
+            )
+        if process.deadline is not None and process.deadline > app.deadline:
+            # A local deadline beyond D is legal but meaningless; treat
+            # as a modelling error to surface typos early.
+            raise ValidationError(
+                f"process {process.name!r} local deadline "
+                f"{process.deadline} exceeds the global deadline "
+                f"{app.deadline}"
+            )

@@ -1,0 +1,44 @@
+"""Fault-tolerance policies (paper §3 and §4).
+
+The combination of fault-tolerance techniques applied to each process
+is captured by the four functions of §4:
+
+* ``P`` — replication, checkpointing, or both (:class:`PolicyKind`);
+* ``Q`` — number of replicas;
+* ``R`` — number of recoveries per copy;
+* ``X`` — number of checkpoints per copy.
+
+Here the four functions collapse into one value object per process:
+:class:`ProcessPolicy` is a tuple of :class:`CopyPlan` (one per placed
+copy, original included), each with its recovery and checkpoint counts.
+:class:`PolicyAssignment` maps every process of an application to its
+policy and validates the k-fault-tolerance condition
+``sum_j (R_j + 1) >= k + 1``.
+
+:mod:`repro.policies.recovery` holds the execution-time arithmetic of
+§3.1 (segments, overheads, worst cases) and
+:mod:`repro.policies.checkpoints` the per-process optimal checkpoint
+count used as the [27] baseline in the paper's Fig. 8.
+"""
+
+from repro.policies.types import (
+    CopyPlan,
+    PolicyAssignment,
+    PolicyKind,
+    ProcessPolicy,
+)
+from repro.policies.recovery import CopyExecution
+from repro.policies.checkpoints import (
+    local_optimal_checkpoints,
+    worst_case_in_isolation,
+)
+
+__all__ = [
+    "CopyExecution",
+    "CopyPlan",
+    "PolicyAssignment",
+    "PolicyKind",
+    "ProcessPolicy",
+    "local_optimal_checkpoints",
+    "worst_case_in_isolation",
+]

@@ -1,0 +1,92 @@
+"""Per-process optimal checkpoint count — the paper's [27] baseline.
+
+Punnekkat/Burns/Davis-style analysis: considering a process **in
+isolation**, with all ``k`` faults hitting it, the worst-case duration
+with ``n`` equidistant checkpoints is
+
+```
+E(n) = C + n(α + χ) + k(C/n + μ + α) − α
+```
+
+(:meth:`repro.policies.recovery.CopyExecution.worst_case_duration`).
+Dropping the constant terms, ``E`` is minimized over real ``n`` at
+``n⁰ = sqrt(k·C / (α + χ))``; the optimal integer count is whichever of
+the two neighbouring integers gives the smaller ``E``.
+
+The paper's Fig. 8 shows that applying this per-process optimum
+everywhere is *not* globally optimal — checkpoints cost fault-free time
+on the processor while the recovery time they save is shared slack —
+which is what :mod:`repro.synthesis.checkpoint_opt` exploits.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import PolicyError
+from repro.policies.recovery import CopyExecution
+from repro.policies.types import CopyPlan
+
+
+def worst_case_in_isolation(wcet: float, k: int, alpha: float, mu: float,
+                            chi: float, checkpoints: int) -> float:
+    """``E(n)``: worst-case duration with all ``k`` faults on this
+    process and ``checkpoints`` equidistant checkpoints."""
+    if checkpoints < 1:
+        raise PolicyError("worst_case_in_isolation needs checkpoints >= 1")
+    execution = CopyExecution(
+        wcet=wcet,
+        plan=CopyPlan(recoveries=k, checkpoints=checkpoints),
+        alpha=alpha, mu=mu, chi=chi,
+    )
+    return execution.worst_case_duration(budget=k)
+
+
+def local_optimal_checkpoints(wcet: float, k: int, alpha: float, chi: float,
+                              *, mu: float = 0.0,
+                              max_checkpoints: int | None = None) -> int:
+    """The [27]-style per-process optimal number of checkpoints.
+
+    Parameters
+    ----------
+    wcet:
+        Process WCET ``C`` on its node.
+    k:
+        Fault budget assumed to hit this process alone.
+    alpha, chi, mu:
+        Overheads; only ``α + χ`` influences the optimum (μ is paid
+        once per fault regardless of ``n``) but μ participates in tie
+        evaluation through the full formula.
+    max_checkpoints:
+        Optional upper bound (e.g. memory for checkpoint storage).
+
+    Returns at least 1. For ``k == 0`` checkpoints are pure overhead,
+    so 1 (the minimum that still provides rollback) is returned.
+    """
+    if wcet <= 0:
+        raise PolicyError(f"wcet must be positive, got {wcet}")
+    if k < 0:
+        raise PolicyError(f"k must be >= 0, got {k}")
+    ceiling = max_checkpoints if max_checkpoints is not None else 10_000
+    if ceiling < 1:
+        raise PolicyError("max_checkpoints must be >= 1")
+    if k == 0:
+        return 1
+
+    overhead = alpha + chi
+    if overhead <= 0:
+        # Checkpoints are free: more is always (weakly) better for the
+        # worst case, but beyond k per fault budget there is no gain —
+        # the k retries redo at most k segments.
+        return min(ceiling, max(1, k))
+
+    ideal = math.sqrt(k * wcet / overhead)
+    candidates = {
+        max(1, min(ceiling, math.floor(ideal))),
+        max(1, min(ceiling, math.ceil(ideal))),
+    }
+
+    def cost(n: int) -> float:
+        return worst_case_in_isolation(wcet, k, alpha, mu, chi, n)
+
+    return min(sorted(candidates), key=cost)

@@ -1,0 +1,135 @@
+"""Execution-time arithmetic for checkpointing and re-execution
+(paper §3.1, Fig. 1).
+
+Timeline of one copy with ``n >= 1`` checkpoints (``n`` segments of
+``C / n`` each; a checkpoint is saved before each segment, the first
+stores the initial inputs):
+
+```
+[χ seg1 α] [χ seg2 α] ... [χ segn α]                 fault-free
+[χ seg1 α] [μ seg1 α] ...                            retry after fault
+```
+
+* χ (checkpointing overhead) is paid once per segment, before its
+  first attempt; retries restore the already-saved checkpoint instead
+  (cost μ, the recovery overhead).
+* α (error-detection overhead) ends **every** attempt *except* an
+  attempt that provably cannot fail because the remaining system-wide
+  fault budget is zero — the paper's Fig. 1c note ("the error-detection
+  overhead α is not considered in the last recovery").
+
+Pure re-execution (``checkpoints == 0``) is the same automaton with a
+single segment of the full WCET and no χ.
+
+With all ``k`` system faults hitting one copy with ``n`` checkpoints,
+the worst-case duration is ``C + n(α + χ) + k(C/n + μ + α) − α``, the
+formula minimized by :func:`repro.policies.checkpoints.local_optimal_checkpoints`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolicyError
+from repro.policies.types import CopyPlan
+
+
+@dataclass(frozen=True)
+class CopyExecution:
+    """Execution-time calculator for one copy of one process.
+
+    Parameters
+    ----------
+    wcet:
+        WCET ``C`` of the process on the copy's node.
+    plan:
+        The copy's :class:`CopyPlan`.
+    alpha, mu, chi:
+        The process overheads (§3).
+    """
+
+    wcet: float
+    plan: CopyPlan
+    alpha: float
+    mu: float
+    chi: float
+
+    def __post_init__(self) -> None:
+        if self.wcet <= 0:
+            raise PolicyError(f"wcet must be positive, got {self.wcet}")
+        for label, value in (("alpha", self.alpha), ("mu", self.mu),
+                             ("chi", self.chi)):
+            if value < 0:
+                raise PolicyError(f"{label} must be >= 0, got {value}")
+
+    @property
+    def segments(self) -> int:
+        """Number of execution segments."""
+        return self.plan.segments
+
+    @property
+    def segment_time(self) -> float:
+        """Duration of one execution segment (χ/α/μ excluded)."""
+        return self.wcet / self.plan.segments
+
+    def attempt_duration(self, attempt: int, *, can_fail: bool) -> float:
+        """Duration of the ``attempt``-th attempt (1-based) of a segment.
+
+        The first attempt pays χ (saving the checkpoint) when
+        checkpointing is used; retries pay μ (restoring it). α is paid
+        iff the attempt can still fail (``can_fail``).
+        """
+        if attempt < 1:
+            raise PolicyError(f"attempt index must be >= 1, got {attempt}")
+        duration = self.segment_time
+        if attempt == 1:
+            if self.plan.uses_checkpointing:
+                duration += self.chi
+        else:
+            duration += self.mu
+        if can_fail:
+            duration += self.alpha
+        return duration
+
+    def fault_free_duration(self) -> float:
+        """Duration when no fault occurs (fault budget available).
+
+        ``C + α`` for re-execution, ``C + n(α + χ)`` for checkpointing.
+        """
+        n = self.segments
+        per_segment_overhead = self.alpha
+        if self.plan.uses_checkpointing:
+            per_segment_overhead += self.chi
+        return self.wcet + n * per_segment_overhead
+
+    def worst_case_duration(self, budget: int) -> float:
+        """Worst-case duration when up to ``budget`` system faults may
+        strike and this copy absorbs as many as it can recover from.
+
+        Implements ``C + n(α + χ) + f(C/n + μ + α) − α`` with
+        ``f = min(R, budget)``; the final −α applies when the copy's
+        last retry exhausts the whole system budget (it cannot fail, so
+        detection is skipped, as in Fig. 1c).
+        """
+        if budget < 0:
+            raise PolicyError(f"budget must be >= 0, got {budget}")
+        faults = min(self.plan.recoveries, budget)
+        duration = self.fault_free_duration()
+        duration += faults * (self.segment_time + self.mu + self.alpha)
+        if faults > 0 and faults == budget:
+            duration -= self.alpha
+        if budget == 0:
+            # No fault can occur at all: no detection anywhere.
+            duration -= self.segments * self.alpha
+        return duration
+
+    def recovery_slack(self, budget: int) -> float:
+        """Extra time beyond fault-free needed to absorb faults.
+
+        This is the per-copy recovery slack shared on a processor by
+        the estimation scheduler (paper §6 / [13]). Zero when the copy
+        has no recoveries or the budget is zero.
+        """
+        if budget == 0:
+            return 0.0
+        return self.worst_case_duration(budget) - self.fault_free_duration()

@@ -1,0 +1,29 @@
+"""Distributed runtime (paper §5.2) — simulation and verification.
+
+At run time, a non-preemptive scheduler in each node owns its part of
+the schedule tables and activates processes and messages depending on
+the observed condition values; values produced on other nodes arrive
+via bus broadcasts. :mod:`repro.runtime.simulator` executes a schedule
+set under an injected fault scenario and checks every run-time
+invariant (processor exclusivity, bus collisions, input availability,
+guard decidability, deadlines); :mod:`repro.runtime.verify` drives it
+exhaustively over *all* fault scenarios within the budget ``k``.
+"""
+
+from repro.runtime.simulator import SimulationResult, simulate
+from repro.runtime.faults import sample_fault_plan, sample_fault_plans
+from repro.runtime.verify import (
+    VerificationReport,
+    verify_tolerance,
+    verify_tolerance_sampled,
+)
+
+__all__ = [
+    "SimulationResult",
+    "VerificationReport",
+    "sample_fault_plan",
+    "sample_fault_plans",
+    "simulate",
+    "verify_tolerance",
+    "verify_tolerance_sampled",
+]

@@ -1,0 +1,86 @@
+"""Random fault-scenario sampling.
+
+Exhaustive verification (:mod:`repro.runtime.verify`) enumerates every
+fault scenario and is exponential in ``k``; for larger instances this
+module draws scenarios uniformly-ish at random instead, supporting
+Monte-Carlo validation (:func:`repro.runtime.verify.verify_tolerance_sampled`)
+and statistical robustness testing.
+
+Sampling model: the number of faults is drawn uniformly from
+``1..k`` (the fault-free case is always included separately by the
+callers), then each fault is assigned to a uniformly chosen copy that
+can still absorb one (its total stays within ``R_j + 1`` — beyond that
+the copy is already dead and cannot be hit again), landing in a
+uniformly chosen segment among those the copy still executes.
+"""
+
+from __future__ import annotations
+
+from repro.ftcpg.scenarios import FaultPlan
+from repro.model.application import Application
+from repro.policies.types import PolicyAssignment
+from repro.utils.rng import DeterministicRng
+
+
+def sample_fault_plan(app: Application, policies: PolicyAssignment,
+                      k: int, rng: DeterministicRng) -> FaultPlan:
+    """Draw one random fault plan with 1..k faults."""
+    if k <= 0:
+        return FaultPlan({})
+    total = rng.randint(1, k)
+    counts: dict[tuple[str, int], list[int]] = {}
+    capacity: dict[tuple[str, int], int] = {}
+    segments: dict[tuple[str, int], int] = {}
+    keys: list[tuple[str, int]] = []
+    for process, policy in policies.items():
+        for copy_index, plan in enumerate(policy.copies):
+            key = (process, copy_index)
+            keys.append(key)
+            capacity[key] = plan.recoveries + 1
+            segments[key] = plan.segments
+
+    placed = 0
+    attempts = 0
+    while placed < total and attempts < total * 20:
+        attempts += 1
+        key = rng.choice(keys)
+        used = sum(counts.get(key, ()))
+        if used >= capacity[key]:
+            continue  # copy already dead
+        per_segment = counts.setdefault(key, [0] * segments[key])
+        # Faults can only hit segments the copy still reaches: with
+        # rollback semantics that is any segment up to the first death,
+        # which is only determined by the totals — uniformly choosing
+        # any segment keeps the plan consistent.
+        per_segment[rng.randint(0, segments[key] - 1)] += 1
+        placed += 1
+
+    return FaultPlan({
+        key: tuple(values)
+        for key, values in counts.items()
+        if sum(values) > 0
+    })
+
+
+def sample_fault_plans(app: Application, policies: PolicyAssignment,
+                       k: int, count: int, *, seed: int = 0,
+                       include_fault_free: bool = True,
+                       ) -> list[FaultPlan]:
+    """Draw ``count`` random plans (deduplicated, deterministic)."""
+    rng = DeterministicRng(seed)
+    plans: list[FaultPlan] = []
+    seen: set[tuple] = set()
+    if include_fault_free:
+        plans.append(FaultPlan({}))
+        seen.add(())
+    attempts = 0
+    while len(plans) < count + int(include_fault_free) \
+            and attempts < count * 50:
+        attempts += 1
+        plan = sample_fault_plan(app, policies, k, rng)
+        signature = tuple(sorted(plan.faults.items()))
+        if signature in seen:
+            continue
+        seen.add(signature)
+        plans.append(plan)
+    return plans

@@ -1,0 +1,178 @@
+"""Exhaustive tolerance verification.
+
+The synthesized schedule tables claim to tolerate *any* ``k`` transient
+faults. This module proves it for a concrete instance by simulating
+**every** fault scenario within the budget (enumerated by
+:func:`repro.ftcpg.scenarios.iter_fault_plans`) and additionally
+checking the transparency contract: a frozen process/message must start
+at the same time in every scenario in which it fires.
+
+Exhaustive enumeration is exponential; callers should consult
+:func:`repro.ftcpg.scenarios.count_fault_plans` first (the
+``max_scenarios`` guard below raises instead of running forever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ToleranceViolationError
+from repro.ftcpg.scenarios import count_fault_plans, iter_fault_plans
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+from repro.model.fault_model import FaultModel
+from repro.model.transparency import Transparency
+from repro.policies.types import PolicyAssignment
+from repro.runtime.simulator import SimulationResult, simulate
+from repro.schedule.mapping import CopyMapping
+from repro.schedule.table import EntryKind, ScheduleSet
+from repro.utils.mathutils import TIME_EPS
+
+
+@dataclass
+class VerificationReport:
+    """Aggregated outcome of the exhaustive simulation sweep."""
+
+    scenarios: int
+    worst_makespan: float
+    fault_free_makespan: float
+    failures: list[SimulationResult] = field(default_factory=list)
+    frozen_violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every scenario was tolerated and transparency held."""
+        return not self.failures and not self.frozen_violations
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`ToleranceViolationError` when not ok."""
+        if self.ok:
+            return
+        details = [err for result in self.failures for err in result.errors]
+        details.extend(self.frozen_violations)
+        shown = "; ".join(details[:5])
+        raise ToleranceViolationError(
+            f"{len(self.failures)} of {self.scenarios} fault scenarios "
+            f"failed, {len(self.frozen_violations)} transparency "
+            f"violations: {shown}")
+
+
+def verify_tolerance(
+    app: Application,
+    arch: Architecture,
+    mapping: CopyMapping,
+    policies: PolicyAssignment,
+    fault_model: FaultModel,
+    schedule: ScheduleSet,
+    transparency: Transparency | None = None,
+    *,
+    max_scenarios: int = 100_000,
+) -> VerificationReport:
+    """Simulate every fault scenario with at most ``k`` faults."""
+    total = count_fault_plans(app, policies, fault_model.k)
+    if total > max_scenarios:
+        raise ToleranceViolationError(
+            f"{total} fault scenarios exceed the verification limit "
+            f"{max_scenarios}; verify a smaller instance")
+    transparency = transparency or Transparency.none()
+
+    failures: list[SimulationResult] = []
+    worst = 0.0
+    fault_free = 0.0
+    frozen_process_starts: dict[tuple[str, int], set[float]] = {}
+    frozen_message_starts: dict[tuple[str, int], set[float]] = {}
+    scenarios = 0
+    for plan in iter_fault_plans(app, policies, fault_model.k):
+        scenarios += 1
+        result = simulate(app, arch, mapping, policies, fault_model,
+                          schedule, plan)
+        if not result.ok:
+            failures.append(result)
+            continue
+        worst = max(worst, result.makespan)
+        if plan.is_fault_free():
+            fault_free = result.makespan
+        for entry in result.fired_entries:
+            if entry.kind is EntryKind.ATTEMPT \
+                    and entry.attempt.segment == 1 \
+                    and entry.attempt.attempt == 1 \
+                    and transparency.is_frozen_process(
+                        entry.attempt.process):
+                key = (entry.attempt.process, entry.attempt.copy)
+                frozen_process_starts.setdefault(key, set()).add(
+                    round(entry.start, 6))
+            if entry.kind is EntryKind.MESSAGE \
+                    and transparency.is_frozen_message(entry.message):
+                key = (entry.message, entry.producer_copy or 0)
+                frozen_message_starts.setdefault(key, set()).add(
+                    round(entry.start, 6))
+
+    frozen_violations = []
+    for (process, copy), starts in sorted(frozen_process_starts.items()):
+        if _spread(starts) > TIME_EPS:
+            frozen_violations.append(
+                f"frozen process {process!r} (copy {copy}) started at "
+                f"{sorted(starts)} across scenarios")
+    for (message, copy), starts in sorted(frozen_message_starts.items()):
+        if _spread(starts) > TIME_EPS:
+            frozen_violations.append(
+                f"frozen message {message!r} (copy {copy}) transmitted at "
+                f"{sorted(starts)} across scenarios")
+
+    return VerificationReport(
+        scenarios=scenarios,
+        worst_makespan=worst,
+        fault_free_makespan=fault_free,
+        failures=failures,
+        frozen_violations=frozen_violations,
+    )
+
+
+def _spread(values: set[float]) -> float:
+    return max(values) - min(values) if values else 0.0
+
+
+def verify_tolerance_sampled(
+    app: Application,
+    arch: Architecture,
+    mapping: CopyMapping,
+    policies: PolicyAssignment,
+    fault_model: FaultModel,
+    schedule: ScheduleSet,
+    transparency: Transparency | None = None,
+    *,
+    samples: int = 200,
+    seed: int = 0,
+) -> VerificationReport:
+    """Monte-Carlo tolerance check for instances whose scenario space
+    is too large to enumerate (see
+    :func:`repro.ftcpg.scenarios.count_fault_plans`).
+
+    Simulates the fault-free scenario plus ``samples`` random fault
+    plans within the budget. A passing report is *evidence*, not a
+    proof — use :func:`verify_tolerance` whenever feasible.
+    """
+    from repro.runtime.faults import sample_fault_plans
+
+    transparency = transparency or Transparency.none()
+    plans = sample_fault_plans(app, policies, fault_model.k, samples,
+                               seed=seed)
+    failures: list[SimulationResult] = []
+    worst = 0.0
+    fault_free = 0.0
+    for plan in plans:
+        result = simulate(app, arch, mapping, policies, fault_model,
+                          schedule, plan)
+        if not result.ok:
+            failures.append(result)
+            continue
+        worst = max(worst, result.makespan)
+        if plan.is_fault_free():
+            fault_free = result.makespan
+    return VerificationReport(
+        scenarios=len(plans),
+        worst_makespan=worst,
+        fault_free_makespan=fault_free,
+        failures=failures,
+        frozen_violations=[],
+    )

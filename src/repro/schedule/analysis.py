@@ -1,0 +1,40 @@
+"""Schedule metrics (paper §6).
+
+The central figure of merit is the **fault tolerance overhead**:
+
+    FTO = (L_ft − L_nft) / L_nft × 100
+
+the percentage increase of the schedule length due to fault-tolerance
+considerations, where ``L_nft`` is the schedule length obtained with
+the same mapping/scheduling machinery but ignoring fault tolerance.
+Both of the paper's result figures (7 and 8) are plotted in terms of
+FTO deviations.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+
+
+def fault_tolerance_overhead(ft_length: float, nft_length: float) -> float:
+    """FTO in percent (paper §6)."""
+    if nft_length <= 0:
+        raise SchedulingError(
+            f"non-fault-tolerant length must be positive, got {nft_length}")
+    if ft_length < nft_length - 1e-9:
+        # A fault-tolerant schedule can never beat the same synthesis
+        # flow with zero overheads; flag the inconsistency loudly.
+        raise SchedulingError(
+            f"FT length {ft_length} below NFT length {nft_length}; "
+            "baseline mismatch")
+    return (ft_length - nft_length) / nft_length * 100.0
+
+
+def percentage_deviation(value: float, baseline: float) -> float:
+    """``(value − baseline) / baseline × 100`` — the y-axis of the
+    paper's Fig. 7 (strategy FTO vs. MXR FTO) and Fig. 8 (local-optimum
+    FTO vs. globally optimized FTO)."""
+    if baseline <= 0:
+        raise SchedulingError(
+            f"baseline must be positive, got {baseline}")
+    return (value - baseline) / baseline * 100.0

@@ -1,0 +1,287 @@
+"""Fault-tolerant schedule length estimation (paper §6, as in [13]).
+
+The exact conditional scheduler is exponential in ``k``; design-space
+exploration needs a cost function that is cheap, deterministic and a
+*sound upper bound* of the worst-case schedule length. Like the
+authors' optimization loop, we list-schedule the fault-free timeline
+and account for faults with **recovery-slack sharing**:
+
+* every copy carries its own recovery slack — the extra time it needs
+  if it absorbs as many of the ``k`` faults as it can recover from
+  (:meth:`repro.policies.recovery.CopyExecution.recovery_slack`);
+* copies on one node share a slack window: because the ``k`` faults
+  are a single global budget, splitting them between two co-located
+  copies is always dominated by concentrating them on the one with the
+  larger per-fault cost, so the shared slack is the *max*, not the
+  sum, of the individual slacks (running max over the node timeline);
+* a cross-node consumer sees the producer's worst-case finish — the
+  message is budgeted at its latest time, i.e. node-level transparent
+  recovery as in Kandasamy et al. [19] and [13];
+* a consumer of a replicated producer waits for **all** copies: with
+  ``k >= 1`` faults the adversary can silently kill every copy but the
+  slowest, so only the max over copies is guaranteed (and replicas
+  therefore add no recovery slack of their own — their failure costs
+  no time, only redundancy).
+
+The estimate captures exactly the trade-off the paper's Fig. 7 lives
+on: re-execution pays shared recovery slack on the local node, while
+replication pays duplicated load and worst-copy waiting but no slack.
+
+Like the authors' estimator it is an *estimate*, not a certified
+bound: the exact conditional scheduler additionally pays
+condition-broadcast frames and knowledge waits on the bus (at most one
+TDMA round per observed fault and per cross-node dependency), which
+the estimate does not model. Final designs should be validated with
+:func:`repro.schedule.conditional.synthesize_schedule` plus
+:func:`repro.runtime.verify.verify_tolerance` where feasible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.comm.reservations import BusReservations
+from repro.comm.tdma import TdmaBus
+from repro.errors import SchedulingError
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+from repro.model.fault_model import FaultModel
+from repro.policies.recovery import CopyExecution
+from repro.policies.types import PolicyAssignment
+from repro.schedule.mapping import CopyMapping
+from repro.schedule.priorities import partial_critical_path_priorities
+
+CopyKey = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class CopyTiming:
+    """Estimated timing of one copy."""
+
+    node: str
+    start: float
+    ff_finish: float
+    wc_finish: float
+
+
+@dataclass
+class FtEstimate:
+    """Result of the slack-sharing estimation."""
+
+    schedule_length: float
+    ff_length: float
+    timings: dict[CopyKey, CopyTiming]
+    deadline: float
+    local_deadline_violations: tuple[str, ...]
+
+    @property
+    def meets_deadline(self) -> bool:
+        """True when the worst case fits the global deadline."""
+        return self.schedule_length <= self.deadline + 1e-9
+
+    @property
+    def feasible(self) -> bool:
+        """Global and local deadlines all met."""
+        return self.meets_deadline and not self.local_deadline_violations
+
+    def completion_bound(self, process: str) -> float:
+        """Worst-case completion of one process (max over copies)."""
+        return max(t.wc_finish for key, t in self.timings.items()
+                   if key[0] == process)
+
+
+def estimate_ft_schedule(
+    app: Application,
+    arch: Architecture,
+    mapping: CopyMapping,
+    policies: PolicyAssignment,
+    fault_model: FaultModel,
+    *,
+    priorities: Mapping[str, float] | None = None,
+    bus_contention: bool = True,
+) -> FtEstimate:
+    """Estimate the worst-case fault-tolerant schedule length.
+
+    See the module docstring for the model. Raises
+    :class:`SchedulingError` only on structural problems; deadline
+    misses are reported in the result, not raised, because the design
+    optimizer treats them as penalized costs.
+    """
+    k = fault_model.k
+    if priorities is None:
+        priorities = partial_critical_path_priorities(app, arch)
+    bus = TdmaBus(arch.bus)
+    reservations = BusReservations() if bus_contention else None
+
+    # -- expand copies -------------------------------------------------------
+    copies: dict[CopyKey, CopyExecution] = {}
+    nodes_of_process: dict[str, list[CopyKey]] = {}
+    for process_name, policy in policies.items():
+        process = app.process(process_name)
+        keys: list[CopyKey] = []
+        for copy_index, plan in enumerate(policy.copies):
+            key = (process_name, copy_index)
+            node = mapping.node_of(process_name, copy_index)
+            copies[key] = CopyExecution(
+                wcet=process.wcet_on(node), plan=plan,
+                alpha=process.alpha, mu=process.mu, chi=process.chi,
+            )
+            keys.append(key)
+        nodes_of_process[process_name] = keys
+
+    # -- list schedule -------------------------------------------------------
+    node_free: dict[str, float] = {n: 0.0 for n in arch.node_names}
+    node_slack: dict[str, float] = {n: 0.0 for n in arch.node_names}
+    timings: dict[CopyKey, CopyTiming] = {}
+    #: (message name, producer copy index) -> bus arrival time
+    arrival: dict[tuple[str, int], float] = {}
+
+    done_processes: set[str] = set()
+    remaining_copies: dict[str, int] = {
+        name: len(keys) for name, keys in nodes_of_process.items()
+    }
+    blockers: dict[str, int] = {
+        name: len(app.predecessors(name)) for name in app.process_names
+    }
+    # Priority-first selection is cheap and fine when all releases are
+    # zero; with release times it can idle a processor on a future job
+    # while a ready one waits, so a non-delay (earliest-start-first,
+    # priority tie-break) selection is used instead.
+    non_delay = any(p.release > 0 for p in app.processes)
+    ready_heap: list[tuple[float, CopyKey]] = []
+    ready_pool: dict[CopyKey, None] = {}
+
+    def release_copies(name: str) -> None:
+        for key in nodes_of_process[name]:
+            if non_delay:
+                ready_pool[key] = None
+            else:
+                heapq.heappush(ready_heap, (-priorities[name], key))
+
+    for name in app.process_names:
+        if blockers[name] == 0:
+            release_copies(name)
+
+    def pop_next() -> CopyKey:
+        if not non_delay:
+            if not ready_heap:
+                raise SchedulingError("estimation deadlock (cycle?)")
+            return heapq.heappop(ready_heap)[1]
+        if not ready_pool:
+            raise SchedulingError("estimation deadlock (cycle?)")
+        best = None
+        for key in ready_pool:
+            start = max(_fixed_ready(key), node_free[mapping.node_of(*key)])
+            candidate = (start, -priorities[key[0]], key)
+            if best is None or candidate < best:
+                best = candidate
+        ready_pool.pop(best[2])
+        return best[2]
+
+    def _fixed_ready(key: CopyKey) -> float:
+        process = app.process(key[0])
+        node = mapping.node_of(*key)
+        ready = process.release
+        for message in app.inputs_of(key[0]):
+            for src_key in nodes_of_process[message.src]:
+                if mapping.node_of(*src_key) == node:
+                    ready = max(ready, timings[src_key].ff_finish)
+                else:
+                    ready = max(ready,
+                                arrival[(message.name, src_key[1])])
+        return ready
+
+    scheduled = 0
+    total_copies = len(copies)
+    while scheduled < total_copies:
+        key = pop_next()
+        process_name, copy_index = key
+        process = app.process(process_name)
+        node = mapping.node_of(process_name, copy_index)
+        execution = copies[key]
+
+        earliest = max(process.release, node_free[node])
+        for message in app.inputs_of(process_name):
+            for src_key in nodes_of_process[message.src]:
+                src_node = mapping.node_of(*src_key)
+                if src_node == node:
+                    # Same node: slack is shared, the fault-free finish
+                    # is the dependency.
+                    earliest = max(earliest, timings[src_key].ff_finish)
+                else:
+                    earliest = max(
+                        earliest, arrival[(message.name, src_key[1])])
+
+        duration = (execution.fault_free_duration() if k > 0
+                    else execution.worst_case_duration(0))
+        ff_finish = earliest + duration
+        node_free[node] = ff_finish
+        node_slack[node] = max(node_slack[node], execution.recovery_slack(k))
+        wc_finish = ff_finish + node_slack[node]
+        timings[key] = CopyTiming(node=node, start=earliest,
+                                  ff_finish=ff_finish, wc_finish=wc_finish)
+        scheduled += 1
+        remaining_copies[process_name] -= 1
+
+        if remaining_copies[process_name] == 0:
+            done_processes.add(process_name)
+            # Transmit every cross-node output of every copy; the
+            # message is budgeted at the producer's worst-case finish
+            # (node-level transparency).
+            for message in app.outputs_of(process_name):
+                consumer_nodes = {
+                    mapping.node_of(message.dst, c)
+                    for c in range(len(policies.of(message.dst).copies))
+                }
+                for src_key in nodes_of_process[process_name]:
+                    src_node = mapping.node_of(*src_key)
+                    if consumer_nodes <= {src_node}:
+                        continue
+                    send_time = timings[src_key].wc_finish
+                    if reservations is not None:
+                        transmission = bus.schedule_transmission(
+                            src_node, send_time, message.size_bytes,
+                            reservations)
+                    else:
+                        transmission = _uncontended(
+                            bus, src_node, send_time, message.size_bytes)
+                    arrival[(message.name, src_key[1])] = \
+                        transmission.arrival
+            # Release successors whose predecessors are all complete.
+            for successor in app.successors(process_name):
+                blockers[successor] -= 1
+                if blockers[successor] == 0:
+                    release_copies(successor)
+
+    # -- results -------------------------------------------------------------
+    schedule_length = max(t.wc_finish for t in timings.values())
+    ff_length = max(t.ff_finish for t in timings.values())
+    violations = []
+    for process in app.processes:
+        if process.deadline is None:
+            continue
+        bound = max(timings[key].wc_finish
+                    for key in nodes_of_process[process.name])
+        if bound > process.deadline + 1e-9:
+            violations.append(process.name)
+    return FtEstimate(
+        schedule_length=schedule_length,
+        ff_length=ff_length,
+        timings=timings,
+        deadline=app.deadline,
+        local_deadline_violations=tuple(violations),
+    )
+
+
+def _uncontended(bus: TdmaBus, node: str, ready: float, size_bytes: int):
+    from repro.comm.tdma import Transmission
+
+    frames = []
+    needed = bus.frames_needed(size_bytes)
+    for window in bus.owner_slot_occurrences(node, ready):
+        frames.append(window)
+        if len(frames) == needed:
+            break
+    return Transmission(sender=node, frames=tuple(frames))

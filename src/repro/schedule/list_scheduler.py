@@ -1,0 +1,152 @@
+"""Fault-free list scheduling.
+
+Schedules one copy of every process (no fault tolerance, no overheads)
+on the architecture with PCP priorities and TDMA bus communication.
+This produces the *non-fault-tolerant* schedule length that the FTO
+metric of paper §6 compares against: "the length of the schedules using
+the same (mapping and scheduling) techniques but ignoring the fault
+tolerance issues".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+from repro.comm.reservations import BusReservations
+from repro.comm.tdma import TdmaBus, Transmission
+from repro.errors import MappingError, SchedulingError
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+from repro.schedule.priorities import partial_critical_path_priorities
+
+
+@dataclass
+class FaultFreeSchedule:
+    """Result of fault-free list scheduling."""
+
+    makespan: float
+    start_times: dict[str, float] = field(default_factory=dict)
+    finish_times: dict[str, float] = field(default_factory=dict)
+    transmissions: dict[str, Transmission] = field(default_factory=dict)
+
+    def start_of(self, process: str) -> float:
+        """Scheduled start of a process."""
+        return self.start_times[process]
+
+    def finish_of(self, process: str) -> float:
+        """Scheduled finish of a process."""
+        return self.finish_times[process]
+
+
+def schedule_fault_free(
+    app: Application,
+    arch: Architecture,
+    mapping: Mapping[str, str],
+    *,
+    priorities: Mapping[str, float] | None = None,
+    bus_contention: bool = True,
+) -> FaultFreeSchedule:
+    """List-schedule the application without fault tolerance.
+
+    ``mapping`` assigns each process name to a node name. Messages
+    between co-located processes are free; others are transmitted on
+    the TDMA bus (with slot contention unless ``bus_contention`` is
+    disabled, in which case each message takes its sender's next slots
+    regardless of other traffic — cheaper, slightly optimistic).
+    """
+    for process in app.processes:
+        node = mapping.get(process.name)
+        if node is None:
+            raise MappingError(f"process {process.name!r} is unmapped")
+        if node not in process.wcet:
+            raise MappingError(
+                f"process {process.name!r} cannot run on node {node!r}")
+        if node not in arch.node_names:
+            raise MappingError(f"unknown node {node!r}")
+
+    if priorities is None:
+        priorities = partial_critical_path_priorities(app, arch)
+    bus = TdmaBus(arch.bus)
+    reservations = BusReservations()
+
+    node_free: dict[str, float] = {n: 0.0 for n in arch.node_names}
+    start: dict[str, float] = {}
+    finish: dict[str, float] = {}
+    transmissions: dict[str, Transmission] = {}
+    arrival: dict[str, float] = {}  # message name -> bus arrival time
+
+    # Non-delay selection: among ready processes, take the one that can
+    # start earliest, breaking ties by PCP priority. (Pure priority
+    # order can idle a processor on a late-released job.)
+    non_delay = any(p.release > 0 for p in app.processes)
+    pending = set(app.process_names)
+    while pending:
+        ready = [
+            p for p in pending
+            if all(src not in pending for src in app.predecessors(p))
+        ]
+        if not ready:
+            raise SchedulingError("no ready process (cycle?)")
+        if non_delay:
+            def earliest(p: str) -> float:
+                proc = app.process(p)
+                node = mapping[p]
+                when = max(proc.release, node_free[node])
+                for message in app.inputs_of(p):
+                    if mapping[message.src] == node:
+                        when = max(when, finish[message.src])
+                    else:
+                        when = max(when, arrival[message.name])
+                return when
+
+            ready.sort(key=lambda p: (earliest(p), -priorities[p], p))
+        else:
+            ready.sort(key=lambda p: (-priorities[p], p))
+        name = ready[0]
+        process = app.process(name)
+        node = mapping[name]
+
+        earliest = max(process.release, node_free[node])
+        for message in app.inputs_of(name):
+            if mapping[message.src] == node:
+                earliest = max(earliest, finish[message.src])
+            else:
+                earliest = max(earliest, arrival[message.name])
+        start[name] = earliest
+        finish[name] = earliest + process.wcet_on(node)
+        node_free[node] = finish[name]
+        pending.remove(name)
+
+        # Send this process's cross-node messages as soon as it is done.
+        for message in app.outputs_of(name):
+            if mapping[message.dst] == node:
+                continue
+            if bus_contention:
+                transmission = bus.schedule_transmission(
+                    node, finish[name], message.size_bytes, reservations)
+            else:
+                transmission = _uncontended_transmission(
+                    bus, node, finish[name], message.size_bytes)
+            transmissions[message.name] = transmission
+            arrival[message.name] = transmission.arrival
+
+    makespan = max(finish.values())
+    return FaultFreeSchedule(
+        makespan=makespan,
+        start_times=start,
+        finish_times=finish,
+        transmissions=transmissions,
+    )
+
+
+def _uncontended_transmission(bus: TdmaBus, node: str, ready: float,
+                              size_bytes: int) -> Transmission:
+    """Frames in the sender's next slots, ignoring other traffic."""
+    frames = []
+    needed = bus.frames_needed(size_bytes)
+    for window in bus.owner_slot_occurrences(node, ready):
+        frames.append(window)
+        if len(frames) == needed:
+            break
+    return Transmission(sender=node, frames=tuple(frames))

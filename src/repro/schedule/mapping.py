@@ -1,0 +1,118 @@
+"""Copy-level mapping ``M`` (paper §4 and §6).
+
+The paper's mapping function assigns processes *and their replicas* to
+computation nodes; here every placed copy ``(process, copy_index)`` is
+mapped individually. Copy 0 is the original process; the replicas of
+``VR`` are copies ``1..Q``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.errors import MappingError
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+from repro.policies.types import PolicyAssignment
+
+CopyKey = tuple[str, int]
+
+
+class CopyMapping:
+    """An immutable mapping of process copies to node names."""
+
+    __slots__ = ("_assignments",)
+
+    def __init__(self, assignments: Mapping[CopyKey, str]) -> None:
+        self._assignments = dict(assignments)
+
+    @classmethod
+    def from_process_map(cls, process_to_node: Mapping[str, str],
+                         policies: PolicyAssignment) -> "CopyMapping":
+        """All copies of each process on one node (useful for tests and
+        for policies without replication)."""
+        assignments: dict[CopyKey, str] = {}
+        for process, policy in policies.items():
+            try:
+                node = process_to_node[process]
+            except KeyError:
+                raise MappingError(
+                    f"no node given for process {process!r}") from None
+            for copy_index in range(len(policy.copies)):
+                assignments[(process, copy_index)] = node
+        return cls(assignments)
+
+    def node_of(self, process: str, copy: int = 0) -> str:
+        """Node a copy is mapped on."""
+        try:
+            return self._assignments[(process, copy)]
+        except KeyError:
+            raise MappingError(
+                f"copy {copy} of process {process!r} is unmapped"
+            ) from None
+
+    def replaced(self, process: str, copy: int, node: str) -> "CopyMapping":
+        """A new mapping with one copy moved."""
+        if (process, copy) not in self._assignments:
+            raise MappingError(
+                f"copy {copy} of process {process!r} is unmapped")
+        updated = dict(self._assignments)
+        updated[(process, copy)] = node
+        return CopyMapping(updated)
+
+    def items(self) -> Iterator[tuple[CopyKey, str]]:
+        """All (copy key, node) pairs."""
+        return iter(self._assignments.items())
+
+    def nodes_used(self) -> frozenset[str]:
+        """Distinct nodes holding at least one copy."""
+        return frozenset(self._assignments.values())
+
+    def __contains__(self, key: CopyKey) -> bool:
+        return key in self._assignments
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CopyMapping):
+            return NotImplemented
+        return self._assignments == other._assignments
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._assignments.items()))
+
+    def validate(self, app: Application, arch: Architecture,
+                 policies: PolicyAssignment) -> None:
+        """Check completeness and per-copy mapping legality."""
+        for process, policy in policies.items():
+            proc = app.process(process)
+            for copy_index in range(len(policy.copies)):
+                key = (process, copy_index)
+                if key not in self._assignments:
+                    raise MappingError(
+                        f"copy {copy_index} of {process!r} is unmapped")
+                node = self._assignments[key]
+                if node not in arch.node_names:
+                    raise MappingError(
+                        f"{process!r} copy {copy_index} mapped on unknown "
+                        f"node {node!r}")
+                if node not in proc.wcet:
+                    raise MappingError(
+                        f"{process!r} cannot execute on node {node!r} "
+                        "(mapping restriction)")
+                if proc.fixed_node is not None and copy_index == 0 \
+                        and node != proc.fixed_node:
+                    raise MappingError(
+                        f"{process!r} is fixed on {proc.fixed_node!r} but "
+                        f"mapped on {node!r}")
+        extra = set(self._assignments) - {
+            (p, c)
+            for p, policy in policies.items()
+            for c in range(len(policy.copies))
+        }
+        if extra:
+            raise MappingError(f"mapping has stale entries: {sorted(extra)}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CopyMapping({len(self._assignments)} copies)"

@@ -1,0 +1,97 @@
+"""Schedule-table metrics (paper §5.2 and §6).
+
+The paper lists the *size of the schedule tables* among the quantities
+the synthesis trades off ("various trade-offs between the worst case
+schedule length, the size of the schedule tables, the degree of
+transparency, and the duration of the schedule generation procedure").
+This module quantifies those: per-node table sizes (rows, columns,
+entries and an estimated memory footprint) and scenario-space measures
+used by the transparency studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedule.table import BUS, EntryKind, ScheduleSet
+
+#: Rough per-entry footprint of a table cell in a realistic encoding:
+#: activation id (2B) + start time (4B) + guard reference (2B).
+BYTES_PER_ENTRY = 8
+#: Per-column footprint: the guard bitmask/condition list.
+BYTES_PER_COLUMN = 4
+
+
+@dataclass(frozen=True)
+class NodeTableSize:
+    """Size of one node's (or the bus') schedule table."""
+
+    location: str
+    rows: int
+    columns: int
+    entries: int
+
+    @property
+    def memory_bytes(self) -> int:
+        """Estimated footprint in the node's static memory."""
+        return (self.entries * BYTES_PER_ENTRY
+                + self.columns * BYTES_PER_COLUMN)
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Aggregate metrics of one schedule set."""
+
+    per_node: tuple[NodeTableSize, ...]
+    scenario_count: int
+    distinct_guards: int
+    distinct_attempt_starts: int
+    worst_case_length: float
+    fault_free_length: float
+
+    @property
+    def total_entries(self) -> int:
+        """Total activation entries over all tables."""
+        return sum(t.entries for t in self.per_node)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Total estimated table memory over all nodes."""
+        return sum(t.memory_bytes for t in self.per_node)
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Worst-case length relative to the fault-free scenario."""
+        if self.fault_free_length <= 0:
+            return 1.0
+        return self.worst_case_length / self.fault_free_length
+
+
+def schedule_metrics(schedule: ScheduleSet) -> ScheduleMetrics:
+    """Measure a schedule set (paper §5.2's table-size dimension)."""
+    per_node: list[NodeTableSize] = []
+    for location in schedule.locations:
+        entries = schedule.entries_on(location)
+        rows = {e.row_key() for e in entries}
+        columns = {e.guard for e in entries}
+        per_node.append(NodeTableSize(
+            location=location,
+            rows=len(rows),
+            columns=len(columns),
+            entries=len(entries),
+        ))
+    attempt_starts = {
+        (e.attempt, round(e.start, 6))
+        for e in schedule.entries if e.kind is EntryKind.ATTEMPT
+    }
+    return ScheduleMetrics(
+        per_node=tuple(per_node),
+        scenario_count=schedule.scenario_count,
+        distinct_guards=len({e.guard for e in schedule.entries}),
+        distinct_attempt_starts=len(attempt_starts),
+        worst_case_length=schedule.worst_case_length,
+        fault_free_length=schedule.fault_free_length,
+    )
+
+
+__all__ = ["BUS", "NodeTableSize", "ScheduleMetrics", "schedule_metrics"]

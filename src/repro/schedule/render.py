@@ -1,0 +1,76 @@
+"""Rendering of conditional schedule tables in the style of paper
+Fig. 6: one table per node (plus the bus), one row per process /
+message / condition, one column per guard, activation times in the
+cells.
+"""
+
+from __future__ import annotations
+
+from repro.schedule.table import BUS, EntryKind, ScheduleSet, TableEntry
+from repro.utils.textgrid import TextGrid
+
+
+def _row_label(entry: TableEntry) -> str:
+    if entry.kind is EntryKind.ATTEMPT:
+        process, copy = entry.attempt.process, entry.attempt.copy
+        return process if copy == 0 else f"{process}({copy + 1})"
+    if entry.kind is EntryKind.MESSAGE:
+        name = entry.message
+        if entry.producer_copy:
+            name += f"({entry.producer_copy + 1})"
+        return name
+    return f"F[{entry.attempt.label()}]"
+
+
+def _guard_order(schedule: ScheduleSet) -> list:
+    """Deterministic column order: unconditional first, then by guard
+    length and text."""
+    guards = {entry.guard for entry in schedule.entries}
+    return sorted(guards, key=lambda g: (len(g), str(g)))
+
+
+def render_node_table(schedule: ScheduleSet, location: str) -> str:
+    """Render one node's (or the bus') schedule table as text."""
+    entries = schedule.entries_on(location)
+    if not entries:
+        return f"== {location}: (no activity) =="
+    guards = [g for g in _guard_order(schedule)
+              if any(e.guard == g for e in entries)]
+    rows: dict[tuple, dict] = {}
+    row_order: list[tuple] = []
+    for entry in entries:
+        key = entry.row_key()
+        if key not in rows:
+            rows[key] = {"label": _row_label(entry), "cells": {}}
+            row_order.append(key)
+        cell = rows[key]["cells"].setdefault(entry.guard, [])
+        cell.append(entry)
+
+    grid = TextGrid([f"{location}"] + [str(g) for g in guards])
+    for key in row_order:
+        row = rows[key]
+        cells = []
+        for guard in guards:
+            here = row["cells"].get(guard, [])
+            here.sort(key=lambda e: e.start)
+            cells.append("; ".join(e.cell_label() for e in here))
+        grid.add_row([row["label"]] + cells)
+    return f"== schedule table: {location} ==\n{grid.render()}"
+
+
+def render_schedule_set(schedule: ScheduleSet) -> str:
+    """Render all tables plus a summary header."""
+    lines = [
+        "conditional schedule tables "
+        f"(worst case {schedule.worst_case_length:.2f}, "
+        f"fault-free {schedule.fault_free_length:.2f}, "
+        f"deadline {schedule.deadline:.2f}, "
+        f"{schedule.scenario_count} scenarios)",
+    ]
+    for location in schedule.locations:
+        lines.append("")
+        lines.append(render_node_table(schedule, location))
+    return "\n".join(lines)
+
+
+__all__ = ["render_node_table", "render_schedule_set", "BUS"]

@@ -1,0 +1,151 @@
+"""Serialization of schedule tables.
+
+Paper §5.2: "Only one part of the table has to be stored in each node,
+namely, the part concerning decisions that are taken by the
+corresponding scheduler." This module turns a
+:class:`~repro.schedule.table.ScheduleSet` into a JSON document (whole,
+or filtered per node for deployment) and back, with a lossless
+round-trip — the artifact a build system would flash into each node's
+static memory.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.comm.tdma import FrameWindow
+from repro.errors import ValidationError
+from repro.ftcpg.conditions import AttemptId, ConditionLiteral, Guard
+from repro.schedule.table import (
+    EntryKind,
+    LeafScenario,
+    ScheduleSet,
+    TableEntry,
+)
+
+#: Format identifier embedded in every document.
+FORMAT = "repro.schedule-set"
+VERSION = 1
+
+
+def _attempt_to_json(attempt: AttemptId) -> list:
+    return [attempt.process, attempt.copy, attempt.segment,
+            attempt.attempt]
+
+
+def _attempt_from_json(data: list) -> AttemptId:
+    return AttemptId(str(data[0]), int(data[1]), int(data[2]),
+                     int(data[3]))
+
+
+def _guard_to_json(guard: Guard) -> list:
+    return [[_attempt_to_json(lit.attempt), lit.faulty]
+            for lit in guard.literals]
+
+
+def _guard_from_json(data: list) -> Guard:
+    return Guard(ConditionLiteral(_attempt_from_json(item[0]),
+                                  bool(item[1]))
+                 for item in data)
+
+
+def _entry_to_json(entry: TableEntry) -> dict[str, Any]:
+    return {
+        "kind": entry.kind.value,
+        "location": entry.location,
+        "guard": _guard_to_json(entry.guard),
+        "start": entry.start,
+        "duration": entry.duration,
+        "attempt": (_attempt_to_json(entry.attempt)
+                    if entry.attempt is not None else None),
+        "message": entry.message,
+        "producer_copy": entry.producer_copy,
+        "frames": [[f.round_index, f.slot_index, f.start, f.end]
+                   for f in entry.frames],
+        "can_fail": entry.can_fail,
+    }
+
+
+def _entry_from_json(data: dict[str, Any]) -> TableEntry:
+    return TableEntry(
+        kind=EntryKind(data["kind"]),
+        location=data["location"],
+        guard=_guard_from_json(data["guard"]),
+        start=float(data["start"]),
+        duration=float(data["duration"]),
+        attempt=(_attempt_from_json(data["attempt"])
+                 if data["attempt"] is not None else None),
+        message=data["message"],
+        producer_copy=data["producer_copy"],
+        frames=tuple(FrameWindow(int(f[0]), int(f[1]), float(f[2]),
+                                 float(f[3]))
+                     for f in data["frames"]),
+        can_fail=bool(data["can_fail"]),
+    )
+
+
+def schedule_to_dict(schedule: ScheduleSet,
+                     *, node: str | None = None) -> dict[str, Any]:
+    """Serialize a schedule set (optionally one node's slice).
+
+    With ``node``, only that location's entries are included — the
+    per-node deployment artifact of paper §5.2. (Bus entries are kept
+    in every slice: each communication controller needs the frame
+    plan.)
+    """
+    entries = schedule.entries
+    if node is not None:
+        entries = tuple(e for e in entries
+                        if e.location in (node, "bus"))
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "node": node,
+        "deadline": schedule.deadline,
+        "worst_case_length": schedule.worst_case_length,
+        "fault_free_length": schedule.fault_free_length,
+        "entries": [_entry_to_json(e) for e in entries],
+        "leaves": [[_guard_to_json(leaf.guard), leaf.makespan]
+                   for leaf in schedule.leaves],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> ScheduleSet:
+    """Rebuild a schedule set from :func:`schedule_to_dict` output."""
+    if data.get("format") != FORMAT:
+        raise ValidationError(
+            f"not a schedule-set document (format={data.get('format')!r})")
+    if data.get("version") != VERSION:
+        raise ValidationError(
+            f"unsupported schedule-set version {data.get('version')!r}")
+    return ScheduleSet(
+        entries=tuple(_entry_from_json(e) for e in data["entries"]),
+        leaves=tuple(LeafScenario(_guard_from_json(g), float(m))
+                     for g, m in data["leaves"]),
+        worst_case_length=float(data["worst_case_length"]),
+        fault_free_length=float(data["fault_free_length"]),
+        deadline=float(data["deadline"]),
+    )
+
+
+def dump_schedule(schedule: ScheduleSet, *, node: str | None = None,
+                  indent: int | None = None) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(schedule_to_dict(schedule, node=node),
+                      indent=indent)
+
+
+def load_schedule(text: str) -> ScheduleSet:
+    """Deserialize from a JSON string."""
+    return schedule_from_dict(json.loads(text))
+
+
+__all__ = [
+    "FORMAT",
+    "VERSION",
+    "dump_schedule",
+    "load_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+]

@@ -1,0 +1,229 @@
+"""Conditional schedule tables (paper §5.2).
+
+The output of the conditional scheduler is a set of entries, each
+guarded by a conjunction of condition values. Grouped per node (plus
+the bus) they form the schedule tables of paper Fig. 6: one row per
+process/message/condition, one column per guard, activation times in
+the cells. A distributed run-time scheduler stores its node's part and
+activates entries whose guard matches the observed conditions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from collections.abc import Iterable
+
+from repro.comm.tdma import FrameWindow
+from repro.ftcpg.conditions import AttemptId, Guard
+from repro.utils.mathutils import feq
+
+#: Pseudo-location of bus entries.
+BUS = "bus"
+
+
+class EntryKind(enum.Enum):
+    """What a table entry activates."""
+
+    ATTEMPT = "attempt"
+    MESSAGE = "message"
+    BROADCAST = "broadcast"
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One activation in a schedule table.
+
+    * ``ATTEMPT``: execution attempt ``attempt`` on node ``location``;
+      ``duration`` includes the applicable χ/μ/α overheads and
+      ``can_fail`` records whether error detection is part of it.
+    * ``MESSAGE``: transmission of ``message`` produced by copy
+      ``producer_copy``; ``frames`` are the reserved bus slots.
+    * ``BROADCAST``: condition-value broadcast of ``attempt``.
+    """
+
+    kind: EntryKind
+    location: str
+    guard: Guard
+    start: float
+    duration: float
+    attempt: AttemptId | None = None
+    message: str | None = None
+    producer_copy: int | None = None
+    frames: tuple[FrameWindow, ...] = ()
+    can_fail: bool = False
+
+    @property
+    def end(self) -> float:
+        """End of the activation."""
+        return self.start + self.duration
+
+    def row_key(self) -> tuple:
+        """Grouping key: all attempts of one copy share a process row,
+        message instances share a message row, broadcasts have a row
+        per condition (as in paper Fig. 6)."""
+        if self.kind is EntryKind.ATTEMPT:
+            return ("P", self.attempt.process, self.attempt.copy)
+        if self.kind is EntryKind.MESSAGE:
+            return ("M", self.message, self.producer_copy)
+        return ("C", self.attempt)
+
+    def cell_label(self) -> str:
+        """Cell text, paper style: ``start (attempt-label)``."""
+        if self.kind is EntryKind.ATTEMPT:
+            return f"{_fmt(self.start)} ({self.attempt.label()})"
+        return _fmt(self.start)
+
+
+def _fmt(value: float) -> str:
+    if feq(value, round(value)):
+        return str(int(round(value)))
+    return f"{value:.2f}"
+
+
+@dataclass
+class LeafScenario:
+    """One fully-resolved fault scenario explored by the scheduler."""
+
+    guard: Guard
+    makespan: float
+
+    @property
+    def fault_count(self) -> int:
+        """Observable faults in this scenario."""
+        return self.guard.fault_count()
+
+
+@dataclass
+class ScheduleSet:
+    """The complete set ``S`` of schedule tables (paper §6, step 4)."""
+
+    entries: tuple[TableEntry, ...]
+    leaves: tuple[LeafScenario, ...]
+    worst_case_length: float
+    fault_free_length: float
+    deadline: float
+
+    @property
+    def meets_deadline(self) -> bool:
+        """Worst case within the global deadline."""
+        return self.worst_case_length <= self.deadline + 1e-9
+
+    @property
+    def scenario_count(self) -> int:
+        """Number of distinct observable fault scenarios."""
+        return len(self.leaves)
+
+    def entries_on(self, location: str) -> tuple[TableEntry, ...]:
+        """Entries of one node's table (or the bus), by start time."""
+        selected = [e for e in self.entries if e.location == location]
+        selected.sort(key=lambda e: (e.start, len(e.guard)))
+        return tuple(selected)
+
+    @property
+    def locations(self) -> tuple[str, ...]:
+        """All locations with entries (nodes first, then the bus)."""
+        names = {e.location for e in self.entries}
+        ordered = sorted(names - {BUS})
+        if BUS in names:
+            ordered.append(BUS)
+        return tuple(ordered)
+
+    def attempts_of(self, process: str) -> tuple[TableEntry, ...]:
+        """All attempt entries of one process, by start time."""
+        selected = [
+            e for e in self.entries
+            if e.kind is EntryKind.ATTEMPT and e.attempt.process == process
+        ]
+        selected.sort(key=lambda e: (e.start, len(e.guard)))
+        return tuple(selected)
+
+    def compressed(self) -> "ScheduleSet":
+        """Merge sibling entries that do not depend on a condition.
+
+        If two entries are identical except that one guard contains a
+        literal and the other its negation, the condition does not
+        influence the activation: both collapse into one entry without
+        the literal (repeatedly, until a fixpoint). This yields the
+        compact tables of paper Fig. 6.
+        """
+        entries = list(self.entries)
+        changed = True
+        while changed:
+            changed = False
+            by_shape: dict[tuple, list[int]] = {}
+            for index, entry in enumerate(entries):
+                shape = (entry.kind, entry.location, entry.attempt,
+                         entry.message, entry.producer_copy,
+                         round(entry.start, 6), round(entry.duration, 6),
+                         entry.frames, entry.can_fail)
+                by_shape.setdefault(shape, []).append(index)
+            merged_out: set[int] = set()
+            additions: list[TableEntry] = []
+            for indices in by_shape.values():
+                if len(indices) < 2:
+                    continue
+                result = _merge_guards(
+                    [entries[i].guard for i in indices])
+                if result is not None:
+                    merged_out.update(indices)
+                    for guard in result:
+                        additions.append(
+                            replace(entries[indices[0]], guard=guard))
+                    changed = True
+            if changed:
+                entries = [e for i, e in enumerate(entries)
+                           if i not in merged_out] + additions
+        return ScheduleSet(
+            entries=tuple(entries),
+            leaves=self.leaves,
+            worst_case_length=self.worst_case_length,
+            fault_free_length=self.fault_free_length,
+            deadline=self.deadline,
+        )
+
+
+def _merge_guards(guards: list[Guard]) -> list[Guard] | None:
+    """One merging pass over a set of guards; returns the reduced set
+    or ``None`` when nothing merges."""
+    remaining = list(guards)
+    merged_any = False
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(remaining)):
+            for j in range(i + 1, len(remaining)):
+                union = _complementary_pair(remaining[i], remaining[j])
+                if union is not None:
+                    rest = [g for idx, g in enumerate(remaining)
+                            if idx not in (i, j)]
+                    remaining = rest + [union]
+                    merged_any = True
+                    changed = True
+                    break
+            if changed:
+                break
+    return remaining if merged_any else None
+
+
+def _complementary_pair(a: Guard, b: Guard) -> Guard | None:
+    """If ``a`` and ``b`` differ in exactly one attempt with opposite
+    values (all other literals equal), return the common guard."""
+    lits_a = {lit.attempt: lit.faulty for lit in a.literals}
+    lits_b = {lit.attempt: lit.faulty for lit in b.literals}
+    if set(lits_a) != set(lits_b):
+        return None
+    differing = [att for att, val in lits_a.items() if lits_b[att] != val]
+    if len(differing) != 1:
+        return None
+    target = differing[0]
+    return Guard([lit for lit in a.literals if lit.attempt != target])
+
+
+def merge_entries(groups: Iterable[Iterable[TableEntry]],
+                  ) -> tuple[TableEntry, ...]:
+    """Flatten entry groups into a deterministic tuple."""
+    flat = [entry for group in groups for entry in group]
+    flat.sort(key=lambda e: (e.location, e.start, len(e.guard),
+                             str(e.guard)))
+    return tuple(flat)

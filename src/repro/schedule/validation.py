@@ -1,0 +1,135 @@
+"""Static validation of conditional schedule tables.
+
+The runtime simulator checks one fault scenario at a time; this module
+checks structural invariants of the whole table **without**
+enumerating scenarios, so it stays cheap on instances whose scenario
+space is huge:
+
+* processor exclusivity per compatible-guard pair — two activations
+  whose guards can hold simultaneously must not overlap on a node;
+* bus exclusivity — two bus entries with compatible guards must not
+  share a slot occurrence;
+* guard decidability — an entry guarded by a condition produced on
+  another node must start no earlier than the condition's broadcast
+  arrival (the §5.2 rule that makes the distributed tables executable);
+* budget sanity — no guard requires more than ``k`` faults.
+
+:func:`validate_schedule` returns the list of violations (empty =
+valid); :func:`assert_valid_schedule` raises on the first problem.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+from repro.ftcpg.conditions import AttemptId
+from repro.model.architecture import Architecture
+from repro.schedule.table import BUS, EntryKind, ScheduleSet, TableEntry
+from repro.utils.mathutils import TIME_EPS
+
+
+def validate_schedule(schedule: ScheduleSet, arch: Architecture,
+                      k: int) -> list[str]:
+    """Check the structural invariants; returns violation messages."""
+    violations: list[str] = []
+
+    # -- budget sanity ---------------------------------------------------------
+    for entry in schedule.entries:
+        if entry.guard.fault_count() > k:
+            violations.append(
+                f"guard of {_describe(entry)} requires "
+                f"{entry.guard.fault_count()} faults > k={k}")
+
+    # -- processor exclusivity ---------------------------------------------------
+    for node in arch.node_names:
+        entries = [e for e in schedule.entries_on(node)
+                   if e.kind is EntryKind.ATTEMPT]
+        for i, first in enumerate(entries):
+            for second in entries[i + 1:]:
+                if second.start >= first.end - TIME_EPS:
+                    break  # sorted by start; no later overlap possible
+                if first.guard.compatible_with(second.guard):
+                    violations.append(
+                        f"overlap on {node}: {_describe(first)} "
+                        f"[{first.start}, {first.end}) vs "
+                        f"{_describe(second)} "
+                        f"[{second.start}, {second.end})")
+
+    # -- bus exclusivity ---------------------------------------------------------
+    bus_entries = [e for e in schedule.entries if e.location == BUS]
+    by_slot: dict[tuple[int, int], list[TableEntry]] = {}
+    for entry in bus_entries:
+        for frame in entry.frames:
+            by_slot.setdefault(
+                (frame.round_index, frame.slot_index), []).append(entry)
+    for slot, owners in sorted(by_slot.items()):
+        for i, first in enumerate(owners):
+            for second in owners[i + 1:]:
+                if first.guard.compatible_with(second.guard):
+                    violations.append(
+                        f"bus slot {slot} shared by {_describe(first)} "
+                        f"and {_describe(second)} with compatible guards")
+
+    # -- guard decidability --------------------------------------------------------
+    # In every scenario where the entry fires, exactly one detection of
+    # the literal's attempt happens (locally, on the producing node)
+    # and exactly one broadcast of its value goes out; the firing
+    # source is the one whose guard also holds, i.e. a source whose
+    # guard is *compatible* with the entry's (compression may have
+    # dropped literals, so implication would be too strict). The
+    # worst-case knowledge time is therefore the max end over
+    # compatible sources: local detections on the entry's own node,
+    # broadcast arrivals elsewhere.
+    producers: dict[AttemptId, list[TableEntry]] = {}
+    broadcasts: dict[AttemptId, list[TableEntry]] = {}
+    for entry in schedule.entries:
+        if entry.attempt is None:
+            continue
+        if entry.kind is EntryKind.ATTEMPT and entry.can_fail:
+            producers.setdefault(entry.attempt, []).append(entry)
+        elif entry.kind is EntryKind.BROADCAST:
+            broadcasts.setdefault(entry.attempt, []).append(entry)
+
+    for entry in schedule.entries:
+        if entry.kind is not EntryKind.ATTEMPT:
+            continue
+        for literal in entry.guard.literals:
+            local = [s for s in producers.get(literal.attempt, [])
+                     if s.location == entry.location
+                     and entry.guard.compatible_with(s.guard)]
+            if local:
+                bound = max(s.end for s in local)
+            else:
+                remote = [b for b in broadcasts.get(literal.attempt, [])
+                          if entry.guard.compatible_with(b.guard)]
+                if not remote:
+                    violations.append(
+                        f"{_describe(entry)} on {entry.location} guarded "
+                        f"by {literal} which is never known there")
+                    continue
+                bound = max(b.end for b in remote)
+            if entry.start < bound - TIME_EPS:
+                violations.append(
+                    f"{_describe(entry)} starts at {entry.start} before "
+                    f"{literal} is known on {entry.location} ({bound})")
+    return violations
+
+
+def assert_valid_schedule(schedule: ScheduleSet, arch: Architecture,
+                          k: int) -> None:
+    """Raise :class:`SchedulingError` on the first violation."""
+    violations = validate_schedule(schedule, arch, k)
+    if violations:
+        raise SchedulingError(
+            f"{len(violations)} schedule-table violations; first: "
+            f"{violations[0]}")
+
+
+def _describe(entry: TableEntry) -> str:
+    if entry.kind is EntryKind.ATTEMPT:
+        return entry.attempt.label()
+    if entry.kind is EntryKind.MESSAGE:
+        return f"message {entry.message}"
+    return f"broadcast {entry.attempt.label()}"
+
+
+__all__ = ["assert_valid_schedule", "validate_schedule"]

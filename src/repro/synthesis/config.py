@@ -1,0 +1,39 @@
+"""The system configuration ``ψ = <F, M, S>`` (paper §6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.policies.types import PolicyAssignment
+from repro.schedule.estimation import FtEstimate
+from repro.schedule.mapping import CopyMapping
+from repro.schedule.table import ScheduleSet
+
+
+@dataclass
+class SystemConfiguration:
+    """One synthesized design point.
+
+    ``schedule`` holds the exact conditional tables when they were
+    generated (small instances / final validation); during design-space
+    exploration only the estimate is available.
+    """
+
+    policies: PolicyAssignment
+    mapping: CopyMapping
+    estimate: FtEstimate
+    schedule: ScheduleSet | None = None
+
+    @property
+    def schedule_length(self) -> float:
+        """Worst-case schedule length (exact if tables exist)."""
+        if self.schedule is not None:
+            return self.schedule.worst_case_length
+        return self.estimate.schedule_length
+
+    @property
+    def feasible(self) -> bool:
+        """All deadlines met (by the best available analysis)."""
+        if self.schedule is not None:
+            return self.schedule.meets_deadline
+        return self.estimate.feasible

@@ -1,0 +1,103 @@
+"""Search moves over (policy assignment, mapping) solutions.
+
+Two move families, mirroring paper §6's two decisions:
+
+* :class:`RemapMove` — move one copy to another allowed node;
+* :class:`PolicyMove` — replace one process's fault-tolerance policy
+  (re-execution ↔ replication ↔ combined, or a different checkpoint
+  count). Changing the copy count re-places new replicas greedily and
+  drops stale mapping entries.
+
+Moves are value objects: ``apply`` returns a new solution, ``attribute``
+returns the tabu attribute that forbids undoing the move for the tenure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.application import Application
+from repro.policies.types import PolicyAssignment, ProcessPolicy
+from repro.schedule.mapping import CopyMapping
+
+Solution = tuple[PolicyAssignment, CopyMapping]
+
+
+def _policy_signature(policy: ProcessPolicy) -> tuple:
+    return tuple((c.recoveries, c.checkpoints) for c in policy.copies)
+
+
+@dataclass(frozen=True)
+class RemapMove:
+    """Move one copy of one process to another node."""
+
+    process: str
+    copy: int
+    node: str
+
+    def applies_to(self, solution: Solution) -> bool:
+        """False when the copy is already there (no-op)."""
+        _, mapping = solution
+        return mapping.node_of(self.process, self.copy) != self.node
+
+    def apply(self, solution: Solution, app: Application) -> Solution:
+        """New solution with the copy moved."""
+        policies, mapping = solution
+        return policies, mapping.replaced(self.process, self.copy,
+                                          self.node)
+
+    def attribute(self, solution: Solution) -> tuple:
+        """Tabu attribute: returning this copy to its old node."""
+        _, mapping = solution
+        old = mapping.node_of(self.process, self.copy)
+        return ("map", self.process, self.copy, old)
+
+
+@dataclass(frozen=True)
+class PolicyMove:
+    """Replace one process's policy."""
+
+    process: str
+    policy: ProcessPolicy
+
+    def applies_to(self, solution: Solution) -> bool:
+        """False when the policy is unchanged."""
+        policies, _ = solution
+        return (_policy_signature(policies.of(self.process))
+                != _policy_signature(self.policy))
+
+    def apply(self, solution: Solution, app: Application) -> Solution:
+        """New solution; added copies are placed greedily on the least
+        loaded allowed nodes (distinct when possible), removed copies
+        disappear from the mapping."""
+        policies, mapping = solution
+        old_count = len(policies.of(self.process).copies)
+        new_count = len(self.policy.copies)
+        new_policies = policies.replaced(self.process, self.policy)
+
+        assignments = dict(mapping.items())
+        for copy_index in range(new_count, old_count):
+            assignments.pop((self.process, copy_index), None)
+        if new_count > old_count:
+            process = app.process(self.process)
+            used = {assignments[(self.process, c)]
+                    for c in range(old_count)}
+            allowed = list(process.allowed_nodes)
+            loads: dict[str, float] = {}
+            for (__, ___), node in assignments.items():
+                loads[node] = loads.get(node, 0.0) + 1.0
+            for copy_index in range(old_count, new_count):
+                fresh = [n for n in allowed if n not in used]
+                pool = fresh if fresh else allowed
+                choice = min(pool, key=lambda n: (loads.get(n, 0.0), n))
+                assignments[(self.process, copy_index)] = choice
+                loads[choice] = loads.get(choice, 0.0) + 1.0
+                used.add(choice)
+        return new_policies, CopyMapping(assignments)
+
+    def attribute(self, solution: Solution) -> tuple:
+        """Tabu attribute: switching this process back to the old
+        policy shape."""
+        policies, _ = solution
+        return ("pol", self.process,
+                _policy_signature(policies.of(self.process)))

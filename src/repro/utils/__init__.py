@@ -1,0 +1,33 @@
+"""Small shared utilities: deterministic RNG, graph helpers, math
+helpers and plain-text table rendering.
+
+These are deliberately dependency-free so every other package can use
+them without import cycles.
+"""
+
+from repro.utils.mathutils import (
+    ceil_div,
+    feq,
+    fge,
+    fgt,
+    fle,
+    flt,
+    lcm_many,
+)
+from repro.utils.graphs import topological_order, transitive_successors
+from repro.utils.rng import DeterministicRng
+from repro.utils.textgrid import TextGrid
+
+__all__ = [
+    "ceil_div",
+    "feq",
+    "fge",
+    "fgt",
+    "fle",
+    "flt",
+    "lcm_many",
+    "topological_order",
+    "transitive_successors",
+    "DeterministicRng",
+    "TextGrid",
+]

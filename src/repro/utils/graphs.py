@@ -1,0 +1,85 @@
+"""Tiny graph helpers (topological sort, reachability).
+
+The library manipulates three graph flavours — the application graph,
+the expanded copy graph used by the estimator and the FT-CPG — and all
+of them only need deterministic topological ordering and reachability.
+Determinism matters: the schedulers break priority ties by position in
+a stable order, so the helpers preserve input ordering instead of
+relying on hash order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import TypeVar
+
+from repro.errors import ValidationError
+
+NodeT = TypeVar("NodeT", bound=Hashable)
+
+
+def topological_order(
+    nodes: Sequence[NodeT],
+    successors: Mapping[NodeT, Iterable[NodeT]],
+) -> list[NodeT]:
+    """Kahn topological sort that preserves the relative order of
+    ``nodes`` among ties.
+
+    Raises :class:`ValidationError` if the graph has a cycle or an edge
+    references an unknown node.
+    """
+    index = {node: i for i, node in enumerate(nodes)}
+    if len(index) != len(nodes):
+        raise ValidationError("duplicate nodes passed to topological_order")
+    indegree = {node: 0 for node in nodes}
+    for source, targets in successors.items():
+        if source not in indegree:
+            raise ValidationError(f"edge source {source!r} is not a node")
+        for target in targets:
+            if target not in indegree:
+                raise ValidationError(f"edge target {target!r} is not a node")
+            indegree[target] += 1
+
+    ready = sorted(
+        (node for node, deg in indegree.items() if deg == 0),
+        key=index.__getitem__,
+    )
+    queue = deque(ready)
+    order: list[NodeT] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        inserted = []
+        for target in successors.get(node, ()):
+            indegree[target] -= 1
+            if indegree[target] == 0:
+                inserted.append(target)
+        # Keep deterministic order among newly-released nodes.
+        for target in sorted(inserted, key=index.__getitem__):
+            queue.append(target)
+    if len(order) != len(nodes):
+        stuck = [node for node, deg in indegree.items() if deg > 0]
+        raise ValidationError(f"graph has a cycle involving {stuck!r}")
+    return order
+
+
+def transitive_successors(
+    nodes: Sequence[NodeT],
+    successors: Mapping[NodeT, Iterable[NodeT]],
+) -> dict[NodeT, frozenset[NodeT]]:
+    """Map each node to the frozenset of all nodes reachable from it.
+
+    Computed in reverse topological order, so overall cost is
+    O(V * average reachable set) — fine for the graph sizes used here
+    (hundreds of processes).
+    """
+    order = topological_order(nodes, successors)
+    reach: dict[NodeT, frozenset[NodeT]] = {}
+    for node in reversed(order):
+        acc: set[NodeT] = set()
+        for target in successors.get(node, ()):
+            acc.add(target)
+            acc |= reach[target]
+        reach[node] = frozenset(acc)
+    return reach

@@ -1,0 +1,69 @@
+"""Numeric helpers used throughout the scheduling code.
+
+All schedule times are floats (milliseconds in the paper's examples).
+Checkpoint segments introduce divisions such as ``C / n``, so exact
+``==`` comparisons on accumulated times are fragile; the ``f*``
+comparison helpers below apply a fixed absolute tolerance that is far
+below any meaningful timing quantity in the models (overheads are
+milliseconds, the tolerance is a nanosecond).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+#: Absolute tolerance for schedule-time comparisons (1e-6 ms = 1 ns).
+TIME_EPS = 1e-6
+
+
+def feq(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return True if two times are equal within tolerance."""
+    return abs(a - b) <= eps
+
+
+def fle(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return True if ``a <= b`` within tolerance."""
+    return a <= b + eps
+
+
+def fge(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return True if ``a >= b`` within tolerance."""
+    return a >= b - eps
+
+
+def flt(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return True if ``a < b`` beyond tolerance."""
+    return a < b - eps
+
+
+def fgt(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Return True if ``a > b`` beyond tolerance."""
+    return a > b + eps
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    if numerator < 0:
+        raise ValueError("numerator must be non-negative")
+    return -(-numerator // denominator)
+
+
+def lcm_many(values: Iterable[int]) -> int:
+    """Least common multiple of an iterable of positive integers.
+
+    Used to compute the hyperperiod of a set of periodic applications
+    (paper §4: the merged graph period is the LCM of all ``T_k``).
+    """
+    result = 1
+    seen_any = False
+    for value in values:
+        seen_any = True
+        if value <= 0:
+            raise ValueError(f"periods must be positive, got {value}")
+        result = math.lcm(result, value)
+    if not seen_any:
+        raise ValueError("lcm_many() needs at least one value")
+    return result

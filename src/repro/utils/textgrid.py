@@ -1,0 +1,64 @@
+"""Plain-text table rendering.
+
+Used to print schedule tables in the style of the paper's Fig. 6 and to
+format experiment result tables without pulling in any dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+class TextGrid:
+    """A rectangular grid of strings rendered with aligned columns.
+
+    >>> grid = TextGrid(["name", "value"])
+    >>> grid.add_row(["alpha", "1"])
+    >>> grid.add_row(["beta", "23"])
+    >>> print(grid.render())
+    name  | value
+    ------+------
+    alpha | 1
+    beta  | 23
+    """
+
+    def __init__(self, header: Sequence[str]) -> None:
+        if not header:
+            raise ValueError("header must have at least one column")
+        self._header = [str(cell) for cell in header]
+        self._rows: list[list[str]] = []
+
+    @property
+    def column_count(self) -> int:
+        """Number of columns in the grid."""
+        return len(self._header)
+
+    @property
+    def row_count(self) -> int:
+        """Number of data rows added so far."""
+        return len(self._rows)
+
+    def add_row(self, row: Sequence[object]) -> None:
+        """Append one data row; must match the header width."""
+        if len(row) != len(self._header):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(self._header)}"
+            )
+        self._rows.append([str(cell) for cell in row])
+
+    def render(self, *, separator: str = " | ") -> str:
+        """Render the grid with padded columns and a header rule."""
+        widths = [len(cell) for cell in self._header]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(row: Sequence[str]) -> str:
+            return separator.join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            ).rstrip()
+
+        rule = "-+-".join("-" * width for width in widths)
+        lines = [fmt(self._header), rule]
+        lines.extend(fmt(row) for row in self._rows)
+        return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Workloads: synthetic task graphs and the paper's examples.
+
+* :mod:`repro.workloads.generator` — TGFF-style layered random DAGs
+  with the size/connectivity/overhead ranges of the paper's
+  experiments (20–100 processes, 2–6 nodes, k = 3–7);
+* :mod:`repro.workloads.presets` — the hand-drawn examples of the
+  paper's Figures 1–6 and an automotive cruise-controller case study
+  in the style the authors use throughout this research line.
+"""
+
+from repro.workloads.generator import GeneratorConfig, generate_workload
+from repro.workloads.presets import (
+    brake_by_wire,
+    cruise_controller,
+    fig1_process,
+    fig3_example,
+    fig5_example,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "brake_by_wire",
+    "cruise_controller",
+    "fig1_process",
+    "fig3_example",
+    "fig5_example",
+    "generate_workload",
+]

@@ -1,0 +1,174 @@
+"""TGFF-style synthetic workload generation.
+
+The paper's experiments (§6) use randomly generated applications of
+20–100 processes on architectures of 2–6 nodes. The authors' generator
+is not public; this one reproduces the *statistical shape* that
+matters for the comparisons:
+
+* layered DAGs (series-parallel-ish) with bounded fan-in, every
+  non-source process consuming 1..``max_in`` messages from earlier
+  layers (locality-biased, so critical paths exist);
+* per-process base WCETs uniform in a range, with bounded per-node
+  heterogeneity (each node runs a process within ±``hetero`` of its
+  base — mapping matters but no node dominates);
+* detection/recovery/checkpointing overheads as small fractions of the
+  base WCET, following the regimes used across [13]/[15] (overheads of
+  a few percent of the computation time);
+* a generous global deadline (the Fig. 7/8 metrics measure schedule
+  *length*, not deadline stress).
+
+Everything is derived deterministically from one integer seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+from repro.model.message import Message
+from repro.model.process import Process
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the synthetic workload generator."""
+
+    processes: int = 40
+    nodes: int = 4
+    seed: int = 1
+    wcet_range: tuple[float, float] = (10.0, 100.0)
+    hetero: float = 0.25
+    layer_width: int = 6
+    max_in: int = 3
+    message_bytes: tuple[int, int] = (4, 24)
+    alpha_fraction: float = 0.05
+    mu_fraction: float = 0.05
+    chi_fraction: float = 0.05
+    slot_length: float = 1.0
+    slot_payload_bytes: int = 32
+    deadline_slack: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.processes < 1:
+            raise ValidationError("need at least one process")
+        if self.nodes < 1:
+            raise ValidationError("need at least one node")
+        if self.wcet_range[0] <= 0 or self.wcet_range[1] < self.wcet_range[0]:
+            raise ValidationError(f"bad wcet_range {self.wcet_range}")
+        if not 0 <= self.hetero < 1:
+            raise ValidationError("hetero must be in [0, 1)")
+        if self.layer_width < 1 or self.max_in < 1:
+            raise ValidationError("layer_width and max_in must be >= 1")
+
+
+def generate_workload(config: GeneratorConfig,
+                      ) -> tuple[Application, Architecture]:
+    """Generate one (application, architecture) pair."""
+    rng = DeterministicRng(config.seed)
+    arch = Architecture.homogeneous(
+        config.nodes,
+        slot_length=config.slot_length,
+        slot_payload_bytes=config.slot_payload_bytes,
+    )
+    node_names = arch.node_names
+
+    # -- layered structure ----------------------------------------------------
+    structure_rng = rng.substream("structure")
+    layers: list[list[str]] = []
+    remaining = config.processes
+    index = 1
+    while remaining > 0:
+        width = min(remaining,
+                    structure_rng.randint(1, config.layer_width))
+        layers.append([f"P{index + i}" for i in range(width)])
+        index += width
+        remaining -= width
+
+    # -- WCETs and overheads ----------------------------------------------------
+    wcet_rng = rng.substream("wcet")
+    processes: list[Process] = []
+    for layer in layers:
+        for name in layer:
+            base = wcet_rng.uniform(*config.wcet_range)
+            wcet = {
+                node: round(base * wcet_rng.uniform(1 - config.hetero,
+                                                    1 + config.hetero), 3)
+                for node in node_names
+            }
+            processes.append(Process(
+                name=name,
+                wcet=wcet,
+                alpha=round(base * config.alpha_fraction, 3),
+                mu=round(base * config.mu_fraction, 3),
+                chi=round(base * config.chi_fraction, 3),
+            ))
+
+    # -- edges -------------------------------------------------------------------
+    edge_rng = rng.substream("edges")
+    messages: list[Message] = []
+    message_index = 1
+    for layer_index in range(1, len(layers)):
+        earlier = [name for layer in layers[:layer_index] for name in layer]
+        for name in layers[layer_index]:
+            fan_in = edge_rng.randint(1, config.max_in)
+            # Bias towards recent layers: sample from the last few
+            # layers first so critical paths are realistically deep.
+            recent = [n for layer in layers[max(0, layer_index - 2):
+                                            layer_index] for n in layer]
+            pool = recent if recent else earlier
+            chosen: set[str] = set()
+            for _ in range(fan_in):
+                source_pool = pool if edge_rng.random() < 0.8 else earlier
+                chosen.add(edge_rng.choice(source_pool))
+            for src in sorted(chosen):
+                messages.append(Message(
+                    name=f"m{message_index}",
+                    src=src,
+                    dst=name,
+                    size_bytes=edge_rng.randint(*config.message_bytes),
+                ))
+                message_index += 1
+
+    deadline = _deadline_estimate(processes, layers, config)
+    app = Application(
+        processes,
+        messages,
+        deadline=deadline,
+        name=f"synthetic-{config.processes}p-{config.nodes}n-s{config.seed}",
+    )
+    return app, arch
+
+
+def _deadline_estimate(processes: list[Process], layers: list[list[str]],
+                       config: GeneratorConfig) -> float:
+    """A deadline loose enough that FTO (not deadline pressure) is the
+    observable, as in the paper's experiments."""
+    mean_wcet = sum(
+        sum(p.wcet.values()) / len(p.wcet) for p in processes
+    ) / len(processes)
+    critical_path = len(layers) * mean_wcet
+    load_bound = len(processes) * mean_wcet / config.nodes
+    return config.deadline_slack * max(critical_path, load_bound)
+
+
+def paper_experiment_config(processes: int, seed: int,
+                            ) -> tuple[GeneratorConfig, int]:
+    """Workload + fault budget for one Fig. 7 data point.
+
+    The paper draws architectures of 2..6 nodes and fault budgets of
+    3..7; both are derived deterministically from the seed here.
+    """
+    rng = DeterministicRng(seed * 1000 + processes)
+    nodes = rng.randint(2, 6)
+    k = rng.randint(3, 7)
+    config = GeneratorConfig(
+        processes=processes,
+        nodes=nodes,
+        seed=seed * 7919 + processes,
+        layer_width=max(2, int(math.sqrt(processes))),
+    )
+    return config, k

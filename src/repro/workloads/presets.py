@@ -1,0 +1,244 @@
+"""The paper's hand-drawn examples (Figures 1–6) and a realistic case
+study.
+
+All numbers that the paper states explicitly are used verbatim; where
+the paper's figures are ambiguous (the DATE format omits some WCETs and
+the exact application of Fig. 5a), the reconstruction documented in
+DESIGN.md / EXPERIMENTS.md is used, chosen to be consistent with every
+activation time visible in the paper's Fig. 6 schedule tables.
+"""
+
+from __future__ import annotations
+
+from repro.model.application import Application
+from repro.model.architecture import Architecture, BusSpec, Node
+from repro.model.fault_model import FaultModel
+from repro.model.message import Message
+from repro.model.process import Process
+from repro.model.transparency import Transparency
+from repro.policies.types import CopyPlan
+from repro.schedule.mapping import CopyMapping
+
+
+def fig1_process() -> tuple[Process, CopyPlan]:
+    """Paper Fig. 1: P1 with C=60, α=10, μ=10, χ=5, two checkpoints.
+
+    Fault-free duration 90; with the single fault of Fig. 1c the worst
+    case is 130 (α skipped in the last recovery).
+    """
+    process = Process("P1", {"N1": 60.0}, alpha=10.0, mu=10.0, chi=5.0)
+    return process, CopyPlan(recoveries=1, checkpoints=2)
+
+
+def fig3_example() -> tuple[Application, Architecture]:
+    """Paper Fig. 3: five processes on two nodes with the printed WCET
+    table (P3 restricted to N1).
+
+    The figure's edge drawing is partly illegible in the DATE layout;
+    the reconstruction uses the natural fork/join reading
+    P1→{P2,P3}, P2→P4, P3→P5.
+    """
+    processes = [
+        Process("P1", {"N1": 20.0, "N2": 30.0}),
+        Process("P2", {"N1": 40.0, "N2": 60.0}),
+        Process("P3", {"N1": 60.0}),  # "X" on N2
+        Process("P4", {"N1": 40.0, "N2": 60.0}),
+        Process("P5", {"N1": 40.0, "N2": 60.0}),
+    ]
+    messages = [
+        Message("m1", "P1", "P2", size_bytes=8),
+        Message("m2", "P1", "P3", size_bytes=8),
+        Message("m3", "P2", "P4", size_bytes=8),
+        Message("m4", "P3", "P5", size_bytes=8),
+    ]
+    app = Application(processes, messages, deadline=400.0,
+                      name="paper-fig3")
+    arch = Architecture(
+        [Node("N1"), Node("N2")],
+        BusSpec(slot_order=("N1", "N2"), slot_length=2.0),
+        name="paper-fig3-arch",
+    )
+    return app, arch
+
+
+def fig5_example() -> tuple[Application, Architecture, FaultModel,
+                            Transparency, CopyMapping]:
+    """Paper Fig. 5/6: four processes, k = 2, frozen {P3, m2, m3}.
+
+    Reconstruction (consistent with every start time in Fig. 6):
+    P1, P2 on N1; P3, P4 on N2; P1→P2 locally, P1→P4 via m1,
+    P1→P3 via m2 (frozen), P2→P3 via m3 (frozen);
+    C1=30, C2=20, C3=20, C4=30, μ=5, α=χ=0.
+    The FT-CPG of this instance reproduces Fig. 5b's structure exactly:
+    3 copies of P1, 6 of P2, 6 of P4, 3 of the frozen P3, and three
+    synchronization nodes.
+    """
+    processes = [
+        Process("P1", {"N1": 30.0, "N2": 30.0}, mu=5.0),
+        Process("P2", {"N1": 20.0, "N2": 20.0}, mu=5.0),
+        Process("P3", {"N1": 20.0, "N2": 20.0}, mu=5.0),
+        Process("P4", {"N1": 30.0, "N2": 30.0}, mu=5.0),
+    ]
+    messages = [
+        Message("m0", "P1", "P2", size_bytes=4),
+        Message("m1", "P1", "P4", size_bytes=4),
+        Message("m2", "P1", "P3", size_bytes=4),
+        Message("m3", "P2", "P3", size_bytes=4),
+    ]
+    app = Application(processes, messages, deadline=300.0,
+                      name="paper-fig5")
+    arch = Architecture(
+        [Node("N1"), Node("N2")],
+        BusSpec(slot_order=("N1", "N2"), slot_length=2.0),
+        name="paper-fig5-arch",
+    )
+    fault_model = FaultModel(k=2)
+    transparency = Transparency(frozen_processes=("P3",),
+                                frozen_messages=("m2", "m3"))
+    process_map = {"P1": "N1", "P2": "N1", "P3": "N2", "P4": "N2"}
+    mapping = CopyMapping({(name, 0): node
+                           for name, node in process_map.items()})
+    return app, arch, fault_model, transparency, mapping
+
+
+def brake_by_wire() -> tuple[Application, Architecture, Transparency]:
+    """A brake-by-wire application on a 4-node TTP cluster — the
+    safety-critical X-by-wire setting that motivates this research
+    line (a TTP-based fault-tolerant platform, hard deadlines, sensors
+    and actuators bound to their nodes).
+
+    14 processes: pedal acquisition (duplicated sensors), pedal
+    voting/plausibility, vehicle-dynamics input, brake-force
+    computation, per-wheel force distribution and four wheel actuator
+    commands, plus a monitor. The actuator commands are marked frozen
+    (their release to the wheel nodes must be identical in every fault
+    scenario — actuation jitter is itself a safety hazard), as is the
+    global brake-force message.
+    """
+    def proc(name: str, base: float, *, fixed: str | None = None,
+             ) -> Process:
+        wcet = {n: round(base * f, 1)
+                for n, f in zip(("N1", "N2", "N3", "N4"),
+                                (1.0, 0.95, 1.05, 1.0))}
+        return Process(name, wcet, alpha=base * 0.04, mu=base * 0.06,
+                       chi=base * 0.04, fixed_node=fixed)
+
+    processes = [
+        proc("pedal_a", 8, fixed="N1"),
+        proc("pedal_b", 8, fixed="N1"),
+        proc("pedal_vote", 10),
+        proc("dynamics_in", 12, fixed="N2"),
+        proc("brake_force", 24),
+        proc("distribute", 16),
+        proc("wheel_fl_cmd", 9, fixed="N3"),
+        proc("wheel_fr_cmd", 9, fixed="N3"),
+        proc("wheel_rl_cmd", 9, fixed="N4"),
+        proc("wheel_rr_cmd", 9, fixed="N4"),
+        proc("abs_check", 14),
+        proc("monitor", 8),
+        proc("log_brake", 6),
+        proc("hmi_lamp", 5),
+    ]
+    edges = [
+        ("pedal_a", "pedal_vote"), ("pedal_b", "pedal_vote"),
+        ("pedal_vote", "brake_force"), ("dynamics_in", "brake_force"),
+        ("brake_force", "distribute"), ("dynamics_in", "abs_check"),
+        ("abs_check", "distribute"),
+        ("distribute", "wheel_fl_cmd"), ("distribute", "wheel_fr_cmd"),
+        ("distribute", "wheel_rl_cmd"), ("distribute", "wheel_rr_cmd"),
+        ("brake_force", "monitor"), ("monitor", "log_brake"),
+        ("monitor", "hmi_lamp"),
+    ]
+    messages = [
+        Message(f"m_{src}_{dst}", src, dst, size_bytes=6)
+        for src, dst in edges
+    ]
+    app = Application(processes, messages, deadline=420.0,
+                      name="brake-by-wire")
+    arch = Architecture(
+        [Node("N1"), Node("N2"), Node("N3"), Node("N4")],
+        BusSpec(slot_order=("N1", "N2", "N3", "N4"), slot_length=1.0),
+        name="bbw-arch",
+    )
+    transparency = Transparency(
+        frozen_processes=("wheel_fl_cmd", "wheel_fr_cmd",
+                          "wheel_rl_cmd", "wheel_rr_cmd"),
+        frozen_messages=("m_brake_force_distribute",),
+    )
+    return app, arch, transparency
+
+
+def cruise_controller() -> tuple[Application, Architecture]:
+    """An adaptive cruise controller in the style of the case studies
+    used throughout this research line (sensing → fusion → control →
+    actuation plus diagnostics and HMI), 24 processes on 3 nodes.
+
+    WCETs are in microseconds-scale abstract units; N1 hosts the
+    sensor interfaces, N3 the actuators (fixed mappings), the rest is
+    free for optimization.
+    """
+    def proc(name: str, base: float, *, fixed: str | None = None,
+             only: tuple[str, ...] | None = None) -> Process:
+        nodes = only or ("N1", "N2", "N3")
+        wcet = {n: round(base * f, 1)
+                for n, f in zip(nodes, (1.0, 0.9, 1.1))}
+        return Process(name, wcet, alpha=base * 0.05, mu=base * 0.05,
+                       chi=base * 0.04, fixed_node=fixed)
+
+    processes = [
+        proc("wheel_fl", 12, fixed="N1"),
+        proc("wheel_fr", 12, fixed="N1"),
+        proc("wheel_rl", 12, fixed="N1"),
+        proc("wheel_rr", 12, fixed="N1"),
+        proc("radar_acq", 30, fixed="N1"),
+        proc("yaw_acq", 16, fixed="N1"),
+        proc("driver_buttons", 8, fixed="N1"),
+        proc("speed_filter", 20),
+        proc("radar_filter", 34),
+        proc("yaw_filter", 18),
+        proc("target_tracker", 40),
+        proc("speed_fusion", 26),
+        proc("mode_logic", 14),
+        proc("distance_ctrl", 38),
+        proc("speed_ctrl", 32),
+        proc("arbiter", 18),
+        proc("traction_check", 22),
+        proc("throttle_cmd", 16, fixed="N3"),
+        proc("brake_cmd", 16, fixed="N3"),
+        proc("gear_hint", 12, fixed="N3"),
+        proc("diag_monitor", 24),
+        proc("dash_update", 14),
+        proc("event_logger", 10),
+        proc("watchdog", 6),
+    ]
+    edges = [
+        ("wheel_fl", "speed_filter"), ("wheel_fr", "speed_filter"),
+        ("wheel_rl", "speed_filter"), ("wheel_rr", "speed_filter"),
+        ("radar_acq", "radar_filter"), ("yaw_acq", "yaw_filter"),
+        ("speed_filter", "speed_fusion"), ("yaw_filter", "speed_fusion"),
+        ("radar_filter", "target_tracker"),
+        ("speed_fusion", "target_tracker"),
+        ("driver_buttons", "mode_logic"), ("speed_fusion", "mode_logic"),
+        ("target_tracker", "distance_ctrl"),
+        ("mode_logic", "distance_ctrl"),
+        ("speed_fusion", "speed_ctrl"), ("mode_logic", "speed_ctrl"),
+        ("distance_ctrl", "arbiter"), ("speed_ctrl", "arbiter"),
+        ("speed_fusion", "traction_check"),
+        ("arbiter", "throttle_cmd"), ("arbiter", "brake_cmd"),
+        ("traction_check", "brake_cmd"), ("arbiter", "gear_hint"),
+        ("speed_fusion", "diag_monitor"), ("radar_filter", "diag_monitor"),
+        ("mode_logic", "dash_update"), ("arbiter", "dash_update"),
+        ("diag_monitor", "event_logger"), ("diag_monitor", "watchdog"),
+    ]
+    messages = [
+        Message(f"m_{src}_{dst}", src, dst, size_bytes=8)
+        for src, dst in edges
+    ]
+    app = Application(processes, messages, deadline=900.0,
+                      name="cruise-controller")
+    arch = Architecture(
+        [Node("N1"), Node("N2"), Node("N3")],
+        BusSpec(slot_order=("N1", "N2", "N3"), slot_length=1.0),
+        name="cc-arch",
+    )
+    return app, arch

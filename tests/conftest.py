@@ -1,0 +1,86 @@
+"""Shared fixtures: small canonical models used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import (
+    Application,
+    Architecture,
+    BusSpec,
+    FaultModel,
+    Message,
+    Node,
+    Process,
+)
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.schedule import CopyMapping
+
+
+@pytest.fixture
+def two_nodes() -> Architecture:
+    """Two nodes, one slot each, slot length 2."""
+    return Architecture(
+        [Node("N1"), Node("N2")],
+        BusSpec(slot_order=("N1", "N2"), slot_length=2.0),
+    )
+
+
+@pytest.fixture
+def chain_app() -> Application:
+    """P1 -> P2 -> P3 chain with small overheads."""
+    processes = [
+        Process("P1", {"N1": 10.0, "N2": 12.0}, alpha=1.0, mu=1.0, chi=1.0),
+        Process("P2", {"N1": 20.0, "N2": 18.0}, alpha=1.0, mu=1.0, chi=1.0),
+        Process("P3", {"N1": 10.0, "N2": 10.0}, alpha=1.0, mu=1.0, chi=1.0),
+    ]
+    messages = [
+        Message("m1", "P1", "P2", size_bytes=4),
+        Message("m2", "P2", "P3", size_bytes=4),
+    ]
+    return Application(processes, messages, deadline=500.0, name="chain")
+
+
+@pytest.fixture
+def fork_join_app() -> Application:
+    """Diamond: P1 -> {P2, P3} -> P4."""
+    processes = [
+        Process("P1", {"N1": 10.0, "N2": 10.0}, mu=2.0),
+        Process("P2", {"N1": 15.0, "N2": 15.0}, mu=2.0),
+        Process("P3", {"N1": 12.0, "N2": 12.0}, mu=2.0),
+        Process("P4", {"N1": 8.0, "N2": 8.0}, mu=2.0),
+    ]
+    messages = [
+        Message("m1", "P1", "P2", size_bytes=4),
+        Message("m2", "P1", "P3", size_bytes=4),
+        Message("m3", "P2", "P4", size_bytes=4),
+        Message("m4", "P3", "P4", size_bytes=4),
+    ]
+    return Application(processes, messages, deadline=400.0,
+                       name="fork-join")
+
+
+def make_mapping(app: Application, policies: PolicyAssignment,
+                 spread: tuple[str, ...] = ("N1", "N2")) -> CopyMapping:
+    """Deterministic round-robin mapping helper for tests."""
+    assignments = {}
+    counter = 0
+    for name, policy in policies.items():
+        for copy in range(len(policy.copies)):
+            assignments[(name, copy)] = spread[counter % len(spread)]
+            counter += 1
+    return CopyMapping(assignments)
+
+
+@pytest.fixture
+def uniform_reexec():
+    """PolicyAssignment factory: re-execution with a given k."""
+    def build(app: Application, k: int) -> PolicyAssignment:
+        return PolicyAssignment.uniform(app, ProcessPolicy.re_execution(k))
+    return build
+
+
+@pytest.fixture
+def fm2() -> FaultModel:
+    """Fault model with k = 2."""
+    return FaultModel(k=2)

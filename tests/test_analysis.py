@@ -1,0 +1,47 @@
+"""Unit tests for the FTO / deviation metrics (paper §6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.schedule.analysis import (
+    fault_tolerance_overhead,
+    percentage_deviation,
+)
+
+
+class TestFto:
+    def test_basic(self):
+        assert fault_tolerance_overhead(150.0, 100.0) == pytest.approx(50.0)
+
+    def test_zero_overhead(self):
+        assert fault_tolerance_overhead(100.0, 100.0) == pytest.approx(0.0)
+
+    def test_negative_baseline_rejected(self):
+        with pytest.raises(SchedulingError):
+            fault_tolerance_overhead(100.0, 0.0)
+
+    def test_ft_below_nft_flagged(self):
+        # A fault-tolerant schedule from the same flow can never beat
+        # the overhead-free baseline; this indicates a baseline bug.
+        with pytest.raises(SchedulingError):
+            fault_tolerance_overhead(90.0, 100.0)
+
+    def test_tolerates_float_noise(self):
+        assert fault_tolerance_overhead(100.0 - 1e-12, 100.0) == \
+            pytest.approx(0.0)
+
+
+class TestDeviation:
+    def test_basic(self):
+        assert percentage_deviation(177.0, 100.0) == pytest.approx(77.0)
+
+    def test_negative_allowed(self):
+        # A strategy may (rarely) beat the baseline; deviations can be
+        # negative, unlike FTO.
+        assert percentage_deviation(90.0, 100.0) == pytest.approx(-10.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(SchedulingError):
+            percentage_deviation(50.0, 0.0)

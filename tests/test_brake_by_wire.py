@@ -1,0 +1,99 @@
+"""Integration test: the brake-by-wire case study end to end.
+
+Exercises the combination the paper is really about: a safety-critical
+X-by-wire application with designer-fixed sensor/actuator mappings,
+frozen actuation commands (transparency where jitter is a hazard),
+mixed fault-tolerance policies from the synthesis, exact tables, and
+exhaustive fault injection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import FaultModel, validate_model
+from repro.runtime import verify_tolerance, verify_tolerance_sampled
+from repro.schedule import (
+    schedule_metrics,
+    synthesize_schedule,
+    validate_schedule,
+)
+from repro.schedule.table import EntryKind
+from repro.synthesis import TabuSettings, synthesize
+from repro.workloads import brake_by_wire
+
+QUICK = TabuSettings(iterations=12, neighborhood=10,
+                     bus_contention=False, seed=4)
+
+
+@pytest.fixture(scope="module")
+def synthesized():
+    app, arch, transparency = brake_by_wire()
+    fault_model = FaultModel(k=2)
+    result = synthesize(app, arch, fault_model, "MXR", settings=QUICK)
+    schedule = synthesize_schedule(app, arch, result.mapping,
+                                   result.policies, fault_model,
+                                   transparency)
+    return app, arch, transparency, fault_model, result, schedule
+
+
+class TestBrakeByWire:
+    def test_model_consistent(self):
+        app, arch, transparency = brake_by_wire()
+        validate_model(app, arch)
+        transparency.validate(app)
+
+    def test_fixed_placements(self, synthesized):
+        app, _, __, ___, result, ____ = synthesized
+        assert result.mapping.node_of("pedal_a", 0) == "N1"
+        assert result.mapping.node_of("wheel_fl_cmd", 0) == "N3"
+        assert result.mapping.node_of("wheel_rr_cmd", 0) == "N4"
+
+    def test_meets_deadline(self, synthesized):
+        app, _, __, ___, result, schedule = synthesized
+        assert schedule.meets_deadline
+        assert result.fto >= 0.0
+
+    def test_frozen_actuation_single_start(self, synthesized):
+        *_rest, schedule = synthesized
+        for wheel in ("wheel_fl_cmd", "wheel_fr_cmd", "wheel_rl_cmd",
+                      "wheel_rr_cmd"):
+            starts = {e.start for e in schedule.entries
+                      if e.kind is EntryKind.ATTEMPT
+                      and e.attempt.process == wheel
+                      and e.attempt.attempt == 1
+                      and e.attempt.segment == 1}
+            assert len(starts) == 1, wheel
+
+    def test_statically_valid(self, synthesized):
+        _, arch, __, fm, ___, schedule = synthesized
+        assert validate_schedule(schedule, arch, fm.k) == []
+
+    def test_sampled_tolerance_at_k2(self, synthesized):
+        # The k=2 scenario space is ~10^4; Monte-Carlo here, the
+        # exhaustive proof below at k=1.
+        app, arch, transparency, fm, result, schedule = synthesized
+        report = verify_tolerance_sampled(
+            app, arch, result.mapping, result.policies, fm, schedule,
+            transparency, samples=300, seed=9)
+        assert report.ok, report.failures[:1]
+
+    def test_exhaustively_tolerant_at_k1(self):
+        app, arch, transparency = brake_by_wire()
+        fm = FaultModel(k=1)
+        result = synthesize(app, arch, fm, "MXR", settings=QUICK)
+        schedule = synthesize_schedule(app, arch, result.mapping,
+                                       result.policies, fm,
+                                       transparency)
+        report = verify_tolerance(app, arch, result.mapping,
+                                  result.policies, fm, schedule,
+                                  transparency)
+        assert report.ok, (report.failures[:1] or
+                           report.frozen_violations[:1])
+
+    def test_table_fits_small_memory(self, synthesized):
+        *_rest, schedule = synthesized
+        metrics = schedule_metrics(schedule)
+        # Sanity bound: tables of a 14-process k=2 design stay in the
+        # tens-of-kilobytes regime a real ECU could hold.
+        assert metrics.total_memory_bytes < 200_000

@@ -1,0 +1,101 @@
+"""Integration tests for multi-frame TDMA traffic.
+
+Regression for the frame-level collision model: TDMA interleaves the
+frames of concurrent multi-frame transmissions (one frame per owned
+slot per round), so transmissions legitimately overlap in time without
+sharing slot occurrences. The simulator must accept interleavings and
+still reject true slot conflicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ftcpg import FaultPlan
+from repro.model import (
+    Application,
+    Architecture,
+    BusSpec,
+    FaultModel,
+    Message,
+    Node,
+    Process,
+)
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.runtime import simulate, verify_tolerance
+from repro.schedule import CopyMapping, synthesize_schedule
+from repro.schedule.table import EntryKind
+
+
+@pytest.fixture
+def multiframe_setup():
+    """Two senders, each with a 3-frame message to the third node."""
+    app = Application(
+        [Process("A", {"N1": 10.0}, mu=1.0),
+         Process("B", {"N2": 10.0}, mu=1.0),
+         Process("CA", {"N3": 5.0}, mu=1.0),
+         Process("CB", {"N3": 5.0}, mu=1.0)],
+        [Message("ma", "A", "CA", size_bytes=24),
+         Message("mb", "B", "CB", size_bytes=24)],
+        deadline=1000)
+    arch = Architecture(
+        [Node("N1"), Node("N2"), Node("N3")],
+        BusSpec(slot_order=("N1", "N2", "N3"), slot_length=2.0,
+                slot_payload_bytes=8))
+    policies = PolicyAssignment.uniform(app, ProcessPolicy.re_execution(1))
+    mapping = CopyMapping.from_process_map(
+        {"A": "N1", "B": "N2", "CA": "N3", "CB": "N3"}, policies)
+    fault_model = FaultModel(k=1)
+    return app, arch, mapping, policies, fault_model
+
+
+class TestMultiFrameTraffic:
+    def test_messages_span_multiple_rounds(self, multiframe_setup):
+        app, arch, mapping, policies, fm = multiframe_setup
+        schedule = synthesize_schedule(app, arch, mapping, policies, fm)
+        for entry in schedule.entries:
+            if entry.kind is EntryKind.MESSAGE:
+                assert len(entry.frames) == 3  # 24 bytes / 8 per frame
+                rounds = {f.round_index for f in entry.frames}
+                assert len(rounds) == 3  # one owned slot per round
+
+    def test_interleaved_transmissions_tolerated(self, multiframe_setup):
+        app, arch, mapping, policies, fm = multiframe_setup
+        schedule = synthesize_schedule(app, arch, mapping, policies, fm)
+        # A and B transmit concurrently; their frame spans overlap in
+        # time but never share a slot.
+        messages = [e for e in schedule.entries
+                    if e.kind is EntryKind.MESSAGE
+                    and e.guard.fault_count() == 0]
+        assert len(messages) == 2
+        spans = sorted((e.start, e.end) for e in messages)
+        assert spans[0][1] > spans[1][0]  # overlapping spans
+        result = simulate(app, arch, mapping, policies, fm, schedule,
+                          FaultPlan({}))
+        assert result.ok, result.errors
+
+    def test_exhaustive_verification(self, multiframe_setup):
+        app, arch, mapping, policies, fm = multiframe_setup
+        schedule = synthesize_schedule(app, arch, mapping, policies, fm)
+        report = verify_tolerance(app, arch, mapping, policies, fm,
+                                  schedule)
+        assert report.ok, (report.failures[:1] or
+                           report.frozen_violations[:1])
+
+    def test_true_slot_conflict_detected(self, multiframe_setup):
+        from dataclasses import replace as dc_replace
+
+        app, arch, mapping, policies, fm = multiframe_setup
+        schedule = synthesize_schedule(app, arch, mapping, policies, fm)
+        messages = [e for e in schedule.entries
+                    if e.kind is EntryKind.MESSAGE
+                    and e.guard.fault_count() == 0]
+        a, b = messages[0], messages[1]
+        # Forge b to reuse a's frames: a genuine collision.
+        entries = tuple(
+            dc_replace(e, frames=a.frames) if e is b else e
+            for e in schedule.entries)
+        bad = dc_replace(schedule, entries=entries)
+        result = simulate(app, arch, mapping, policies, fm, bad,
+                          FaultPlan({}))
+        assert any("bus collision" in err for err in result.errors)

@@ -1,0 +1,130 @@
+"""Unit tests for the global checkpoint optimization (Fig. 8 / [15])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import Application, Architecture, FaultModel, Message, Node, Process
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.policies.checkpoints import local_optimal_checkpoints
+from repro.schedule import CopyMapping, estimate_ft_schedule
+from repro.synthesis import (
+    assign_local_optimal_checkpoints,
+    optimize_checkpoints_globally,
+)
+
+
+@pytest.fixture
+def shared_node_app():
+    """Two checkpointable processes on one node: only B's slack (the
+    larger one) matters, so A's [27]-optimal checkpoints are pure
+    fault-free overhead that the global pass should strip."""
+    app = Application(
+        [Process("A", {"N1": 40.0}, alpha=2.0, mu=2.0, chi=2.0),
+         Process("B", {"N1": 80.0}, alpha=2.0, mu=2.0, chi=2.0)],
+        [Message("m", "A", "B", size_bytes=4)],
+        deadline=10_000)
+    arch = Architecture([Node("N1")])
+    return app, arch
+
+
+class TestLocalAssignment:
+    def test_assigns_per_copy_optimum(self, shared_node_app):
+        app, _ = shared_node_app
+        k = 2
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(k))
+        assigned = assign_local_optimal_checkpoints(app, policies, k)
+        for name in app.process_names:
+            process = app.process(name)
+            expected = local_optimal_checkpoints(
+                process.wcet["N1"], k, process.alpha, process.chi,
+                mu=process.mu)
+            assert assigned.of(name).checkpoints_of(0) == expected
+
+    def test_uses_mapped_wcet_when_mapping_given(self):
+        app = Application(
+            [Process("A", {"N1": 10.0, "N2": 400.0}, alpha=1.0,
+                     mu=1.0, chi=1.0)],
+            deadline=10_000)
+        k = 2
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(k))
+        mapping = CopyMapping({("A", 0): "N2"})
+        assigned = assign_local_optimal_checkpoints(app, policies, k,
+                                                    mapping=mapping)
+        expected = local_optimal_checkpoints(400.0, k, 1.0, 1.0, mu=1.0)
+        assert assigned.of("A").checkpoints_of(0) == expected
+
+    def test_replicas_untouched(self, shared_node_app):
+        app, _ = shared_node_app
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.replication(2))
+        assigned = assign_local_optimal_checkpoints(app, policies, 2)
+        for name in app.process_names:
+            assert all(c.checkpoints == 0
+                       for c in assigned.of(name).copies)
+
+
+class TestGlobalOptimization:
+    def test_never_worse_than_local(self, shared_node_app):
+        app, arch = shared_node_app
+        k = 2
+        fm = FaultModel(k=k)
+        policies = assign_local_optimal_checkpoints(
+            app, PolicyAssignment.uniform(app,
+                                          ProcessPolicy.re_execution(k)),
+            k)
+        mapping = CopyMapping({("A", 0): "N1", ("B", 0): "N1"})
+        local_estimate = estimate_ft_schedule(app, arch, mapping,
+                                              policies, fm)
+        optimized, estimate, evaluations = optimize_checkpoints_globally(
+            app, arch, mapping, policies, fm)
+        assert estimate.schedule_length <= \
+            local_estimate.schedule_length + 1e-9
+        assert evaluations >= 1
+        optimized.validate(app, k)
+
+    def test_strips_non_critical_checkpoints(self, shared_node_app):
+        app, arch = shared_node_app
+        k = 2
+        fm = FaultModel(k=k)
+        policies = assign_local_optimal_checkpoints(
+            app, PolicyAssignment.uniform(app,
+                                          ProcessPolicy.re_execution(k)),
+            k)
+        mapping = CopyMapping({("A", 0): "N1", ("B", 0): "N1"})
+        assert policies.of("A").checkpoints_of(0) > 1
+        optimized, _, __ = optimize_checkpoints_globally(
+            app, arch, mapping, policies, fm)
+        # A does not define the node's slack: fewer checkpoints win.
+        assert optimized.of("A").checkpoints_of(0) < \
+            policies.of("A").checkpoints_of(0)
+
+    def test_descent_is_deterministic(self, shared_node_app):
+        app, arch = shared_node_app
+        fm = FaultModel(k=2)
+        policies = assign_local_optimal_checkpoints(
+            app, PolicyAssignment.uniform(app,
+                                          ProcessPolicy.re_execution(2)),
+            2)
+        mapping = CopyMapping({("A", 0): "N1", ("B", 0): "N1"})
+        first = optimize_checkpoints_globally(app, arch, mapping,
+                                              policies, fm)
+        second = optimize_checkpoints_globally(app, arch, mapping,
+                                               policies, fm)
+        assert first[1].schedule_length == second[1].schedule_length
+
+    def test_round_cap_respected(self, shared_node_app):
+        app, arch = shared_node_app
+        fm = FaultModel(k=2)
+        policies = assign_local_optimal_checkpoints(
+            app, PolicyAssignment.uniform(app,
+                                          ProcessPolicy.re_execution(2)),
+            2)
+        mapping = CopyMapping({("A", 0): "N1", ("B", 0): "N1"})
+        _, capped, __ = optimize_checkpoints_globally(
+            app, arch, mapping, policies, fm, max_rounds=0)
+        baseline = estimate_ft_schedule(app, arch, mapping, policies, fm)
+        assert capped.schedule_length == \
+            pytest.approx(baseline.schedule_length)

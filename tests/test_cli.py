@@ -1,0 +1,75 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synth_defaults(self):
+        args = build_parser().parse_args(["synth"])
+        assert args.strategy == "MXR"
+        assert args.k == 2
+        assert not args.tables
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synth", "--strategy", "NOPE"])
+
+    def test_bad_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables", "--preset", "nope"])
+
+
+class TestCommands:
+    def test_synth_synthetic(self, capsys):
+        code = main(["synth", "--processes", "6", "--nodes", "2",
+                     "--k", "1", "--iterations", "4",
+                     "--neighborhood", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "strategy MXR" in out
+        assert "FTO" in out
+
+    def test_synth_with_tables(self, capsys):
+        code = main(["synth", "--processes", "4", "--nodes", "2",
+                     "--k", "1", "--iterations", "4",
+                     "--neighborhood", "4", "--tables"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "schedule table" in out
+        assert "table memory" in out
+
+    def test_tables_fig5(self, capsys):
+        code = main(["tables", "--preset", "fig5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "P3" in out
+        assert "F[" in out  # condition rows
+
+    def test_verify_ok(self, capsys):
+        code = main(["verify", "--processes", "4", "--nodes", "2",
+                     "--k", "1", "--iterations", "4",
+                     "--neighborhood", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all scenarios tolerated" in out
+
+    def test_verify_preset_fig3(self, capsys):
+        code = main(["verify", "--preset", "fig3", "--k", "1",
+                     "--iterations", "4", "--neighborhood", "4"])
+        assert code == 0
+
+    def test_synth_preset_cruise(self, capsys):
+        code = main(["synth", "--preset", "cruise", "--k", "1",
+                     "--iterations", "4", "--neighborhood", "4",
+                     "--strategy", "MX"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cruise-controller" in out

@@ -1,0 +1,117 @@
+"""Unit tests for the TDMA bus substrate (paper §2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm import BusReservations, TdmaBus
+from repro.errors import ValidationError
+from repro.model import BusSpec
+
+
+@pytest.fixture
+def bus() -> TdmaBus:
+    # Two nodes, slot length 2 => round length 4, N1 at 0, N2 at 2.
+    return TdmaBus(BusSpec(("N1", "N2"), slot_length=2.0,
+                           slot_payload_bytes=8))
+
+
+class TestSlotMath:
+    def test_round_length(self, bus):
+        assert bus.round_length == 4.0
+
+    def test_slots_of(self, bus):
+        assert bus.slots_of("N1") == (0,)
+        assert bus.slots_of("N2") == (1,)
+
+    def test_slots_of_unknown_node(self, bus):
+        with pytest.raises(ValidationError):
+            bus.slots_of("N9")
+
+    def test_slot_window(self, bus):
+        w = bus.slot_window(3, 1)
+        assert w.start == 3 * 4.0 + 2.0
+        assert w.end == w.start + 2.0
+
+    def test_multiple_slots_per_round(self):
+        bus = TdmaBus(BusSpec(("A", "B", "A"), slot_length=1.0))
+        assert bus.slots_of("A") == (0, 2)
+
+    def test_frames_needed(self, bus):
+        assert bus.frames_needed(1) == 1
+        assert bus.frames_needed(8) == 1
+        assert bus.frames_needed(9) == 2
+        assert bus.frames_needed(24) == 3
+
+    def test_owner_occurrences_start_at_earliest(self, bus):
+        windows = bus.owner_slot_occurrences("N2", 5.0)
+        first = next(windows)
+        assert first.start == 6.0  # N2 slots at 2, 6, 10, ...
+
+    def test_owner_occurrence_exact_boundary(self, bus):
+        windows = bus.owner_slot_occurrences("N1", 4.0)
+        assert next(windows).start == 4.0  # frame ready exactly at slot
+
+
+class TestTransmissions:
+    def test_single_frame(self, bus):
+        res = BusReservations()
+        t = bus.schedule_transmission("N1", 0.0, 4, res)
+        assert t.start == 0.0
+        assert t.arrival == 2.0
+
+    def test_multi_frame_spans_rounds(self, bus):
+        res = BusReservations()
+        t = bus.schedule_transmission("N1", 0.0, 16, res)
+        assert [f.start for f in t.frames] == [0.0, 4.0]
+        assert t.arrival == 6.0
+
+    def test_contention_pushes_to_next_round(self, bus):
+        res = BusReservations()
+        first = bus.schedule_transmission("N1", 0.0, 4, res)
+        second = bus.schedule_transmission("N1", 0.0, 4, res)
+        assert first.start == 0.0
+        assert second.start == 4.0
+
+    def test_different_senders_no_conflict(self, bus):
+        res = BusReservations()
+        t1 = bus.schedule_transmission("N1", 0.0, 4, res)
+        t2 = bus.schedule_transmission("N2", 0.0, 4, res)
+        assert t1.start == 0.0
+        assert t2.start == 2.0
+
+
+class TestReservations:
+    def test_reserve_and_query(self):
+        res = BusReservations()
+        assert not res.is_reserved((0, 0))
+        res.reserve((0, 0))
+        assert res.is_reserved((0, 0))
+
+    def test_double_reserve_rejected(self):
+        res = BusReservations()
+        res.reserve((0, 0))
+        with pytest.raises(ValueError):
+            res.reserve((0, 0))
+
+    def test_fork_sees_parent(self):
+        parent = BusReservations()
+        parent.reserve((0, 0))
+        child = parent.fork()
+        assert child.is_reserved((0, 0))
+
+    def test_fork_isolation_between_siblings(self):
+        parent = BusReservations()
+        a = parent.fork()
+        b = parent.fork()
+        a.reserve((1, 0))
+        assert not b.is_reserved((1, 0))
+        assert not parent.is_reserved((1, 0))
+
+    def test_flatten(self):
+        parent = BusReservations()
+        parent.reserve((0, 0))
+        child = parent.fork()
+        child.reserve((1, 1))
+        assert child.flatten() == {(0, 0), (1, 1)}
+        assert len(child) == 2

@@ -1,0 +1,185 @@
+"""Edge cases of the conditional scheduler: checkpointed segments,
+frozen corner cases, combined policies — each validated end-to-end by
+the exhaustive verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ftcpg import FaultPlan
+from repro.model import (
+    Application,
+    Architecture,
+    BusSpec,
+    FaultModel,
+    Message,
+    Node,
+    Process,
+    Transparency,
+)
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.runtime import simulate, verify_tolerance
+from repro.schedule import CopyMapping, synthesize_schedule
+from repro.schedule.table import EntryKind
+
+
+@pytest.fixture
+def arch2():
+    return Architecture([Node("N1"), Node("N2")],
+                        BusSpec(("N1", "N2"), slot_length=2.0))
+
+
+class TestCheckpointedSegments:
+    @pytest.fixture
+    def setup(self, arch2):
+        app = Application(
+            [Process("A", {"N1": 30.0}, alpha=1.0, mu=2.0, chi=1.0),
+             Process("B", {"N2": 10.0}, alpha=1.0, mu=2.0, chi=1.0)],
+            [Message("m", "A", "B", size_bytes=4)],
+            deadline=500)
+        policies = PolicyAssignment.build(
+            app, ProcessPolicy.checkpointing(2, 3),
+            {"B": ProcessPolicy.re_execution(2)})
+        mapping = CopyMapping.from_process_map({"A": "N1", "B": "N2"},
+                                               policies)
+        fm = FaultModel(k=2)
+        schedule = synthesize_schedule(app, arch2, mapping, policies, fm)
+        return app, arch2, mapping, policies, fm, schedule
+
+    def test_exhaustive(self, setup):
+        app, arch, mapping, policies, fm, schedule = setup
+        report = verify_tolerance(app, arch, mapping, policies, fm,
+                                  schedule)
+        assert report.ok, (report.failures[:1] or
+                           report.frozen_violations[:1])
+
+    def test_segment_fault_cheaper_than_full_restart(self, setup):
+        app, arch, mapping, policies, fm, schedule = setup
+        # One fault in A's LAST segment: only 10 units redone.
+        late = simulate(app, arch, mapping, policies, fm, schedule,
+                        FaultPlan({("A", 0): (0, 0, 1)}))
+        none = simulate(app, arch, mapping, policies, fm, schedule,
+                        FaultPlan({}))
+        assert late.ok and none.ok
+        delta = late.completed["A"] - none.completed["A"]
+        # Redo = mu + segment + alpha = 2 + 10 + 1 = 13 < full 30.
+        assert delta == pytest.approx(13.0)
+
+    def test_faults_in_different_segments_same_worst_case(self, setup):
+        app, arch, mapping, policies, fm, schedule = setup
+        first = simulate(app, arch, mapping, policies, fm, schedule,
+                         FaultPlan({("A", 0): (1, 0, 0)}))
+        last = simulate(app, arch, mapping, policies, fm, schedule,
+                        FaultPlan({("A", 0): (0, 0, 1)}))
+        assert first.ok and last.ok
+        # Equidistant segments: the delay depends only on the count.
+        assert first.completed["A"] == pytest.approx(
+            last.completed["A"])
+
+
+class TestFrozenCornerCases:
+    def test_frozen_source_process(self, arch2):
+        app = Application(
+            [Process("A", {"N1": 10.0}, mu=1.0),
+             Process("B", {"N1": 10.0}, mu=1.0)],
+            deadline=500)
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(1))
+        mapping = CopyMapping.from_process_map({"A": "N1", "B": "N1"},
+                                               policies)
+        fm = FaultModel(k=1)
+        transparency = Transparency(frozen_processes=("B",))
+        schedule = synthesize_schedule(app, arch2, mapping, policies, fm,
+                                       transparency)
+        starts = {e.start for e in schedule.entries
+                  if e.kind is EntryKind.ATTEMPT
+                  and e.attempt.process == "B"
+                  and e.attempt.attempt == 1}
+        assert len(starts) == 1
+        # B must wait out A's worst case on the shared node.
+        assert starts.pop() >= 10.0 + 1.0 + 10.0
+        report = verify_tolerance(app, arch2, mapping, policies, fm,
+                                  schedule, transparency)
+        assert report.ok
+
+    def test_frozen_message_between_colocated(self, arch2):
+        app = Application(
+            [Process("A", {"N1": 10.0}, mu=1.0),
+             Process("B", {"N1": 5.0}, mu=1.0)],
+            [Message("m", "A", "B", size_bytes=4)],
+            deadline=500)
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(1))
+        mapping = CopyMapping.from_process_map({"A": "N1", "B": "N1"},
+                                               policies)
+        fm = FaultModel(k=1)
+        transparency = Transparency(frozen_messages=("m",))
+        schedule = synthesize_schedule(app, arch2, mapping, policies, fm,
+                                       transparency)
+        # No bus traffic, but B's first start is still pinned to A's
+        # worst case (the frozen message is visible at one time only).
+        starts = {e.start for e in schedule.entries
+                  if e.kind is EntryKind.ATTEMPT
+                  and e.attempt.process == "B"
+                  and e.attempt.attempt == 1}
+        assert len(starts) == 1
+        report = verify_tolerance(app, arch2, mapping, policies, fm,
+                                  schedule, transparency)
+        assert report.ok, (report.failures[:1] or
+                           report.frozen_violations[:1])
+
+    def test_frozen_with_checkpointing(self, arch2):
+        app = Application(
+            [Process("A", {"N1": 20.0}, alpha=1.0, mu=1.0, chi=1.0),
+             Process("B", {"N2": 10.0}, alpha=1.0, mu=1.0, chi=1.0)],
+            [Message("m", "A", "B", size_bytes=4)],
+            deadline=500)
+        policies = PolicyAssignment.uniform(
+            app, ProcessPolicy.checkpointing(2, 2))
+        mapping = CopyMapping.from_process_map({"A": "N1", "B": "N2"},
+                                               policies)
+        fm = FaultModel(k=2)
+        transparency = Transparency(frozen_processes=("B",),
+                                    frozen_messages=("m",))
+        schedule = synthesize_schedule(app, arch2, mapping, policies, fm,
+                                       transparency)
+        report = verify_tolerance(app, arch2, mapping, policies, fm,
+                                  schedule, transparency)
+        assert report.ok, (report.failures[:1] or
+                           report.frozen_violations[:1])
+
+
+class TestCombinedPolicy:
+    def test_combined_end_to_end(self, arch2):
+        app = Application(
+            [Process("A", {"N1": 20.0, "N2": 20.0}, mu=2.0),
+             Process("B", {"N1": 10.0, "N2": 10.0}, mu=2.0)],
+            [Message("m", "A", "B", size_bytes=4)],
+            deadline=500)
+        policies = PolicyAssignment.build(
+            app, ProcessPolicy.re_execution(2),
+            {"A": ProcessPolicy.replication_and_checkpointing(2, 1)})
+        mapping = CopyMapping({("A", 0): "N1", ("A", 1): "N2",
+                               ("B", 0): "N1"})
+        fm = FaultModel(k=2)
+        schedule = synthesize_schedule(app, arch2, mapping, policies, fm)
+        report = verify_tolerance(app, arch2, mapping, policies, fm,
+                                  schedule)
+        assert report.ok, (report.failures[:1] or
+                           report.frozen_violations[:1])
+
+    def test_combined_survives_recovering_copy_death(self, arch2):
+        app = Application(
+            [Process("A", {"N1": 20.0, "N2": 20.0}, mu=2.0)],
+            deadline=500)
+        policies = PolicyAssignment.uniform(
+            app, ProcessPolicy.replication_and_checkpointing(2, 1))
+        mapping = CopyMapping({("A", 0): "N1", ("A", 1): "N2"})
+        fm = FaultModel(k=2)
+        schedule = synthesize_schedule(app, arch2, mapping, policies, fm)
+        # Two faults kill the recovering copy (R = 1); the plain
+        # replica must carry the result.
+        result = simulate(app, arch2, mapping, policies, fm, schedule,
+                          FaultPlan({("A", 0): (2,)}))
+        assert result.ok, result.errors
+        assert "A" in result.completed

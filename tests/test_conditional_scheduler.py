@@ -1,0 +1,235 @@
+"""Unit tests for the exact conditional scheduler (paper §5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ContextExplosionError
+from repro.ftcpg import count_fault_plans
+from repro.model import (
+    Application,
+    Architecture,
+    BusSpec,
+    FaultModel,
+    Message,
+    Node,
+    Process,
+    Transparency,
+)
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.schedule import CopyMapping, synthesize_schedule
+from repro.schedule.table import BUS, EntryKind
+
+
+def reexec(app, k):
+    return PolicyAssignment.uniform(app, ProcessPolicy.re_execution(k))
+
+
+class TestSingleProcess:
+    def _schedule(self, k: int, recoveries: int | None = None):
+        app = Application([Process("P1", {"N1": 10.0}, mu=2.0)],
+                          deadline=100)
+        policies = PolicyAssignment.uniform(
+            app, ProcessPolicy.re_execution(
+                recoveries if recoveries is not None else k))
+        mapping = CopyMapping({("P1", 0): "N1"})
+        arch = Architecture([Node("N1")])
+        return synthesize_schedule(app, arch, mapping, policies,
+                                   FaultModel(k=k))
+
+    def test_k0_single_entry(self):
+        schedule = self._schedule(0, recoveries=0)
+        assert schedule.scenario_count == 1
+        assert len(schedule.entries) == 1
+        entry = schedule.entries[0]
+        assert entry.start == 0.0
+        assert entry.duration == 10.0  # no alpha without faults
+        assert schedule.worst_case_length == 10.0
+
+    def test_k1_two_scenarios(self):
+        schedule = self._schedule(1)
+        assert schedule.scenario_count == 2
+        # Retry starts at the detection point; duration includes mu.
+        retries = [e for e in schedule.entries
+                   if e.attempt.attempt == 2]
+        assert len(retries) == 1
+        assert retries[0].duration == pytest.approx(12.0)  # mu + C
+        assert schedule.worst_case_length == pytest.approx(22.0)
+
+    def test_k2_chain(self):
+        schedule = self._schedule(2)
+        assert schedule.scenario_count == 3
+        assert schedule.fault_free_length == pytest.approx(10.0)
+        assert schedule.worst_case_length == pytest.approx(34.0)
+
+    def test_leaf_guards_are_distinct(self):
+        schedule = self._schedule(2)
+        guards = {str(leaf.guard) for leaf in schedule.leaves}
+        assert len(guards) == 3
+
+    def test_context_cap(self):
+        app = Application([Process("P1", {"N1": 10.0}, mu=2.0)],
+                          deadline=1000)
+        policies = reexec(app, 3)
+        mapping = CopyMapping({("P1", 0): "N1"})
+        arch = Architecture([Node("N1")])
+        with pytest.raises(ContextExplosionError):
+            synthesize_schedule(app, arch, mapping, policies,
+                                FaultModel(k=3), max_contexts=2)
+
+
+class TestScenarioCoverage:
+    def test_leaves_match_observable_scenarios(self, fork_join_app,
+                                               two_nodes):
+        policies = reexec(fork_join_app, 2)
+        mapping = CopyMapping.from_process_map(
+            {"P1": "N1", "P2": "N1", "P3": "N2", "P4": "N2"}, policies)
+        schedule = synthesize_schedule(fork_join_app, two_nodes, mapping,
+                                       policies, FaultModel(k=2))
+        # With re-execution every fault is observable: leaves == plans.
+        expected = count_fault_plans(fork_join_app, policies, 2)
+        assert schedule.scenario_count == expected
+
+    def test_worst_case_is_max_leaf(self, fork_join_app, two_nodes):
+        policies = reexec(fork_join_app, 1)
+        mapping = CopyMapping.from_process_map(
+            {"P1": "N1", "P2": "N1", "P3": "N2", "P4": "N2"}, policies)
+        schedule = synthesize_schedule(fork_join_app, two_nodes, mapping,
+                                       policies, FaultModel(k=1))
+        assert schedule.worst_case_length == pytest.approx(
+            max(leaf.makespan for leaf in schedule.leaves))
+        assert schedule.fault_free_length <= schedule.worst_case_length
+
+
+class TestBusBehaviour:
+    def _cross_app(self):
+        app = Application(
+            [Process("A", {"N1": 10.0}, mu=1.0),
+             Process("B", {"N2": 10.0}, mu=1.0)],
+            [Message("m", "A", "B", size_bytes=4)],
+            deadline=500)
+        arch = Architecture([Node("N1"), Node("N2")],
+                            BusSpec(("N1", "N2"), slot_length=2.0))
+        return app, arch
+
+    def test_message_transmitted_after_producer(self):
+        app, arch = self._cross_app()
+        policies = reexec(app, 1)
+        mapping = CopyMapping.from_process_map({"A": "N1", "B": "N2"},
+                                               policies)
+        schedule = synthesize_schedule(app, arch, mapping, policies,
+                                       FaultModel(k=1))
+        messages = [e for e in schedule.entries
+                    if e.kind is EntryKind.MESSAGE]
+        assert messages
+        for entry in messages:
+            assert entry.location == BUS
+            assert entry.frames
+
+    def test_conditions_are_broadcast(self):
+        app, arch = self._cross_app()
+        policies = reexec(app, 1)
+        mapping = CopyMapping.from_process_map({"A": "N1", "B": "N2"},
+                                               policies)
+        schedule = synthesize_schedule(app, arch, mapping, policies,
+                                       FaultModel(k=1))
+        broadcasts = [e for e in schedule.entries
+                      if e.kind is EntryKind.BROADCAST]
+        # A's first attempt and B's first attempt are both conditional.
+        assert len({e.attempt for e in broadcasts}) == 2
+
+    def test_consumer_start_after_guard_known(self):
+        app, arch = self._cross_app()
+        policies = reexec(app, 1)
+        mapping = CopyMapping.from_process_map({"A": "N1", "B": "N2"},
+                                               policies)
+        schedule = synthesize_schedule(app, arch, mapping, policies,
+                                       FaultModel(k=1), compress=False)
+        broadcast_arrival = {
+            e.attempt: e.end for e in schedule.entries
+            if e.kind is EntryKind.BROADCAST
+        }
+        for entry in schedule.entries:
+            if entry.kind is not EntryKind.ATTEMPT:
+                continue
+            for literal in entry.guard.literals:
+                producer_node = mapping.node_of(literal.attempt.process,
+                                                literal.attempt.copy)
+                if producer_node != entry.location:
+                    assert literal.attempt in broadcast_arrival
+                    assert entry.start >= \
+                        broadcast_arrival[literal.attempt] - 1e-9
+
+    def test_no_bus_for_colocated(self):
+        app = Application(
+            [Process("A", {"N1": 10.0}, mu=1.0),
+             Process("B", {"N1": 10.0}, mu=1.0)],
+            [Message("m", "A", "B", size_bytes=4)],
+            deadline=500)
+        arch = Architecture([Node("N1"), Node("N2")],
+                            BusSpec(("N1", "N2"), slot_length=2.0))
+        policies = reexec(app, 1)
+        mapping = CopyMapping.from_process_map({"A": "N1", "B": "N1"},
+                                               policies)
+        schedule = synthesize_schedule(app, arch, mapping, policies,
+                                       FaultModel(k=1))
+        assert not [e for e in schedule.entries
+                    if e.kind is EntryKind.MESSAGE]
+
+
+class TestReplicationScheduling:
+    def test_replicas_run_in_parallel(self, two_nodes):
+        app = Application([Process("A", {"N1": 10.0, "N2": 10.0},
+                                   mu=1.0)], deadline=500)
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.replication(1))
+        mapping = CopyMapping({("A", 0): "N1", ("A", 1): "N2"})
+        schedule = synthesize_schedule(app, two_nodes, mapping, policies,
+                                       FaultModel(k=1))
+        starts = [e.start for e in schedule.entries
+                  if e.kind is EntryKind.ATTEMPT]
+        assert starts == [0.0, 0.0]
+        # Fail-silent replication: no conditional branching at all.
+        assert schedule.scenario_count == 1
+
+    def test_consumer_waits_for_all_copies(self, two_nodes):
+        app = Application(
+            [Process("A", {"N1": 10.0, "N2": 25.0}),
+             Process("B", {"N1": 5.0, "N2": 5.0})],
+            [Message("m", "A", "B", size_bytes=4)],
+            deadline=500)
+        policies = PolicyAssignment.build(
+            app, ProcessPolicy.replication(1),
+            {"B": ProcessPolicy.re_execution(1)})
+        mapping = CopyMapping({("A", 0): "N1", ("A", 1): "N2",
+                               ("B", 0): "N1"})
+        schedule = synthesize_schedule(app, two_nodes, mapping, policies,
+                                       FaultModel(k=1))
+        b_first = min(e.start for e in schedule.entries
+                      if e.kind is EntryKind.ATTEMPT
+                      and e.attempt.process == "B")
+        assert b_first >= 25.0
+
+
+class TestCompression:
+    def test_compress_merges_condition_independent_entries(self,
+                                                           two_nodes):
+        # P2 on the other node does not depend on P1; its start should
+        # not fragment over P1's conditions after compression.
+        app = Application(
+            [Process("P1", {"N1": 10.0}, mu=1.0),
+             Process("P2", {"N2": 10.0}, mu=1.0)],
+            deadline=500)
+        policies = reexec(app, 1)
+        mapping = CopyMapping.from_process_map({"P1": "N1", "P2": "N2"},
+                                               policies)
+        raw = synthesize_schedule(app, two_nodes, mapping, policies,
+                                  FaultModel(k=1), compress=False)
+        compressed = raw.compressed()
+        assert len(compressed.entries) <= len(raw.entries)
+        p2_first = [e for e in compressed.entries
+                    if e.kind is EntryKind.ATTEMPT
+                    and e.attempt.process == "P2"
+                    and e.attempt.attempt == 1]
+        assert len(p2_first) == 1
+        assert p2_first[0].guard.is_unconditional

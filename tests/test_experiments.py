@@ -1,0 +1,89 @@
+"""Smoke tests for the Fig. 7 / Fig. 8 experiment harnesses.
+
+The full sweeps run from the benchmarks; here tiny configurations
+verify the plumbing and the *directional* claims on at least one
+sample: MXR no worse than MX (its space subsumes it), and the global
+checkpoint optimization no worse than the per-process baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    Fig7Config,
+    Fig8Config,
+    run_fig7,
+    run_fig8,
+)
+from repro.experiments.fig7 import COMPARED
+from repro.synthesis.tabu import TabuSettings
+
+TINY7 = Fig7Config(
+    sizes=(12,),
+    seeds=(1, 2),
+    settings=TabuSettings(iterations=8, neighborhood=8,
+                          bus_contention=False),
+)
+TINY8 = Fig8Config(
+    sizes=(12,),
+    seeds=(1, 2),
+    settings=TabuSettings(iterations=8, neighborhood=8,
+                          bus_contention=False),
+)
+
+
+class TestFig7Harness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig7(TINY7)
+
+    def test_one_row_per_size(self, rows):
+        assert [r.processes for r in rows] == [12]
+        assert rows[0].samples == 2
+
+    def test_all_strategies_reported(self, rows):
+        assert set(rows[0].avg_deviation) == set(COMPARED)
+
+    def test_directional_ordering(self, rows):
+        # With a tiny search budget MX can shade MXR by a few percent
+        # (both are stochastic searches); what must hold even here is
+        # that MX tracks MXR closely while MR and SFX trail it.
+        deviation = rows[0].avg_deviation
+        assert deviation["MX"] > -15.0
+        assert deviation["MR"] > deviation["MX"]
+        assert deviation["SFX"] > deviation["MX"]
+
+    def test_baseline_fto_positive(self, rows):
+        assert rows[0].avg_fto_mxr > 0.0
+
+    def test_cells_render(self, rows):
+        cells = rows[0].as_cells()
+        assert len(cells) == 3 + len(COMPARED)
+
+
+class TestFig8Harness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig8(TINY8)
+
+    def test_one_row_per_size(self, rows):
+        assert [r.processes for r in rows] == [12]
+
+    def test_optimized_not_worse(self, rows):
+        row = rows[0]
+        assert row.avg_fto_optimized <= row.avg_fto_baseline + 1e-6
+        assert row.avg_deviation >= -1e-6
+
+    def test_cells_render(self, rows):
+        assert len(rows[0].as_cells()) == 5
+
+
+class TestConfigs:
+    def test_quick_profiles_are_small(self):
+        assert len(Fig7Config.quick().sizes) <= 2
+        assert len(Fig8Config.quick().sizes) <= 2
+
+    def test_paper_profiles_match_paper(self):
+        assert Fig7Config.paper().sizes == (20, 40, 60, 80, 100)
+        assert Fig8Config.paper().sizes == (40, 60, 80, 100)

@@ -1,0 +1,98 @@
+"""Tests for random fault sampling and Monte-Carlo verification."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import FaultModel
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.runtime import (
+    sample_fault_plan,
+    sample_fault_plans,
+    verify_tolerance_sampled,
+)
+from repro.schedule import synthesize_schedule
+from repro.synthesis import initial_mapping
+from repro.utils.rng import DeterministicRng
+from repro.workloads import GeneratorConfig, generate_workload
+
+
+@pytest.fixture(scope="module")
+def instance():
+    app, arch = generate_workload(GeneratorConfig(
+        processes=10, nodes=3, seed=61, layer_width=4))
+    k = 3
+    policies = PolicyAssignment.build(
+        app, ProcessPolicy.re_execution(k),
+        {app.process_names[0]: ProcessPolicy.replication(k),
+         app.process_names[1]: ProcessPolicy.checkpointing(k, 2)})
+    mapping = initial_mapping(app, arch, policies)
+    return app, arch, mapping, policies, FaultModel(k=k)
+
+
+class TestSampling:
+    def test_budget_respected(self, instance):
+        app, _, __, policies, fm = instance
+        rng = DeterministicRng(5)
+        for _ in range(100):
+            plan = sample_fault_plan(app, policies, fm.k, rng)
+            assert 1 <= plan.total_faults <= fm.k
+
+    def test_copy_capacity_respected(self, instance):
+        app, _, __, policies, fm = instance
+        rng = DeterministicRng(7)
+        for _ in range(100):
+            plan = sample_fault_plan(app, policies, fm.k, rng)
+            for (process, copy), counts in plan.faults.items():
+                cap = policies.of(process).copies[copy].recoveries + 1
+                assert sum(counts) <= cap
+
+    def test_segment_vector_lengths(self, instance):
+        app, _, __, policies, fm = instance
+        rng = DeterministicRng(9)
+        for _ in range(50):
+            plan = sample_fault_plan(app, policies, fm.k, rng)
+            for (process, copy), counts in plan.faults.items():
+                assert len(counts) == \
+                    policies.of(process).copies[copy].segments
+
+    def test_k_zero_is_fault_free(self, instance):
+        app, _, __, policies, ___ = instance
+        plan = sample_fault_plan(app, policies, 0, DeterministicRng(1))
+        assert plan.is_fault_free()
+
+    def test_batch_deterministic_and_distinct(self, instance):
+        app, _, __, policies, fm = instance
+        a = sample_fault_plans(app, policies, fm.k, 20, seed=3)
+        b = sample_fault_plans(app, policies, fm.k, 20, seed=3)
+        assert [p.faults for p in a] == [p.faults for p in b]
+        signatures = {tuple(sorted(p.faults.items())) for p in a}
+        assert len(signatures) == len(a)
+
+    def test_batch_includes_fault_free_first(self, instance):
+        app, _, __, policies, fm = instance
+        plans = sample_fault_plans(app, policies, fm.k, 5, seed=3)
+        assert plans[0].is_fault_free()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_sampling_property(self, instance, seed):
+        app, _, __, policies, fm = instance
+        plan = sample_fault_plan(app, policies, fm.k,
+                                 DeterministicRng(seed))
+        assert plan.total_faults <= fm.k
+
+
+class TestMonteCarloVerification:
+    def test_sampled_verification_passes(self, instance):
+        app, arch, mapping, policies, fm = instance
+        schedule = synthesize_schedule(app, arch, mapping, policies, fm,
+                                       max_contexts=500_000)
+        report = verify_tolerance_sampled(
+            app, arch, mapping, policies, fm, schedule, samples=60)
+        assert report.ok, report.failures[:1]
+        assert report.scenarios >= 50
+        assert report.worst_makespan <= \
+            schedule.worst_case_length + 1e-6
+        assert report.fault_free_makespan > 0

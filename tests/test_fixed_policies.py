@@ -1,0 +1,95 @@
+"""Tests for designer-fixed policy assignments (paper §6: policies
+pre-decided "based on the experience of the designer")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.model import FaultModel
+from repro.policies import PolicyKind, ProcessPolicy
+from repro.synthesis import TabuSettings, nft_baseline, synthesize
+from repro.workloads import GeneratorConfig, generate_workload
+
+QUICK = TabuSettings(iterations=8, neighborhood=8, bus_contention=False,
+                     seed=2)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(GeneratorConfig(processes=10, nodes=3,
+                                             seed=21))
+
+
+class TestFixedPolicies:
+    def test_fixed_policy_preserved_by_mxr(self, workload):
+        app, arch = workload
+        fm = FaultModel(k=2)
+        critical = app.process_names[0]
+        fixed = {critical: ProcessPolicy.replication(2)}
+        result = synthesize(app, arch, fm, "MXR", settings=QUICK,
+                            fixed_policies=fixed)
+        assert result.policies.of(critical).kind is \
+            PolicyKind.REPLICATION
+        result.policies.validate(app, fm.k)
+        result.mapping.validate(app, arch, result.policies)
+
+    def test_fixed_policy_preserved_by_mx(self, workload):
+        app, arch = workload
+        fm = FaultModel(k=2)
+        critical = app.process_names[1]
+        fixed = {critical: ProcessPolicy.checkpointing(2, 3)}
+        result = synthesize(app, arch, fm, "MX", settings=QUICK,
+                            fixed_policies=fixed)
+        assert result.policies.of(critical).checkpoints_of(0) == 3
+
+    def test_fixed_policy_preserved_by_sfx(self, workload):
+        app, arch = workload
+        fm = FaultModel(k=2)
+        critical = app.process_names[2]
+        fixed = {critical: ProcessPolicy.replication(2)}
+        result = synthesize(app, arch, fm, "SFX", settings=QUICK,
+                            fixed_policies=fixed)
+        assert result.policies.of(critical).replica_count == 2
+        result.mapping.validate(app, arch, result.policies)
+
+    def test_fixed_policy_verbatim_under_mc(self, workload):
+        app, arch = workload
+        fm = FaultModel(k=2)
+        critical = app.process_names[0]
+        fixed = {critical: ProcessPolicy.re_execution(2)}
+        result = synthesize(app, arch, fm, "MC", settings=QUICK,
+                            fixed_policies=fixed)
+        # MC tunes everyone else's checkpoints, not the fixed one.
+        assert result.policies.of(critical).checkpoints_of(0) == 0
+        others = [p for name, p in result.policies.items()
+                  if name != critical]
+        assert all(p.copies[0].checkpoints >= 1 for p in others)
+
+    def test_under_provisioned_fixed_policy_rejected(self, workload):
+        app, arch = workload
+        fm = FaultModel(k=3)
+        with pytest.raises(SynthesisError):
+            synthesize(app, arch, fm, "MXR", settings=QUICK,
+                       fixed_policies={
+                           app.process_names[0]:
+                           ProcessPolicy.re_execution(1)})
+
+    def test_unknown_process_rejected(self, workload):
+        app, arch = workload
+        with pytest.raises(SynthesisError):
+            synthesize(app, arch, FaultModel(k=1), "MXR",
+                       settings=QUICK,
+                       fixed_policies={
+                           "ghost": ProcessPolicy.re_execution(1)})
+
+    def test_shared_baseline_reusable(self, workload):
+        app, arch = workload
+        fm = FaultModel(k=2)
+        baseline = nft_baseline(app, arch, QUICK)
+        fixed = {app.process_names[0]: ProcessPolicy.replication(2)}
+        a = synthesize(app, arch, fm, "MXR", settings=QUICK,
+                       baseline=baseline, fixed_policies=fixed)
+        b = synthesize(app, arch, fm, "MXR", settings=QUICK,
+                       baseline=baseline, fixed_policies=fixed)
+        assert a.schedule_length == b.schedule_length

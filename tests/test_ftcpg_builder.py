@@ -1,0 +1,154 @@
+"""Unit tests for the FT-CPG builder (paper §5.1, Fig. 5)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ContextExplosionError
+from repro.ftcpg import NodeKind, build_ftcpg
+from repro.model import Application, FaultModel, Message, Process, Transparency
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.workloads import fig5_example
+
+
+def exec_counts(graph) -> dict[str, int]:
+    return Counter(n.attempt.process for n in graph.nodes.values()
+                   if n.attempt is not None)
+
+
+class TestSingleProcess:
+    def _app(self, **kwargs) -> Application:
+        return Application([Process("P1", {"N1": 10.0}, **kwargs)],
+                           deadline=100)
+
+    def test_reexecution_chain(self):
+        app = self._app(mu=1.0)
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(2))
+        graph = build_ftcpg(app, policies, FaultModel(k=2))
+        # Chain P1^1 -> P1^2 -> P1^3: first two conditional.
+        stats = graph.stats()
+        assert exec_counts(graph)["P1"] == 3
+        assert stats["conditional"] == 2
+        assert stats["regular"] == 1
+        assert stats["conditional_edges"] == 2
+
+    def test_k_zero_single_node(self):
+        app = self._app()
+        policies = PolicyAssignment.uniform(app, ProcessPolicy.none())
+        graph = build_ftcpg(app, policies, FaultModel(k=0))
+        assert len(graph.nodes) == 1
+        assert graph.stats()["conditional"] == 0
+
+    def test_budget_caps_recoveries(self):
+        app = self._app(mu=1.0)
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(5))
+        graph = build_ftcpg(app, policies, FaultModel(k=5))
+        assert exec_counts(graph)["P1"] == 6
+
+    def test_checkpointed_grid(self):
+        app = self._app(mu=1.0, chi=1.0)
+        policies = PolicyAssignment.uniform(
+            app, ProcessPolicy.checkpointing(1, 2))
+        graph = build_ftcpg(app, policies, FaultModel(k=1))
+        # Paths: s1a1 (cond) -> {s1a2 -> s2a1'}, s2a1 (cond) -> s2a2.
+        assert exec_counts(graph)["P1"] == 5
+
+    def test_replication_no_conditions(self):
+        app = self._app()
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.replication(2))
+        graph = build_ftcpg(app, policies, FaultModel(k=2))
+        # Fail-silent replicas never branch the schedule.
+        assert exec_counts(graph)["P1"] == 3
+        assert graph.stats()["conditional"] == 0
+
+    def test_node_cap(self):
+        app = self._app(mu=1.0)
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(3))
+        with pytest.raises(ContextExplosionError):
+            build_ftcpg(app, policies, FaultModel(k=3), max_nodes=2)
+
+
+class TestPaperFig5:
+    """The reconstruction must reproduce Fig. 5b's structure."""
+
+    @pytest.fixture
+    def graph(self):
+        app, _arch, fault_model, transparency, _mapping = fig5_example()
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(2))
+        return build_ftcpg(app, policies, fault_model, transparency)
+
+    def test_copy_counts_match_paper(self, graph):
+        counts = exec_counts(graph)
+        assert counts == {"P1": 3, "P2": 6, "P4": 6, "P3": 3}
+
+    def test_three_sync_nodes(self, graph):
+        sync = (graph.nodes_of_kind(NodeKind.SYNC_PROCESS)
+                + graph.nodes_of_kind(NodeKind.SYNC_MESSAGE))
+        assert {n.sync_ref for n in sync} == {"P3", "m2", "m3"}
+
+    def test_acyclic(self, graph):
+        graph.validate_acyclic()
+
+    def test_frozen_process_entry_is_unconditional(self, graph):
+        first_attempts = [
+            n for n in graph.execution_nodes_of("P3")
+            if n.attempt.attempt == 1 and n.attempt.segment == 1
+        ]
+        assert len(first_attempts) == 1
+        assert first_attempts[0].guard.is_unconditional
+
+    def test_nonfrozen_mirrors_upstream_scenarios(self, graph):
+        entries = [
+            n for n in graph.execution_nodes_of("P4")
+            if n.attempt.attempt == 1
+        ]
+        guards = {str(n.guard) for n in entries}
+        # One entry per P1 exit scenario.
+        assert len(guards) == 3
+
+    def test_sync_node_collects_all_producer_exits(self, graph):
+        (m2_sync,) = [n for n in graph.nodes.values()
+                      if n.sync_ref == "m2"]
+        incoming = graph.predecessors(m2_sync.node_id)
+        assert len(incoming) == 3  # one per P1 exit
+
+
+class TestCombinedPolicy:
+    def test_recovering_and_plain_copies(self):
+        app = Application([Process("P1", {"N1": 10.0}, mu=1.0)],
+                          deadline=100)
+        policies = PolicyAssignment.uniform(
+            app, ProcessPolicy.replication_and_checkpointing(2, 1))
+        graph = build_ftcpg(app, policies, FaultModel(k=2))
+        counts = Counter(
+            (n.attempt.copy, n.kind) for n in graph.nodes.values()
+            if n.attempt is not None)
+        # Recovering copy: chain of 2 (one conditional); replica: 1.
+        assert counts[(0, NodeKind.CONDITIONAL)] == 1
+        assert counts[(0, NodeKind.REGULAR)] == 1
+        assert counts[(1, NodeKind.REGULAR)] == 1
+
+
+class TestConsumersOfReplicas:
+    def test_consumer_contexts_not_multiplied_by_replicas(self):
+        app = Application(
+            [Process("P1", {"N1": 5.0}), Process("P2", {"N1": 5.0})],
+            [Message("m1", "P1", "P2")],
+            deadline=100)
+        policies = PolicyAssignment.build(
+            app, ProcessPolicy.replication(2),
+            {"P2": ProcessPolicy.re_execution(2)})
+        graph = build_ftcpg(app, policies, FaultModel(k=2))
+        entry_guards = {
+            str(n.guard) for n in graph.execution_nodes_of("P2")
+            if n.attempt.attempt == 1
+        }
+        # Replicas are fail-silent: exactly one entry context.
+        assert entry_guards == {"true"}

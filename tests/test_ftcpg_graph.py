@@ -1,0 +1,101 @@
+"""Unit tests for the FT-CPG data structure API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ftcpg import (
+    AttemptId,
+    ConditionLiteral,
+    Ftcpg,
+    FtcpgEdge,
+    FtcpgNode,
+    Guard,
+    NodeKind,
+)
+
+
+def exec_node(node_id: str, process: str = "P1", attempt: int = 1,
+              kind: NodeKind = NodeKind.REGULAR) -> FtcpgNode:
+    return FtcpgNode(
+        node_id=node_id, kind=kind, guard=Guard.TRUE,
+        attempt=AttemptId(process, 0, 1, attempt))
+
+
+class TestGraphConstruction:
+    def test_add_and_lookup(self):
+        graph = Ftcpg()
+        node = graph.add_node(exec_node("a"))
+        assert graph.nodes["a"] is node
+
+    def test_duplicate_node_rejected(self):
+        graph = Ftcpg()
+        graph.add_node(exec_node("a"))
+        with pytest.raises(ValidationError):
+            graph.add_node(exec_node("a"))
+
+    def test_edge_requires_endpoints(self):
+        graph = Ftcpg()
+        graph.add_node(exec_node("a"))
+        with pytest.raises(ValidationError):
+            graph.add_edge(FtcpgEdge("a", "missing"))
+
+    def test_adjacency(self):
+        graph = Ftcpg()
+        graph.add_node(exec_node("a"))
+        graph.add_node(exec_node("b", attempt=2))
+        graph.add_edge(FtcpgEdge("a", "b"))
+        assert [e.dst for e in graph.successors("a")] == ["b"]
+        assert [e.src for e in graph.predecessors("b")] == ["a"]
+
+    def test_cycle_detection(self):
+        graph = Ftcpg()
+        graph.add_node(exec_node("a"))
+        graph.add_node(exec_node("b", attempt=2))
+        graph.add_edge(FtcpgEdge("a", "b"))
+        graph.add_edge(FtcpgEdge("b", "a"))
+        with pytest.raises(ValidationError):
+            graph.validate_acyclic()
+
+
+class TestQueries:
+    def _sample(self) -> Ftcpg:
+        graph = Ftcpg()
+        graph.add_node(exec_node("c1", kind=NodeKind.CONDITIONAL))
+        graph.add_node(exec_node("r1", attempt=2))
+        graph.add_node(FtcpgNode(
+            node_id="s1", kind=NodeKind.SYNC_PROCESS, guard=Guard.TRUE,
+            sync_ref="P9"))
+        literal = ConditionLiteral(AttemptId("P1", 0, 1, 1), True)
+        graph.add_edge(FtcpgEdge("c1", "r1", condition=literal))
+        graph.add_edge(FtcpgEdge("r1", "s1", message="m1"))
+        return graph
+
+    def test_nodes_of_kind(self):
+        graph = self._sample()
+        assert len(graph.nodes_of_kind(NodeKind.CONDITIONAL)) == 1
+        assert len(graph.nodes_of_kind(NodeKind.SYNC_PROCESS)) == 1
+
+    def test_execution_nodes_of(self):
+        graph = self._sample()
+        assert len(graph.execution_nodes_of("P1")) == 2
+        assert graph.execution_nodes_of("P9") == []
+
+    def test_condition_count(self):
+        assert self._sample().condition_count == 1
+
+    def test_stats(self):
+        stats = self._sample().stats()
+        assert stats == {
+            "regular": 1, "conditional": 1, "sync": 1,
+            "simple_edges": 1, "conditional_edges": 1,
+        }
+
+    def test_labels(self):
+        graph = self._sample()
+        assert graph.nodes["c1"].label() == "P1"
+        assert graph.nodes["r1"].label() == "P1^1/2"
+        assert graph.nodes["s1"].label() == "S[P9]"
+        assert graph.nodes["c1"].is_execution
+        assert not graph.nodes["s1"].is_execution

@@ -1,0 +1,180 @@
+"""End-to-end integration tests: the full §6 flow on realistic inputs.
+
+Each test exercises synthesis (tabu mapping + policy assignment) →
+exact conditional scheduling → exhaustive fault injection, i.e. the
+complete pipeline a user of the library would run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import FaultModel, Transparency, merge_applications
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.runtime import verify_tolerance
+from repro.schedule import (
+    CopyMapping,
+    estimate_ft_schedule,
+    synthesize_schedule,
+)
+from repro.synthesis import TabuSettings, nft_baseline, synthesize
+from repro.workloads import (
+    GeneratorConfig,
+    cruise_controller,
+    fig3_example,
+    generate_workload,
+)
+
+QUICK = TabuSettings(iterations=8, neighborhood=8, bus_contention=False,
+                     seed=5)
+
+
+class TestFig3Flow:
+    def test_synthesis_to_verified_tables(self):
+        app, arch = fig3_example()
+        fm = FaultModel(k=1)
+        result = synthesize(app, arch, fm, "MXR", settings=QUICK)
+        schedule = synthesize_schedule(app, arch, result.mapping,
+                                       result.policies, fm)
+        assert schedule.worst_case_length <= \
+            result.estimate.schedule_length + 1e-6
+        report = verify_tolerance(app, arch, result.mapping,
+                                  result.policies, fm, schedule)
+        assert report.ok, (report.failures[:1] or
+                           report.frozen_violations[:1])
+
+    def test_mapping_restriction_respected(self):
+        app, arch = fig3_example()
+        fm = FaultModel(k=1)
+        result = synthesize(app, arch, fm, "MXR", settings=QUICK)
+        # P3 can only run on N1 (Fig. 3c "X").
+        for copy in range(len(result.policies.of("P3").copies)):
+            assert result.mapping.node_of("P3", copy) == "N1"
+
+
+class TestCruiseController:
+    @pytest.fixture(scope="class")
+    def synthesized(self):
+        app, arch = cruise_controller()
+        fm = FaultModel(k=2)
+        result = synthesize(app, arch, fm, "MXR", settings=QUICK)
+        return app, arch, fm, result
+
+    def test_feasible(self, synthesized):
+        app, _, __, result = synthesized
+        assert result.estimate.meets_deadline
+        assert result.fto >= 0.0
+
+    def test_fixed_mappings_respected(self, synthesized):
+        app, _, __, result = synthesized
+        for name in ("wheel_fl", "radar_acq", "driver_buttons"):
+            assert result.mapping.node_of(name, 0) == "N1"
+        for name in ("throttle_cmd", "brake_cmd", "gear_hint"):
+            assert result.mapping.node_of(name, 0) == "N3"
+
+    def test_policies_tolerate_k(self, synthesized):
+        app, _, fm, result = synthesized
+        result.policies.validate(app, fm.k)
+
+    def test_beats_replication_only(self, synthesized):
+        app, arch, fm, result = synthesized
+        mr = synthesize(app, arch, fm, "MR", settings=QUICK)
+        assert result.schedule_length <= mr.schedule_length + 1e-6
+
+
+class TestTransparencyTradeoff:
+    """Paper §3.3: transparency shrinks the scenario space but can
+    lengthen the worst case."""
+
+    @pytest.fixture(scope="class")
+    def instance(self):
+        app, arch = generate_workload(GeneratorConfig(
+            processes=6, nodes=2, seed=42, layer_width=2))
+        k = 2
+        policies = PolicyAssignment.uniform(
+            app, ProcessPolicy.re_execution(k))
+        mapping = CopyMapping.from_process_map(
+            {name: arch.node_names[i % 2]
+             for i, name in enumerate(app.process_names)}, policies)
+        return app, arch, mapping, policies, FaultModel(k=k)
+
+    def test_full_transparency_fewer_scenario_columns(self, instance):
+        app, arch, mapping, policies, fm = instance
+        free = synthesize_schedule(app, arch, mapping, policies, fm)
+        frozen = synthesize_schedule(
+            app, arch, mapping, policies, fm, Transparency.full(app))
+        free_guards = {e.guard for e in free.entries}
+        frozen_guards = {e.guard for e in frozen.entries}
+        assert len(frozen_guards) <= len(free_guards)
+
+    def test_full_transparency_not_faster(self, instance):
+        app, arch, mapping, policies, fm = instance
+        free = synthesize_schedule(app, arch, mapping, policies, fm)
+        frozen = synthesize_schedule(
+            app, arch, mapping, policies, fm, Transparency.full(app))
+        assert frozen.worst_case_length >= free.worst_case_length - 1e-6
+
+    def test_frozen_schedule_still_tolerates(self, instance):
+        app, arch, mapping, policies, fm = instance
+        transparency = Transparency.full(app)
+        schedule = synthesize_schedule(app, arch, mapping, policies, fm,
+                                       transparency)
+        report = verify_tolerance(app, arch, mapping, policies, fm,
+                                  schedule, transparency,
+                                  max_scenarios=50_000)
+        assert report.ok, (report.failures[:1] or
+                           report.frozen_violations[:1])
+
+
+class TestMultiRateFlow:
+    def test_merged_application_schedules_and_tolerates(self, two_nodes):
+        from repro.model import Application, Message, Process
+
+        fast = Application(
+            [Process("F1", {"N1": 3.0, "N2": 3.0}, mu=0.5),
+             Process("F2", {"N1": 2.0, "N2": 2.0}, mu=0.5)],
+            [Message("fm", "F1", "F2", size_bytes=4)],
+            deadline=50, period=50, name="fast")
+        slow = Application(
+            [Process("S1", {"N1": 10.0, "N2": 10.0}, mu=0.5)],
+            deadline=100, period=100, name="slow")
+        merged = merge_applications([fast, slow])
+        k = 1
+        policies = PolicyAssignment.uniform(
+            merged, ProcessPolicy.re_execution(k))
+        mapping = CopyMapping.from_process_map(
+            {name: "N1" for name in merged.process_names}, policies)
+        fm = FaultModel(k=k)
+        estimate = estimate_ft_schedule(merged, two_nodes, mapping,
+                                        policies, fm)
+        assert estimate.feasible, estimate.local_deadline_violations
+        schedule = synthesize_schedule(merged, two_nodes, mapping,
+                                       policies, fm)
+        report = verify_tolerance(merged, two_nodes, mapping, policies,
+                                  fm, schedule, max_scenarios=50_000)
+        assert report.ok, (report.failures[:1] or
+                           report.frozen_violations[:1])
+
+    def test_release_times_respected_in_tables(self, two_nodes):
+        from repro.model import Application, Process
+        from repro.schedule.table import EntryKind
+
+        fast = Application(
+            [Process("F1", {"N1": 3.0}, mu=0.5)],
+            deadline=20, period=20, name="fast")
+        slow = Application(
+            [Process("S1", {"N1": 5.0}, mu=0.5)],
+            deadline=40, period=40, name="slow")
+        merged = merge_applications([fast, slow])
+        policies = PolicyAssignment.uniform(
+            merged, ProcessPolicy.re_execution(1))
+        mapping = CopyMapping.from_process_map(
+            {name: "N1" for name in merged.process_names}, policies)
+        schedule = synthesize_schedule(merged, two_nodes, mapping,
+                                       policies, FaultModel(k=1))
+        starts = {e.start for e in schedule.entries
+                  if e.kind is EntryKind.ATTEMPT
+                  and e.attempt.process == "fast.F1@1"
+                  and e.attempt.attempt == 1}
+        # The release of the second instance gates every scenario.
+        assert min(starts) >= 20.0

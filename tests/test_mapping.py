@@ -1,0 +1,112 @@
+"""Unit tests for the copy-level mapping ``M`` (paper §4/§6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MappingError
+from repro.model import Application, Process
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.schedule import CopyMapping
+
+
+@pytest.fixture
+def app():
+    return Application(
+        [Process("P1", {"N1": 10.0, "N2": 12.0}),
+         Process("P2", {"N1": 20.0}, fixed_node="N1")],
+        deadline=100)
+
+
+@pytest.fixture
+def policies(app):
+    return PolicyAssignment.uniform(app, ProcessPolicy.re_execution(1))
+
+
+class TestConstruction:
+    def test_from_process_map(self, app, policies):
+        mapping = CopyMapping.from_process_map(
+            {"P1": "N1", "P2": "N1"}, policies)
+        assert mapping.node_of("P1") == "N1"
+        assert len(mapping) == 2
+
+    def test_from_process_map_missing(self, app, policies):
+        with pytest.raises(MappingError):
+            CopyMapping.from_process_map({"P1": "N1"}, policies)
+
+    def test_replicated_copies_enumerated(self, app):
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.replication(2))
+        mapping = CopyMapping.from_process_map(
+            {"P1": "N1", "P2": "N1"}, policies)
+        assert len(mapping) == 6
+        assert mapping.node_of("P1", 2) == "N1"
+
+
+class TestAccess:
+    def test_unmapped_lookup(self, app, policies):
+        mapping = CopyMapping({("P1", 0): "N1"})
+        with pytest.raises(MappingError):
+            mapping.node_of("P2", 0)
+
+    def test_replaced_is_persistent(self, app, policies):
+        mapping = CopyMapping.from_process_map(
+            {"P1": "N1", "P2": "N1"}, policies)
+        moved = mapping.replaced("P1", 0, "N2")
+        assert mapping.node_of("P1") == "N1"
+        assert moved.node_of("P1") == "N2"
+
+    def test_replaced_unknown_copy(self, app, policies):
+        mapping = CopyMapping.from_process_map(
+            {"P1": "N1", "P2": "N1"}, policies)
+        with pytest.raises(MappingError):
+            mapping.replaced("P1", 5, "N2")
+
+    def test_nodes_used_and_hash(self, app, policies):
+        a = CopyMapping({("P1", 0): "N1", ("P2", 0): "N1"})
+        b = CopyMapping({("P2", 0): "N1", ("P1", 0): "N1"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.nodes_used() == frozenset({"N1"})
+        assert ("P1", 0) in a
+
+
+class TestValidation:
+    def test_valid(self, app, policies, two_nodes):
+        CopyMapping.from_process_map(
+            {"P1": "N2", "P2": "N1"}, policies).validate(
+            app, two_nodes, policies)
+
+    def test_restricted_node(self, app, policies, two_nodes):
+        mapping = CopyMapping({("P1", 0): "N1", ("P2", 0): "N2"})
+        with pytest.raises(MappingError):
+            mapping.validate(app, two_nodes, policies)
+
+    def test_fixed_node_enforced(self, app, two_nodes):
+        free = Application(
+            [Process("P1", {"N1": 10.0, "N2": 12.0}),
+             Process("P2", {"N1": 20.0, "N2": 22.0}, fixed_node="N1")],
+            deadline=100)
+        policies = PolicyAssignment.uniform(free,
+                                            ProcessPolicy.re_execution(1))
+        mapping = CopyMapping({("P1", 0): "N1", ("P2", 0): "N2"})
+        with pytest.raises(MappingError):
+            mapping.validate(free, two_nodes, policies)
+
+    def test_missing_copy(self, app, two_nodes):
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.replication(1))
+        mapping = CopyMapping({("P1", 0): "N1", ("P2", 0): "N1"})
+        with pytest.raises(MappingError):
+            mapping.validate(app, two_nodes, policies)
+
+    def test_stale_copy(self, app, policies, two_nodes):
+        mapping = CopyMapping({("P1", 0): "N1", ("P1", 1): "N1",
+                               ("P2", 0): "N1"})
+        with pytest.raises(MappingError):
+            mapping.validate(app, two_nodes, policies)
+
+    def test_unknown_node(self, app, policies, two_nodes):
+        mapping = CopyMapping({("P1", 0): "N9", ("P2", 0): "N1"})
+        with pytest.raises(MappingError):
+            mapping.validate(app, two_nodes, policies)

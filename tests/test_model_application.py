@@ -1,0 +1,120 @@
+"""Unit tests for the application graph (paper §4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model import Application, Message, Process
+
+
+def _p(name: str) -> Process:
+    return Process(name, {"N1": 10.0})
+
+
+class TestConstruction:
+    def test_simple_graph(self, chain_app):
+        assert len(chain_app) == 3
+        assert chain_app.process_names == ("P1", "P2", "P3")
+        assert chain_app.message_names == ("m1", "m2")
+
+    def test_duplicate_process_rejected(self):
+        with pytest.raises(ValidationError):
+            Application([_p("P1"), _p("P1")], deadline=10)
+
+    def test_duplicate_message_rejected(self):
+        with pytest.raises(ValidationError):
+            Application(
+                [_p("P1"), _p("P2")],
+                [Message("m1", "P1", "P2"), Message("m1", "P1", "P2")],
+                deadline=10)
+
+    def test_message_with_unknown_endpoint_rejected(self):
+        with pytest.raises(ValidationError):
+            Application([_p("P1")], [Message("m1", "P1", "P9")],
+                        deadline=10)
+
+    def test_name_collision_process_message_rejected(self):
+        with pytest.raises(ValidationError):
+            Application([_p("P1"), _p("m1")],
+                        [Message("m1", "P1", "m1")], deadline=10)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValidationError):
+            Application(
+                [_p("P1"), _p("P2")],
+                [Message("m1", "P1", "P2"), Message("m2", "P2", "P1")],
+                deadline=10)
+
+    def test_self_loop_rejected_at_message_level(self):
+        with pytest.raises(ValidationError):
+            Message("m1", "P1", "P1")
+
+    def test_empty_application_rejected(self):
+        with pytest.raises(ValidationError):
+            Application([], deadline=10)
+
+    @pytest.mark.parametrize("deadline", [0.0, -5.0, float("nan")])
+    def test_bad_deadline_rejected(self, deadline):
+        with pytest.raises(ValidationError):
+            Application([_p("P1")], deadline=deadline)
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValidationError):
+            Application([_p("P1")], deadline=10, period=0)
+
+
+class TestStructure:
+    def test_topological_order_respects_edges(self, fork_join_app):
+        order = fork_join_app.topological_order
+        assert order.index("P1") < order.index("P2")
+        assert order.index("P1") < order.index("P3")
+        assert order.index("P2") < order.index("P4")
+        assert order.index("P3") < order.index("P4")
+
+    def test_sources_and_sinks(self, fork_join_app):
+        assert fork_join_app.sources == ("P1",)
+        assert fork_join_app.sinks == ("P4",)
+
+    def test_predecessors_successors(self, fork_join_app):
+        assert set(fork_join_app.predecessors("P4")) == {"P2", "P3"}
+        assert set(fork_join_app.successors("P1")) == {"P2", "P3"}
+
+    def test_predecessors_deduplicated(self):
+        app = Application(
+            [_p("P1"), _p("P2")],
+            [Message("m1", "P1", "P2"), Message("m2", "P1", "P2")],
+            deadline=10)
+        assert app.predecessors("P2") == ("P1",)
+        assert len(app.inputs_of("P2")) == 2
+
+    def test_descendants(self, fork_join_app):
+        assert fork_join_app.descendants("P1") == {"P2", "P3", "P4"}
+        assert fork_join_app.descendants("P4") == frozenset()
+
+    def test_inputs_outputs(self, chain_app):
+        assert [m.name for m in chain_app.inputs_of("P2")] == ["m1"]
+        assert [m.name for m in chain_app.outputs_of("P2")] == ["m2"]
+
+    def test_unknown_lookup_raises(self, chain_app):
+        with pytest.raises(ValidationError):
+            chain_app.process("nope")
+        with pytest.raises(ValidationError):
+            chain_app.message("nope")
+
+    def test_contains(self, chain_app):
+        assert "P1" in chain_app
+        assert "m1" in chain_app
+        assert "zz" not in chain_app
+
+    def test_with_deadline(self, chain_app):
+        other = chain_app.with_deadline(99.0)
+        assert other.deadline == 99.0
+        assert other.process_names == chain_app.process_names
+
+    def test_mean_wcet(self):
+        app = Application(
+            [Process("P1", {"N1": 10.0, "N2": 20.0}),
+             Process("P2", {"N1": 30.0})],
+            deadline=100)
+        assert app.mean_wcet() == pytest.approx(20.0)

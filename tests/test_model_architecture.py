@@ -1,0 +1,134 @@
+"""Unit tests for architecture, bus spec, fault model, transparency
+and cross-model validation (paper §2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model import (
+    Application,
+    Architecture,
+    BusSpec,
+    FaultModel,
+    Node,
+    Process,
+    Transparency,
+    validate_model,
+)
+
+
+class TestArchitecture:
+    def test_homogeneous_constructor(self):
+        arch = Architecture.homogeneous(3)
+        assert arch.node_names == ("N1", "N2", "N3")
+        assert arch.bus.slot_order == ("N1", "N2", "N3")
+
+    def test_default_bus_covers_all_nodes(self):
+        arch = Architecture([Node("A"), Node("B")])
+        assert arch.bus.slot_order == ("A", "B")
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ValidationError):
+            Architecture([Node("A"), Node("A")])
+
+    def test_empty_architecture_rejected(self):
+        with pytest.raises(ValidationError):
+            Architecture([])
+
+    def test_bus_owner_must_be_a_node(self):
+        with pytest.raises(ValidationError):
+            Architecture([Node("A")], BusSpec(("A", "B"), 1.0))
+
+    def test_node_without_slot_rejected(self):
+        with pytest.raises(ValidationError):
+            Architecture([Node("A"), Node("B")], BusSpec(("A",), 1.0))
+
+    def test_multiple_slots_per_node_allowed(self):
+        arch = Architecture([Node("A"), Node("B")],
+                            BusSpec(("A", "B", "A"), 1.0))
+        assert arch.bus.round_length == 3.0
+
+    def test_node_lookup(self):
+        arch = Architecture.homogeneous(2)
+        assert arch.node("N1").name == "N1"
+        with pytest.raises(ValidationError):
+            arch.node("N9")
+        assert "N2" in arch
+        assert len(arch) == 2
+
+    def test_invalid_count(self):
+        with pytest.raises(ValidationError):
+            Architecture.homogeneous(0)
+
+
+class TestBusSpec:
+    def test_round_length(self):
+        bus = BusSpec(("A", "B", "C"), slot_length=2.5)
+        assert bus.round_length == 7.5
+
+    @pytest.mark.parametrize("kwargs", [
+        {"slot_order": (), "slot_length": 1.0},
+        {"slot_order": ("A",), "slot_length": 0.0},
+        {"slot_order": ("A",), "slot_length": 1.0,
+         "slot_payload_bytes": 0},
+    ])
+    def test_invalid_specs(self, kwargs):
+        with pytest.raises(ValidationError):
+            BusSpec(**kwargs)
+
+
+class TestFaultModel:
+    def test_valid(self):
+        assert FaultModel(k=3).tolerates_faults
+        assert not FaultModel(k=0).tolerates_faults
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultModel(k=-1)
+
+    def test_condition_size_positive(self):
+        with pytest.raises(ValidationError):
+            FaultModel(k=1, condition_size_bytes=0)
+
+
+class TestTransparency:
+    def test_none_is_trivial(self):
+        assert Transparency.none().is_trivial
+
+    def test_full(self, chain_app):
+        t = Transparency.full(chain_app)
+        assert t.is_frozen_process("P1")
+        assert t.is_frozen_message("m1")
+
+    def test_messages_only(self, chain_app):
+        t = Transparency.messages_only(chain_app)
+        assert not t.is_frozen_process("P1")
+        assert t.is_frozen_message("m2")
+
+    def test_validate_unknown_name(self, chain_app):
+        with pytest.raises(ValidationError):
+            Transparency(frozen_processes=["nope"]).validate(chain_app)
+        Transparency(frozen_processes=["P1"]).validate(chain_app)
+
+
+class TestValidateModel:
+    def test_ok(self, chain_app, two_nodes):
+        validate_model(chain_app, two_nodes)
+
+    def test_unmappable_process(self, two_nodes):
+        app = Application([Process("P1", {"N9": 10.0})], deadline=100)
+        with pytest.raises(ValidationError):
+            validate_model(app, two_nodes)
+
+    def test_release_after_deadline(self, two_nodes):
+        app = Application(
+            [Process("P1", {"N1": 10.0}, release=200.0)], deadline=100)
+        with pytest.raises(ValidationError):
+            validate_model(app, two_nodes)
+
+    def test_local_deadline_beyond_global(self, two_nodes):
+        app = Application(
+            [Process("P1", {"N1": 10.0}, deadline=500.0)], deadline=100)
+        with pytest.raises(ValidationError):
+            validate_model(app, two_nodes)

@@ -1,0 +1,87 @@
+"""Unit tests for the LCM hyperperiod merge (paper §4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model import Application, Message, Process, merge_applications
+
+
+def _app(name: str, period: float, deadline: float | None = None,
+         ) -> Application:
+    return Application(
+        [Process("A", {"N1": 5.0}), Process("B", {"N1": 5.0})],
+        [Message("m", "A", "B")],
+        deadline=deadline if deadline is not None else period,
+        period=period,
+        name=name,
+    )
+
+
+class TestMerge:
+    def test_single_app_instantiation(self):
+        merged = merge_applications([_app("app", 10)])
+        # One period => one instance.
+        assert merged.period == 10.0
+        assert set(merged.process_names) == {"A@0", "B@0"}
+
+    def test_two_periods_lcm(self):
+        merged = merge_applications([_app("fast", 10), _app("slow", 30)])
+        assert merged.period == 30.0
+        fast = [p for p in merged.process_names if p.startswith("fast.")]
+        slow = [p for p in merged.process_names if p.startswith("slow.")]
+        assert len(fast) == 3 * 2  # 3 instances x 2 processes
+        assert len(slow) == 1 * 2
+
+    def test_instance_release_times(self):
+        merged = merge_applications([_app("fast", 10), _app("slow", 20)])
+        releases = {p.name: p.release for p in merged.processes}
+        assert releases["fast.A@0"] == 0.0
+        assert releases["fast.A@1"] == 10.0
+        assert releases["slow.A@0"] == 0.0
+
+    def test_instance_local_deadlines(self):
+        merged = merge_applications([_app("fast", 10), _app("slow", 20)])
+        deadlines = {p.name: p.deadline for p in merged.processes}
+        # Each job must finish before its next period.
+        assert deadlines["fast.A@0"] == 10.0
+        assert deadlines["fast.A@1"] == 20.0
+
+    def test_messages_stay_within_instance(self):
+        merged = merge_applications([_app("fast", 10), _app("slow", 20)])
+        for message in merged.messages:
+            src_instance = message.src.rsplit("@", 1)[1]
+            dst_instance = message.dst.rsplit("@", 1)[1]
+            assert src_instance == dst_instance
+
+    def test_tighter_local_deadline_preserved(self):
+        app = Application(
+            [Process("A", {"N1": 5.0}, deadline=7.0)],
+            deadline=10, period=10, name="x")
+        merged = merge_applications([app])
+        assert merged.process("A@0").deadline == 7.0
+
+    def test_deadline_is_hyperperiod(self):
+        merged = merge_applications([_app("a", 6), _app("b", 4)])
+        assert merged.deadline == 12.0
+
+    def test_missing_period_rejected(self):
+        app = Application([Process("A", {"N1": 5.0})], deadline=10)
+        with pytest.raises(ValidationError):
+            merge_applications([app])
+
+    def test_fractional_period_rejected(self):
+        app = Application([Process("A", {"N1": 5.0})],
+                          deadline=10, period=2.5)
+        with pytest.raises(ValidationError):
+            merge_applications([app])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValidationError):
+            merge_applications([])
+
+    def test_merged_graph_is_schedulable_structure(self):
+        merged = merge_applications([_app("fast", 10), _app("slow", 30)])
+        # Sanity: topological order exists and covers all instances.
+        assert len(merged.topological_order) == len(merged)

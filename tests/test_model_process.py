@@ -1,0 +1,96 @@
+"""Unit tests for the process model (paper §4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model import Process
+
+
+class TestProcessValidation:
+    def test_minimal_process(self):
+        p = Process("P1", {"N1": 10.0})
+        assert p.allowed_nodes == ("N1",)
+        assert p.wcet_on("N1") == 10.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Process("", {"N1": 10.0})
+
+    def test_empty_wcet_rejected(self):
+        with pytest.raises(ValidationError):
+            Process("P1", {})
+
+    def test_zero_wcet_rejected(self):
+        with pytest.raises(ValidationError):
+            Process("P1", {"N1": 0.0})
+
+    def test_negative_wcet_rejected(self):
+        with pytest.raises(ValidationError):
+            Process("P1", {"N1": -5.0})
+
+    def test_nan_wcet_rejected(self):
+        with pytest.raises(ValidationError):
+            Process("P1", {"N1": float("nan")})
+
+    def test_infinite_wcet_rejected(self):
+        with pytest.raises(ValidationError):
+            Process("P1", {"N1": float("inf")})
+
+    @pytest.mark.parametrize("field", ["alpha", "mu", "chi", "release"])
+    def test_negative_overheads_rejected(self, field):
+        with pytest.raises(ValidationError):
+            Process("P1", {"N1": 10.0}, **{field: -1.0})
+
+    def test_zero_overheads_allowed(self):
+        p = Process("P1", {"N1": 10.0}, alpha=0.0, mu=0.0, chi=0.0)
+        assert p.alpha == 0.0
+
+    def test_local_deadline_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            Process("P1", {"N1": 10.0}, deadline=0.0)
+
+    def test_fixed_node_must_have_wcet(self):
+        with pytest.raises(ValidationError):
+            Process("P1", {"N1": 10.0}, fixed_node="N9")
+
+    def test_fixed_node_restricts_allowed(self):
+        p = Process("P1", {"N1": 10.0, "N2": 12.0}, fixed_node="N2")
+        assert p.allowed_nodes == ("N2",)
+
+
+class TestProcessBehaviour:
+    def test_mapping_restriction_via_missing_wcet(self):
+        p = Process("P3", {"N1": 60.0})  # paper Fig. 3c: "X" on N2
+        with pytest.raises(ValidationError):
+            p.wcet_on("N2")
+
+    def test_allowed_nodes_sorted(self):
+        p = Process("P1", {"N2": 1.0, "N1": 2.0})
+        assert p.allowed_nodes == ("N1", "N2")
+
+    def test_wcet_table_copied(self):
+        table = {"N1": 10.0}
+        p = Process("P1", table)
+        table["N2"] = 5.0
+        assert "N2" not in p.wcet
+
+    def test_renamed_keeps_overheads(self):
+        p = Process("P1", {"N1": 10.0}, alpha=1.0, mu=2.0, chi=3.0)
+        q = p.renamed("P1@1", release=100.0, deadline=200.0)
+        assert (q.name, q.alpha, q.mu, q.chi) == ("P1@1", 1.0, 2.0, 3.0)
+        assert q.release == 100.0
+        assert q.deadline == 200.0
+
+    def test_renamed_defaults_keep_timing(self):
+        p = Process("P1", {"N1": 10.0}, release=5.0, deadline=50.0)
+        q = p.renamed("Q1")
+        assert q.release == 5.0
+        assert q.deadline == 50.0
+
+    def test_identity_semantics(self):
+        a = Process("P1", {"N1": 10.0})
+        b = Process("P1", {"N1": 10.0})
+        assert a != b  # identity equality, by design
+        assert len({a, b}) == 2

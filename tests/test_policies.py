@@ -1,0 +1,157 @@
+"""Unit tests for policy types ``F = <P, Q, R, X>`` (paper §4, Fig. 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policies import CopyPlan, PolicyAssignment, PolicyKind, ProcessPolicy
+
+
+class TestCopyPlan:
+    def test_segments(self):
+        assert CopyPlan(recoveries=2, checkpoints=0).segments == 1
+        assert CopyPlan(recoveries=2, checkpoints=3).segments == 3
+
+    def test_uses_checkpointing(self):
+        assert not CopyPlan(1, 0).uses_checkpointing
+        assert CopyPlan(1, 1).uses_checkpointing
+
+    def test_negative_rejected(self):
+        with pytest.raises(PolicyError):
+            CopyPlan(recoveries=-1)
+        with pytest.raises(PolicyError):
+            CopyPlan(checkpoints=-1)
+
+    def test_with_checkpoints(self):
+        plan = CopyPlan(2, 3).with_checkpoints(5)
+        assert plan.checkpoints == 5
+        assert plan.recoveries == 2
+
+
+class TestProcessPolicyKinds:
+    def test_fig4a_checkpointing(self):
+        # Fig. 4a: P(P1) = Checkpointing, R(P1) = 2.
+        policy = ProcessPolicy.checkpointing(2, 3)
+        assert policy.kind is PolicyKind.CHECKPOINTING
+        assert policy.replica_count == 0
+        assert policy.recoveries_of(0) == 2
+        assert policy.checkpoints_of(0) == 3
+
+    def test_fig4b_replication(self):
+        # Fig. 4b: k = 2 => three copies, all R = 0.
+        policy = ProcessPolicy.replication(2)
+        assert policy.kind is PolicyKind.REPLICATION
+        assert policy.replica_count == 2
+        assert all(policy.recoveries_of(j) == 0 for j in range(3))
+
+    def test_fig4c_combined(self):
+        # Fig. 4c: k = 2, Q = 1, R = (1, 0).
+        policy = ProcessPolicy.replication_and_checkpointing(2, 1)
+        assert policy.kind is PolicyKind.REPLICATION_AND_CHECKPOINTING
+        assert policy.replica_count == 1
+        assert sorted(c.recoveries for c in policy.copies) == [0, 1]
+
+    def test_re_execution_is_single_segment(self):
+        policy = ProcessPolicy.re_execution(3)
+        assert policy.kind is PolicyKind.CHECKPOINTING
+        assert policy.copies[0].segments == 1
+        assert not policy.copies[0].uses_checkpointing
+
+    def test_none_policy(self):
+        assert ProcessPolicy.none().kind is PolicyKind.NONE
+
+    def test_combined_bounds(self):
+        # Paper: 0 < Q < k for combined policies.
+        with pytest.raises(PolicyError):
+            ProcessPolicy.replication_and_checkpointing(2, 0)
+        with pytest.raises(PolicyError):
+            ProcessPolicy.replication_and_checkpointing(2, 2)
+
+    def test_checkpointing_needs_checkpoints(self):
+        with pytest.raises(PolicyError):
+            ProcessPolicy.checkpointing(2, 0)
+
+    def test_empty_policy_rejected(self):
+        with pytest.raises(PolicyError):
+            ProcessPolicy(())
+
+
+class TestToleranceCondition:
+    """The k-fault condition: sum_j (R_j + 1) >= k + 1 (DESIGN.md)."""
+
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_re_execution_tolerates_k(self, k):
+        assert ProcessPolicy.re_execution(k).tolerated_faults == k
+
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_replication_tolerates_k(self, k):
+        assert ProcessPolicy.replication(k).tolerated_faults == k
+
+    @pytest.mark.parametrize("k,q", [(2, 1), (3, 1), (3, 2), (7, 3)])
+    def test_combined_tolerates_k(self, k, q):
+        policy = ProcessPolicy.replication_and_checkpointing(k, q)
+        assert policy.tolerated_faults == k
+
+    def test_under_provisioned_policy(self):
+        assert not ProcessPolicy.re_execution(1).tolerates(2)
+
+    def test_fig4c_survives_exactly_two(self):
+        policy = ProcessPolicy.replication_and_checkpointing(2, 1)
+        assert policy.tolerates(2)
+        assert not policy.tolerates(3)
+
+
+class TestPolicyAssignment:
+    def test_uniform(self, chain_app):
+        pa = PolicyAssignment.uniform(chain_app,
+                                      ProcessPolicy.re_execution(2))
+        assert pa.of("P1").recoveries_of(0) == 2
+        pa.validate(chain_app, 2)
+
+    def test_build_with_overrides(self, chain_app):
+        pa = PolicyAssignment.build(
+            chain_app, ProcessPolicy.re_execution(2),
+            {"P2": ProcessPolicy.replication(2)})
+        assert pa.of("P2").kind is PolicyKind.REPLICATION
+        assert pa.of("P1").kind is PolicyKind.CHECKPOINTING
+
+    def test_build_unknown_override_rejected(self, chain_app):
+        with pytest.raises(PolicyError):
+            PolicyAssignment.build(chain_app, ProcessPolicy.none(),
+                                   {"zz": ProcessPolicy.none()})
+
+    def test_validate_rejects_weak_policy(self, chain_app):
+        pa = PolicyAssignment.uniform(chain_app,
+                                      ProcessPolicy.re_execution(1))
+        with pytest.raises(PolicyError):
+            pa.validate(chain_app, 2)
+
+    def test_validate_missing_process(self, chain_app):
+        pa = PolicyAssignment({"P1": ProcessPolicy.re_execution(2)})
+        with pytest.raises(PolicyError):
+            pa.validate(chain_app, 2)
+
+    def test_validate_extra_process(self, chain_app):
+        policies = {name: ProcessPolicy.re_execution(2)
+                    for name in chain_app.process_names}
+        policies["ghost"] = ProcessPolicy.re_execution(2)
+        with pytest.raises(PolicyError):
+            PolicyAssignment(policies).validate(chain_app, 2)
+
+    def test_replaced(self, chain_app):
+        pa = PolicyAssignment.uniform(chain_app,
+                                      ProcessPolicy.re_execution(2))
+        pb = pa.replaced("P1", ProcessPolicy.replication(2))
+        assert pa.of("P1").kind is PolicyKind.CHECKPOINTING
+        assert pb.of("P1").kind is PolicyKind.REPLICATION
+
+    def test_total_copies(self, chain_app):
+        pa = PolicyAssignment.uniform(chain_app,
+                                      ProcessPolicy.replication(2))
+        assert pa.total_copies() == 9  # 3 processes x 3 copies
+
+    def test_unknown_process_lookup(self, chain_app):
+        pa = PolicyAssignment.uniform(chain_app, ProcessPolicy.none())
+        with pytest.raises(PolicyError):
+            pa.of("zz")

@@ -1,0 +1,88 @@
+"""Property-based tests for guard algebra (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.ftcpg import AttemptId, ConditionLiteral, Guard
+
+attempt_ids = st.builds(
+    AttemptId,
+    process=st.sampled_from(["P1", "P2", "P3", "P4"]),
+    copy=st.integers(0, 2),
+    segment=st.integers(1, 3),
+    attempt=st.integers(1, 3),
+)
+literals = st.builds(ConditionLiteral, attempt=attempt_ids,
+                     faulty=st.booleans())
+
+
+def consistent_literals(draw_list: list[ConditionLiteral],
+                        ) -> list[ConditionLiteral]:
+    seen: dict[AttemptId, bool] = {}
+    result = []
+    for literal in draw_list:
+        if literal.attempt in seen:
+            continue
+        seen[literal.attempt] = literal.faulty
+        result.append(literal)
+    return result
+
+
+guards = st.lists(literals, max_size=6).map(
+    lambda ls: Guard(consistent_literals(ls)))
+
+
+class TestGuardProperties:
+    @given(guards)
+    def test_guard_implies_itself(self, guard):
+        assert guard.implies(guard)
+
+    @given(guards)
+    def test_everything_implies_true(self, guard):
+        assert guard.implies(Guard.TRUE)
+        assert guard.compatible_with(Guard.TRUE)
+
+    @given(guards, literals)
+    def test_extension_implies_base(self, guard, literal):
+        if guard.value_of(literal.attempt) not in (None, literal.faulty):
+            return  # would contradict
+        extended = guard.extended(literal)
+        assert extended.implies(guard)
+        assert len(extended) >= len(guard)
+
+    @given(guards, guards)
+    def test_union_implies_both_when_compatible(self, a, b):
+        if not a.compatible_with(b):
+            return
+        union = a.union(b)
+        assert union.implies(a)
+        assert union.implies(b)
+
+    @given(guards, guards)
+    def test_compatibility_symmetric(self, a, b):
+        assert a.compatible_with(b) == b.compatible_with(a)
+
+    @given(guards, guards)
+    def test_mutual_implication_is_equality(self, a, b):
+        if a.implies(b) and b.implies(a):
+            assert a == b
+            assert hash(a) == hash(b)
+
+    @given(guards)
+    def test_satisfied_by_own_assignment(self, guard):
+        assignment = {lit.attempt: lit.faulty for lit in guard.literals}
+        assert guard.satisfied_by(assignment)
+        assert guard.decidable_with(assignment)
+
+    @given(guards, literals)
+    def test_negated_literal_incompatible(self, guard, literal):
+        if guard.value_of(literal.attempt) is not None:
+            return
+        a = guard.extended(literal)
+        b = guard.extended(literal.negated())
+        assert not a.compatible_with(b)
+
+    @given(guards)
+    def test_fault_count_bounded_by_length(self, guard):
+        assert 0 <= guard.fault_count() <= len(guard)

@@ -1,0 +1,131 @@
+"""Property-based tests: scheduling invariants on random workloads.
+
+These pin the invariants that make the whole flow trustworthy:
+
+* the estimation is monotone in the fault budget and never below the
+  fault-free timeline;
+* the exact conditional scheduler's worst case never exceeds the
+  estimate by more than the bus traffic the estimate does not model
+  (condition broadcasts and knowledge waits cost at most one TDMA
+  round per observed fault and per cross-node hop);
+* every synthesized schedule passes exhaustive fault injection.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.model import FaultModel
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.runtime import verify_tolerance
+from repro.schedule import (
+    estimate_ft_schedule,
+    synthesize_schedule,
+)
+from repro.synthesis import initial_mapping
+from repro.workloads import GeneratorConfig, generate_workload
+
+SMALL = dict(
+    processes=st.integers(2, 6),
+    nodes=st.integers(1, 3),
+    seed=st.integers(0, 10_000),
+)
+
+RELAXED = settings(max_examples=25, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+def make_instance(processes: int, nodes: int, seed: int, k: int,
+                  policy=None):
+    app, arch = generate_workload(GeneratorConfig(
+        processes=processes, nodes=nodes, seed=seed, layer_width=3))
+    policies = PolicyAssignment.uniform(
+        app, policy if policy is not None
+        else ProcessPolicy.re_execution(k))
+    mapping = initial_mapping(app, arch, policies)
+    return app, arch, mapping, policies
+
+
+class TestEstimationProperties:
+    @RELAXED
+    @given(**SMALL, k=st.integers(0, 3))
+    def test_wc_at_least_ff(self, processes, nodes, seed, k):
+        app, arch, mapping, policies = make_instance(
+            processes, nodes, seed, k)
+        if k == 0:
+            policies = PolicyAssignment.uniform(app,
+                                                ProcessPolicy.none())
+        estimate = estimate_ft_schedule(app, arch, mapping, policies,
+                                        FaultModel(k=k))
+        assert estimate.schedule_length >= estimate.ff_length - 1e-9
+
+    @RELAXED
+    @given(**SMALL)
+    def test_monotone_in_k(self, processes, nodes, seed):
+        lengths = []
+        for k in (1, 2, 3):
+            app, arch, mapping, policies = make_instance(
+                processes, nodes, seed, k)
+            estimate = estimate_ft_schedule(app, arch, mapping, policies,
+                                            FaultModel(k=k))
+            lengths.append(estimate.schedule_length)
+        assert lengths[0] <= lengths[1] + 1e-9
+        assert lengths[1] <= lengths[2] + 1e-9
+
+
+class TestExactVsEstimate:
+    @RELAXED
+    @given(**SMALL, k=st.integers(1, 2))
+    def test_estimate_tracks_exact_worst_case(self, processes, nodes,
+                                              seed, k):
+        app, arch, mapping, policies = make_instance(
+            processes, nodes, seed, k)
+        estimate = estimate_ft_schedule(app, arch, mapping, policies,
+                                        FaultModel(k=k))
+        schedule = synthesize_schedule(app, arch, mapping, policies,
+                                       FaultModel(k=k),
+                                       max_contexts=200_000)
+        # The estimate ignores condition-broadcast frames and the
+        # knowledge waits of the quasi-static tables; each observed
+        # fault and each cross-node dependency costs at most one TDMA
+        # round of either, so the allowance below is the per-instance
+        # bound on what the estimate may miss.
+        allowance = (k + processes) * arch.bus.round_length
+        assert schedule.worst_case_length <= \
+            estimate.schedule_length + allowance + 1e-6
+
+
+class TestEndToEndTolerance:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(processes=st.integers(2, 5), nodes=st.integers(1, 3),
+           seed=st.integers(0, 10_000), k=st.integers(1, 2))
+    def test_synthesized_schedule_tolerates_all_scenarios(
+            self, processes, nodes, seed, k):
+        app, arch, mapping, policies = make_instance(
+            processes, nodes, seed, k)
+        fm = FaultModel(k=k)
+        schedule = synthesize_schedule(app, arch, mapping, policies, fm,
+                                       max_contexts=200_000)
+        report = verify_tolerance(app, arch, mapping, policies, fm,
+                                  schedule, max_scenarios=50_000)
+        assert report.ok, (report.failures[:1] or
+                           report.frozen_violations[:1])
+        assert report.worst_makespan <= schedule.worst_case_length + 1e-6
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(processes=st.integers(2, 4), nodes=st.integers(2, 3),
+           seed=st.integers(0, 10_000))
+    def test_replication_policy_tolerates(self, processes, nodes, seed):
+        k = 1
+        app, arch, mapping, policies = make_instance(
+            processes, nodes, seed, k,
+            policy=ProcessPolicy.replication(k))
+        fm = FaultModel(k=k)
+        schedule = synthesize_schedule(app, arch, mapping, policies, fm,
+                                       max_contexts=200_000)
+        report = verify_tolerance(app, arch, mapping, policies, fm,
+                                  schedule, max_scenarios=50_000)
+        assert report.ok, (report.failures[:1] or
+                           report.frozen_violations[:1])

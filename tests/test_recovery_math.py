@@ -1,0 +1,172 @@
+"""Unit tests for the execution-time arithmetic of paper §3.1 (Fig. 1)
+and the optimal checkpoint analysis ([27], paper §6 / Fig. 8 baseline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policies import (
+    CopyExecution,
+    CopyPlan,
+    local_optimal_checkpoints,
+    worst_case_in_isolation,
+)
+from repro.workloads import fig1_process
+
+
+@pytest.fixture
+def fig1() -> CopyExecution:
+    """Paper Fig. 1: C=60, α=10, μ=10, χ=5, two checkpoints, k=1."""
+    process, plan = fig1_process()
+    return CopyExecution(wcet=process.wcet["N1"], plan=plan,
+                         alpha=process.alpha, mu=process.mu,
+                         chi=process.chi)
+
+
+class TestFig1Numbers:
+    def test_segments(self, fig1):
+        assert fig1.segments == 2
+        assert fig1.segment_time == 30.0
+
+    def test_fault_free_duration(self, fig1):
+        # C + n(α + χ) = 60 + 2*15 = 90.
+        assert fig1.fault_free_duration() == 90.0
+
+    def test_worst_case_one_fault(self, fig1):
+        # Fig. 1c: one fault in a segment; α skipped in the last
+        # recovery: 90 + (30 + 10 + 10) - 10 = 130.
+        assert fig1.worst_case_duration(budget=1) == 130.0
+
+    def test_recovery_slack(self, fig1):
+        assert fig1.recovery_slack(budget=1) == 40.0
+
+    def test_attempt_durations(self, fig1):
+        # First attempt: χ + seg + α = 5 + 30 + 10 = 45.
+        assert fig1.attempt_duration(1, can_fail=True) == 45.0
+        # Retry: μ + seg + α = 10 + 30 + 10 = 50.
+        assert fig1.attempt_duration(2, can_fail=True) == 50.0
+        # Retry that cannot fail (budget exhausted): μ + seg = 40.
+        assert fig1.attempt_duration(2, can_fail=False) == 40.0
+
+
+class TestReExecution:
+    def test_fault_free_includes_detection_only(self):
+        ex = CopyExecution(60.0, CopyPlan(recoveries=1, checkpoints=0),
+                           alpha=10.0, mu=10.0, chi=5.0)
+        # Re-execution: no χ; C + α = 70.
+        assert ex.fault_free_duration() == 70.0
+
+    def test_worst_case(self):
+        ex = CopyExecution(60.0, CopyPlan(recoveries=1, checkpoints=0),
+                           alpha=10.0, mu=10.0, chi=5.0)
+        # 70 + (60 + 10 + 10) - 10 = 140.
+        assert ex.worst_case_duration(1) == 140.0
+
+    def test_checkpointing_beats_reexecution_under_faults(self):
+        # The whole point of §3.1: restarting only a segment is cheaper.
+        reexec = CopyExecution(60.0, CopyPlan(2, 0), 1.0, 1.0, 1.0)
+        ckpt = CopyExecution(60.0, CopyPlan(2, 3), 1.0, 1.0, 1.0)
+        assert ckpt.worst_case_duration(2) < reexec.worst_case_duration(2)
+
+
+class TestBudgetSemantics:
+    def test_zero_budget_drops_detection(self):
+        ex = CopyExecution(60.0, CopyPlan(2, 2), alpha=10.0, mu=10.0,
+                           chi=5.0)
+        # No faults possible at all: C + n*χ = 70.
+        assert ex.worst_case_duration(0) == 70.0
+
+    def test_budget_caps_faults(self):
+        ex = CopyExecution(60.0, CopyPlan(recoveries=5, checkpoints=2),
+                           alpha=10.0, mu=10.0, chi=5.0)
+        # Only 1 system fault although R = 5.
+        assert ex.worst_case_duration(1) == 130.0
+
+    def test_recoveries_cap_faults(self):
+        ex = CopyExecution(60.0, CopyPlan(recoveries=1, checkpoints=2),
+                           alpha=10.0, mu=10.0, chi=5.0)
+        # Budget 5 but only one recovery; the final attempt still pays
+        # α because faults remain possible (silent death).
+        assert ex.worst_case_duration(5) == 90.0 + 50.0
+
+    def test_monotone_in_budget(self):
+        ex = CopyExecution(60.0, CopyPlan(recoveries=4, checkpoints=2),
+                           alpha=10.0, mu=10.0, chi=5.0)
+        values = [ex.worst_case_duration(b) for b in range(6)]
+        assert values == sorted(values)
+
+    def test_negative_budget_rejected(self):
+        ex = CopyExecution(60.0, CopyPlan(1, 1), 1.0, 1.0, 1.0)
+        with pytest.raises(PolicyError):
+            ex.worst_case_duration(-1)
+
+    def test_replica_has_no_slack(self):
+        ex = CopyExecution(60.0, CopyPlan(recoveries=0, checkpoints=0),
+                           alpha=10.0, mu=10.0, chi=5.0)
+        assert ex.recovery_slack(3) == 0.0
+
+
+class TestValidation:
+    def test_bad_wcet(self):
+        with pytest.raises(PolicyError):
+            CopyExecution(0.0, CopyPlan(1, 1), 1.0, 1.0, 1.0)
+
+    def test_bad_overheads(self):
+        with pytest.raises(PolicyError):
+            CopyExecution(10.0, CopyPlan(1, 1), -1.0, 1.0, 1.0)
+
+    def test_bad_attempt_index(self):
+        ex = CopyExecution(10.0, CopyPlan(1, 1), 1.0, 1.0, 1.0)
+        with pytest.raises(PolicyError):
+            ex.attempt_duration(0, can_fail=True)
+
+
+class TestLocalOptimalCheckpoints:
+    def test_paper_like_example(self):
+        # C=60, k=2, α=10, χ=5: n⁰ = sqrt(120/15) ≈ 2.83 -> 3.
+        assert local_optimal_checkpoints(60, 2, 10, 5) == 3
+
+    def test_single_fault_small_overhead(self):
+        # sqrt(1*100/2) ≈ 7.07 -> compare 7 and 8.
+        n = local_optimal_checkpoints(100, 1, 1, 1)
+        best = min(range(1, 20),
+                   key=lambda m: worst_case_in_isolation(100, 1, 1, 0, 1,
+                                                         m))
+        assert n == best
+
+    def test_optimum_is_discrete_minimum(self):
+        for (wcet, k, alpha, chi) in [(50, 2, 3, 2), (200, 4, 5, 5),
+                                      (33, 1, 1, 4), (80, 6, 2, 1)]:
+            n = local_optimal_checkpoints(wcet, k, alpha, chi, mu=2.0)
+            cost = worst_case_in_isolation(wcet, k, alpha, 2.0, chi, n)
+            neighbours = [m for m in (n - 1, n + 1) if m >= 1]
+            for m in neighbours:
+                assert cost <= worst_case_in_isolation(
+                    wcet, k, alpha, 2.0, chi, m) + 1e-9
+
+    def test_k_zero_returns_one(self):
+        assert local_optimal_checkpoints(100, 0, 1, 1) == 1
+
+    def test_zero_overhead_capped_by_k(self):
+        assert local_optimal_checkpoints(100, 3, 0, 0) == 3
+
+    def test_max_checkpoints_cap(self):
+        n = local_optimal_checkpoints(10_000, 7, 0.1, 0.1,
+                                      max_checkpoints=4)
+        assert n == 4
+
+    def test_high_overhead_prefers_one(self):
+        # χ + α larger than the gain of splitting => 1 checkpoint.
+        assert local_optimal_checkpoints(10, 1, 50, 50) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PolicyError):
+            local_optimal_checkpoints(0, 1, 1, 1)
+        with pytest.raises(PolicyError):
+            local_optimal_checkpoints(10, -1, 1, 1)
+        with pytest.raises(PolicyError):
+            local_optimal_checkpoints(10, 1, 1, 1, max_checkpoints=0)
+        with pytest.raises(PolicyError):
+            worst_case_in_isolation(10, 1, 1, 1, 1, checkpoints=0)

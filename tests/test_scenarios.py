@@ -1,0 +1,111 @@
+"""Unit tests for fault-scenario enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.ftcpg import count_fault_plans, iter_fault_plans
+from repro.ftcpg.scenarios import FaultPlan, _copy_distributions
+from repro.model import Application, Process
+from repro.policies import PolicyAssignment, ProcessPolicy
+
+
+def single_process_app() -> Application:
+    return Application([Process("P1", {"N1": 10.0}, mu=1.0)],
+                       deadline=100)
+
+
+class TestDistributions:
+    def test_single_segment(self):
+        assert _copy_distributions(1, 2) == [(0,), (1,), (2,)]
+
+    def test_two_segments(self):
+        dists = _copy_distributions(2, 1)
+        assert set(dists) == {(0, 0), (1, 0), (0, 1)}
+
+    def test_total_ordering(self):
+        dists = _copy_distributions(3, 2)
+        totals = [sum(d) for d in dists]
+        assert totals == sorted(totals)
+
+
+class TestEnumeration:
+    def test_reexecution_counts(self):
+        app = single_process_app()
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(2))
+        plans = list(iter_fault_plans(app, policies, 2))
+        # 0, 1 or 2 faults on the single copy.
+        assert len(plans) == 3
+        assert plans[0].is_fault_free()
+
+    def test_replication_death_included(self):
+        app = single_process_app()
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.replication(1))
+        plans = list(iter_fault_plans(app, policies, 1))
+        # fault-free, kill copy 0, kill copy 1.
+        assert len(plans) == 3
+        totals = sorted(p.total_faults for p in plans)
+        assert totals == [0, 1, 1]
+
+    def test_checkpointed_distributions(self):
+        app = single_process_app()
+        policies = PolicyAssignment.uniform(
+            app, ProcessPolicy.checkpointing(2, 2))
+        plans = list(iter_fault_plans(app, policies, 2))
+        # Distributions over 2 segments with total <= 2: 1 + 2 + 3.
+        assert len(plans) == 6
+
+    def test_count_matches_enumeration(self, fork_join_app):
+        policies = PolicyAssignment.uniform(fork_join_app,
+                                            ProcessPolicy.re_execution(2))
+        count = count_fault_plans(fork_join_app, policies, 2)
+        assert count == sum(1 for _ in iter_fault_plans(
+            fork_join_app, policies, 2))
+
+    def test_count_matches_for_mixed_policies(self, fork_join_app):
+        policies = PolicyAssignment.build(
+            fork_join_app, ProcessPolicy.re_execution(2),
+            {"P2": ProcessPolicy.replication(2),
+             "P3": ProcessPolicy.checkpointing(2, 2)})
+        count = count_fault_plans(fork_join_app, policies, 2)
+        assert count == sum(1 for _ in iter_fault_plans(
+            fork_join_app, policies, 2))
+
+    def test_exclude_fault_free(self):
+        app = single_process_app()
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(1))
+        plans = list(iter_fault_plans(app, policies, 1,
+                                      include_fault_free=False))
+        assert all(not p.is_fault_free() for p in plans)
+
+    def test_budget_respected(self, fork_join_app):
+        policies = PolicyAssignment.uniform(fork_join_app,
+                                            ProcessPolicy.re_execution(3))
+        for plan in iter_fault_plans(fork_join_app, policies, 3):
+            assert plan.total_faults <= 3
+
+    def test_negative_k_rejected(self):
+        app = single_process_app()
+        policies = PolicyAssignment.uniform(app, ProcessPolicy.none())
+        with pytest.raises(PolicyError):
+            list(iter_fault_plans(app, policies, -1))
+        with pytest.raises(PolicyError):
+            count_fault_plans(app, policies, -1)
+
+
+class TestFaultPlan:
+    def test_lookup(self):
+        plan = FaultPlan({("P1", 0): (1, 0)})
+        assert plan.faults_in("P1", 0, 1) == 1
+        assert plan.faults_in("P1", 0, 2) == 0
+        assert plan.faults_in("P9", 0, 1) == 0
+        assert plan.copy_faults("P1", 0) == 1
+
+    def test_describe(self):
+        assert FaultPlan({}).describe() == "fault-free"
+        assert FaultPlan({("P1", 0): (2,)}).describe() == "P1:2"
+        assert FaultPlan({("P1", 1): (1, 1)}).describe() == "P1(2):[1,1]"

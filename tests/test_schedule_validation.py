@@ -1,0 +1,111 @@
+"""Unit tests for the static schedule-table validator."""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import SchedulingError
+from repro.model import FaultModel, Transparency
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.schedule import (
+    assert_valid_schedule,
+    synthesize_schedule,
+    validate_schedule,
+)
+from repro.schedule.table import EntryKind
+from repro.synthesis import initial_mapping
+from repro.workloads import GeneratorConfig, fig5_example, generate_workload
+
+
+@pytest.fixture(scope="module")
+def fig5_schedule():
+    app, arch, fault_model, transparency, mapping = fig5_example()
+    policies = PolicyAssignment.uniform(
+        app, ProcessPolicy.re_execution(fault_model.k))
+    schedule = synthesize_schedule(app, arch, mapping, policies,
+                                   fault_model, transparency)
+    return arch, fault_model, schedule
+
+
+class TestValidator:
+    def test_generated_schedule_is_valid(self, fig5_schedule):
+        arch, fm, schedule = fig5_schedule
+        assert validate_schedule(schedule, arch, fm.k) == []
+        assert_valid_schedule(schedule, arch, fm.k)
+
+    def test_overlap_detected(self, fig5_schedule):
+        arch, fm, schedule = fig5_schedule
+        target = next(e for e in schedule.entries
+                      if e.kind is EntryKind.ATTEMPT
+                      and e.attempt.process == "P2"
+                      and e.attempt.attempt == 1
+                      and e.guard.fault_count() == 0)
+        entries = tuple(dc_replace(e, start=0.0) if e is target else e
+                        for e in schedule.entries)
+        bad = dc_replace(schedule, entries=entries)
+        violations = validate_schedule(bad, arch, fm.k)
+        assert any("overlap" in v for v in violations)
+        with pytest.raises(SchedulingError):
+            assert_valid_schedule(bad, arch, fm.k)
+
+    def test_budget_violation_detected(self, fig5_schedule):
+        arch, __, schedule = fig5_schedule
+        violations = validate_schedule(schedule, arch, k=1)
+        assert any("faults > k=1" in v for v in violations)
+
+    def test_decidability_violation_detected(self, fig5_schedule):
+        arch, fm, schedule = fig5_schedule
+        # P4 on N2 guarded on P1's (N1) condition: pull it to t=1,
+        # long before the broadcast can arrive.
+        target = next(e for e in schedule.entries
+                      if e.kind is EntryKind.ATTEMPT
+                      and e.attempt.process == "P4"
+                      and e.guard.literals)
+        entries = tuple(dc_replace(e, start=1.0) if e is target else e
+                        for e in schedule.entries)
+        bad = dc_replace(schedule, entries=entries)
+        violations = validate_schedule(bad, arch, fm.k)
+        assert any("before" in v and "known" in v for v in violations)
+
+    def test_bus_conflict_detected(self, fig5_schedule):
+        arch, fm, schedule = fig5_schedule
+        messages = [e for e in schedule.entries
+                    if e.kind is EntryKind.MESSAGE]
+        compatible = None
+        for i, first in enumerate(messages):
+            for second in messages[i + 1:]:
+                if first.guard.compatible_with(second.guard):
+                    compatible = (first, second)
+                    break
+            if compatible:
+                break
+        assert compatible is not None
+        first, second = compatible
+        entries = tuple(
+            dc_replace(e, frames=first.frames) if e is second else e
+            for e in schedule.entries)
+        bad = dc_replace(schedule, entries=entries)
+        violations = validate_schedule(bad, arch, fm.k)
+        assert any("bus slot" in v for v in violations)
+
+
+class TestValidatorOnRandomSchedules:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 5_000), k=st.integers(1, 2),
+           frozen=st.booleans())
+    def test_every_generated_schedule_validates(self, seed, k, frozen):
+        app, arch = generate_workload(GeneratorConfig(
+            processes=5, nodes=2, seed=seed, layer_width=3))
+        policies = PolicyAssignment.uniform(
+            app, ProcessPolicy.re_execution(k))
+        mapping = initial_mapping(app, arch, policies)
+        transparency = (Transparency.full(app) if frozen
+                        else Transparency.none())
+        schedule = synthesize_schedule(app, arch, mapping, policies,
+                                       FaultModel(k=k), transparency,
+                                       max_contexts=200_000)
+        assert validate_schedule(schedule, arch, k) == []

@@ -1,0 +1,87 @@
+"""Unit tests for schedule-table serialization (deployment artifacts)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ftcpg import FaultPlan
+from repro.model import FaultModel, Transparency
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.runtime import simulate
+from repro.schedule import (
+    dump_schedule,
+    load_schedule,
+    schedule_to_dict,
+    synthesize_schedule,
+)
+from repro.schedule.table import BUS
+from repro.workloads import fig5_example
+
+
+@pytest.fixture(scope="module")
+def setup():
+    app, arch, fault_model, transparency, mapping = fig5_example()
+    policies = PolicyAssignment.uniform(
+        app, ProcessPolicy.re_execution(fault_model.k))
+    schedule = synthesize_schedule(app, arch, mapping, policies,
+                                   fault_model, transparency)
+    return app, arch, mapping, policies, fault_model, schedule
+
+
+class TestRoundTrip:
+    def test_lossless(self, setup):
+        *_rest, schedule = setup
+        restored = load_schedule(dump_schedule(schedule))
+        assert restored.entries == schedule.entries
+        assert restored.worst_case_length == schedule.worst_case_length
+        assert restored.fault_free_length == schedule.fault_free_length
+        assert restored.deadline == schedule.deadline
+        assert [leaf.guard for leaf in restored.leaves] == \
+            [leaf.guard for leaf in schedule.leaves]
+
+    def test_restored_schedule_simulates(self, setup):
+        app, arch, mapping, policies, fm, schedule = setup
+        restored = load_schedule(dump_schedule(schedule))
+        result = simulate(app, arch, mapping, policies, fm, restored,
+                          FaultPlan({("P1", 0): (1,)}))
+        assert result.ok, result.errors
+
+    def test_json_is_plain(self, setup):
+        *_rest, schedule = setup
+        data = json.loads(dump_schedule(schedule, indent=2))
+        assert data["format"] == "repro.schedule-set"
+        assert data["version"] == 1
+        assert isinstance(data["entries"], list)
+
+
+class TestPerNodeSlices:
+    def test_node_slice_filters_entries(self, setup):
+        *_rest, schedule = setup
+        data = schedule_to_dict(schedule, node="N1")
+        locations = {e["location"] for e in data["entries"]}
+        assert locations <= {"N1", BUS}
+        assert data["node"] == "N1"
+
+    def test_slices_cover_everything(self, setup):
+        *_rest, schedule = setup
+        n1 = schedule_to_dict(schedule, node="N1")
+        n2 = schedule_to_dict(schedule, node="N2")
+        attempts = sum(1 for e in schedule.entries
+                       if e.location in ("N1", "N2"))
+        sliced = sum(1 for e in n1["entries"] + n2["entries"]
+                     if e["location"] != BUS)
+        assert sliced == attempts
+
+
+class TestErrors:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValidationError):
+            load_schedule(json.dumps({"format": "nope", "version": 1}))
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValidationError):
+            load_schedule(json.dumps(
+                {"format": "repro.schedule-set", "version": 99}))

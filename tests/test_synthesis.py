@@ -1,0 +1,241 @@
+"""Unit tests for the design optimization layer (paper §6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.model import Application, FaultModel, Message, Process
+from repro.policies import PolicyAssignment, PolicyKind, ProcessPolicy
+from repro.synthesis import (
+    TabuSearch,
+    TabuSettings,
+    initial_mapping,
+    nft_baseline,
+    synthesize,
+)
+from repro.synthesis.moves import PolicyMove, RemapMove
+from repro.synthesis.tabu import policy_candidates
+from repro.workloads import GeneratorConfig, generate_workload
+
+QUICK = TabuSettings(iterations=10, neighborhood=8,
+                     bus_contention=False, seed=3)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(GeneratorConfig(processes=14, nodes=3,
+                                             seed=11))
+
+
+class TestInitialMapping:
+    def test_covers_all_copies(self, workload):
+        app, arch = workload
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.replication(2))
+        mapping = initial_mapping(app, arch, policies)
+        mapping.validate(app, arch, policies)
+
+    def test_replicas_spread(self, workload):
+        app, arch = workload
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.replication(2))
+        mapping = initial_mapping(app, arch, policies)
+        for name in app.process_names:
+            nodes = {mapping.node_of(name, c) for c in range(3)}
+            assert len(nodes) == 3  # three nodes available
+
+    def test_fixed_node_respected(self, two_nodes):
+        app = Application(
+            [Process("P1", {"N1": 10.0, "N2": 1.0}, fixed_node="N1")],
+            deadline=100)
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(1))
+        mapping = initial_mapping(app, two_nodes, policies)
+        assert mapping.node_of("P1", 0) == "N1"
+
+
+class TestMoves:
+    def test_remap_move(self, workload):
+        app, arch = workload
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(2))
+        mapping = initial_mapping(app, arch, policies)
+        name = app.process_names[0]
+        current = mapping.node_of(name, 0)
+        target = next(n for n in arch.node_names if n != current)
+        move = RemapMove(name, 0, target)
+        assert move.applies_to((policies, mapping))
+        _, new_mapping = move.apply((policies, mapping), app)
+        assert new_mapping.node_of(name, 0) == target
+        assert mapping.node_of(name, 0) == current  # original untouched
+
+    def test_remap_noop_detected(self, workload):
+        app, arch = workload
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(2))
+        mapping = initial_mapping(app, arch, policies)
+        name = app.process_names[0]
+        move = RemapMove(name, 0, mapping.node_of(name, 0))
+        assert not move.applies_to((policies, mapping))
+
+    def test_policy_move_grows_copies(self, workload):
+        app, arch = workload
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(2))
+        mapping = initial_mapping(app, arch, policies)
+        name = app.process_names[0]
+        move = PolicyMove(name, ProcessPolicy.replication(2))
+        new_policies, new_mapping = move.apply((policies, mapping), app)
+        assert new_policies.of(name).kind is PolicyKind.REPLICATION
+        new_mapping.validate(app, arch, new_policies)
+
+    def test_policy_move_shrinks_copies(self, workload):
+        app, arch = workload
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.replication(2))
+        mapping = initial_mapping(app, arch, policies)
+        name = app.process_names[0]
+        move = PolicyMove(name, ProcessPolicy.re_execution(2))
+        new_policies, new_mapping = move.apply((policies, mapping), app)
+        new_mapping.validate(app, arch, new_policies)
+        assert (name, 2) not in new_mapping
+
+
+class TestTabuSearch:
+    def test_improves_over_initial(self, workload):
+        app, arch = workload
+        fm = FaultModel(k=2)
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(2))
+        search = TabuSearch(app, arch, fm,
+                            policy_space=policy_candidates(app, 2),
+                            settings=QUICK)
+        initial = (policies, initial_mapping(app, arch, policies))
+        initial_cost, _ = search.evaluate(initial)
+        result = search.optimize(initial)
+        assert result.cost <= initial_cost + 1e-9
+        assert result.evaluations > 0
+
+    def test_deterministic_given_seed(self, workload):
+        app, arch = workload
+        fm = FaultModel(k=2)
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(2))
+        initial = (policies, initial_mapping(app, arch, policies))
+
+        def run():
+            search = TabuSearch(app, arch, fm,
+                                policy_space=policy_candidates(app, 2),
+                                settings=QUICK)
+            return search.optimize(initial)
+
+        a, b = run(), run()
+        assert a.cost == b.cost
+        assert a.mapping == b.mapping
+
+    def test_result_tolerates_k(self, workload):
+        app, arch = workload
+        fm = FaultModel(k=2)
+        policies = PolicyAssignment.uniform(app,
+                                            ProcessPolicy.re_execution(2))
+        search = TabuSearch(app, arch, fm,
+                            policy_space=policy_candidates(app, 2),
+                            settings=QUICK)
+        result = search.optimize(
+            (policies, initial_mapping(app, arch, policies)))
+        result.policies.validate(app, fm.k)
+        result.mapping.validate(app, arch, result.policies)
+
+
+class TestPolicyCandidates:
+    def test_mxr_space(self, workload):
+        app, _ = workload
+        space = policy_candidates(app, 3)
+        kinds = {p.kind for p in space("P1")}
+        assert PolicyKind.CHECKPOINTING in kinds
+        assert PolicyKind.REPLICATION in kinds
+        assert PolicyKind.REPLICATION_AND_CHECKPOINTING in kinds
+
+    def test_mx_space(self, workload):
+        app, _ = workload
+        space = policy_candidates(app, 3, allow_replication=False,
+                                  allow_combined=False)
+        assert len(space("P1")) == 1
+
+    def test_all_candidates_tolerate_k(self, workload):
+        app, _ = workload
+        for k in (1, 2, 5):
+            space = policy_candidates(app, k)
+            for policy in space("P1"):
+                assert policy.tolerates(k)
+
+
+class TestStrategies:
+    def test_unknown_strategy(self, workload):
+        app, arch = workload
+        with pytest.raises(SynthesisError):
+            synthesize(app, arch, FaultModel(k=2), "NOPE",
+                       settings=QUICK)
+
+    def test_strategy_policies_match_definition(self, workload):
+        app, arch = workload
+        fm = FaultModel(k=2)
+        baseline = nft_baseline(app, arch, QUICK)
+        mx = synthesize(app, arch, fm, "MX", settings=QUICK,
+                        baseline=baseline)
+        assert all(p.kind is PolicyKind.CHECKPOINTING
+                   for _, p in mx.policies.items())
+        mr = synthesize(app, arch, fm, "MR", settings=QUICK,
+                        baseline=baseline)
+        assert all(p.kind is PolicyKind.REPLICATION
+                   for _, p in mr.policies.items())
+        sfx = synthesize(app, arch, fm, "SFX", settings=QUICK,
+                         baseline=baseline)
+        assert all(p.kind is PolicyKind.CHECKPOINTING
+                   for _, p in sfx.policies.items())
+
+    def test_sfx_uses_nft_mapping(self, workload):
+        app, arch = workload
+        fm = FaultModel(k=2)
+        baseline = nft_baseline(app, arch, QUICK)
+        sfx = synthesize(app, arch, fm, "SFX", settings=QUICK,
+                         baseline=baseline)
+        for name in app.process_names:
+            assert sfx.mapping.node_of(name, 0) == \
+                baseline.process_map[name]
+
+    def test_fto_nonnegative_and_ordered(self, workload):
+        app, arch = workload
+        fm = FaultModel(k=2)
+        baseline = nft_baseline(app, arch, QUICK)
+        results = {s: synthesize(app, arch, fm, s, settings=QUICK,
+                                 baseline=baseline)
+                   for s in ("MXR", "MX", "SFX")}
+        for result in results.values():
+            assert result.fto >= 0.0
+        # MXR's space strictly contains MX's: with the same start it
+        # can only match or beat it.
+        assert results["MXR"].schedule_length <= \
+            results["MX"].schedule_length + 1e-6
+
+    def test_mc_assigns_checkpoints(self, workload):
+        app, arch = workload
+        fm = FaultModel(k=2)
+        baseline = nft_baseline(app, arch, QUICK)
+        mc = synthesize(app, arch, fm, "MC", settings=QUICK,
+                        baseline=baseline)
+        assert all(p.copies[0].checkpoints >= 1
+                   for _, p in mc.policies.items())
+
+    def test_mc_global_not_worse(self, workload):
+        app, arch = workload
+        fm = FaultModel(k=2)
+        baseline = nft_baseline(app, arch, QUICK)
+        mc = synthesize(app, arch, fm, "MC", settings=QUICK,
+                        baseline=baseline)
+        mc_global = synthesize(app, arch, fm, "MC_GLOBAL",
+                               settings=QUICK, baseline=baseline)
+        # The global pass starts from MC's result and only accepts
+        # improving moves (same search seed => same mapping).
+        assert mc_global.schedule_length <= mc.schedule_length + 1e-6

@@ -1,0 +1,132 @@
+"""Unit tests for the utility helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.utils import (
+    DeterministicRng,
+    ceil_div,
+    feq,
+    fge,
+    fgt,
+    fle,
+    flt,
+    lcm_many,
+    topological_order,
+    transitive_successors,
+)
+
+
+class TestMath:
+    def test_ceil_div(self):
+        assert ceil_div(0, 4) == 0
+        assert ceil_div(1, 4) == 1
+        assert ceil_div(4, 4) == 1
+        assert ceil_div(5, 4) == 2
+
+    def test_ceil_div_validation(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    def test_lcm_many(self):
+        assert lcm_many([4, 6]) == 12
+        assert lcm_many([5]) == 5
+        assert lcm_many([2, 3, 7]) == 42
+
+    def test_lcm_validation(self):
+        with pytest.raises(ValueError):
+            lcm_many([])
+        with pytest.raises(ValueError):
+            lcm_many([0])
+
+    def test_float_comparisons(self):
+        assert feq(1.0, 1.0 + 1e-9)
+        assert not feq(1.0, 1.1)
+        assert fle(1.0, 1.0)
+        assert fge(1.0, 1.0)
+        assert flt(1.0, 1.1)
+        assert not flt(1.0, 1.0 + 1e-9)
+        assert fgt(1.1, 1.0)
+
+
+class TestGraphs:
+    def test_topological_order_simple(self):
+        order = topological_order(["a", "b", "c"],
+                                  {"a": ["b"], "b": ["c"]})
+        assert order == ["a", "b", "c"]
+
+    def test_stable_among_ties(self):
+        order = topological_order(["z", "a", "m"], {})
+        assert order == ["z", "a", "m"]
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValidationError):
+            topological_order(["a", "b"], {"a": ["b"], "b": ["a"]})
+
+    def test_unknown_edge_rejected(self):
+        with pytest.raises(ValidationError):
+            topological_order(["a"], {"a": ["zz"]})
+        with pytest.raises(ValidationError):
+            topological_order(["a"], {"zz": ["a"]})
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValidationError):
+            topological_order(["a", "a"], {})
+
+    def test_transitive_successors(self):
+        reach = transitive_successors(
+            ["a", "b", "c", "d"],
+            {"a": ["b"], "b": ["c"], "d": []})
+        assert reach["a"] == {"b", "c"}
+        assert reach["c"] == frozenset()
+        assert reach["d"] == frozenset()
+
+    @given(st.integers(2, 30), st.integers(0, 1000))
+    def test_topological_order_property(self, n, seed):
+        rng = DeterministicRng(seed)
+        nodes = [f"v{i}" for i in range(n)]
+        successors = {
+            nodes[i]: [nodes[j] for j in range(i + 1, n)
+                       if rng.random() < 0.2]
+            for i in range(n)
+        }
+        order = topological_order(nodes, successors)
+        position = {node: i for i, node in enumerate(order)}
+        for src, targets in successors.items():
+            for dst in targets:
+                assert position[src] < position[dst]
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a, b = DeterministicRng(7), DeterministicRng(7)
+        assert [a.random() for _ in range(5)] == \
+            [b.random() for _ in range(5)]
+
+    def test_substream_independent_of_parent_draws(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        __ = [a.random() for _ in range(10)]
+        assert a.substream("x").random() == b.substream("x").random()
+
+    def test_substreams_differ_by_name(self):
+        rng = DeterministicRng(7)
+        assert rng.substream("x").random() != \
+            rng.substream("y").random()
+
+    def test_helpers(self):
+        rng = DeterministicRng(1)
+        assert 0 <= rng.randint(0, 5) <= 5
+        assert 1.0 <= rng.uniform(1.0, 2.0) <= 2.0
+        assert rng.choice(["a"]) == "a"
+        sample = rng.sample(list(range(10)), 3)
+        assert len(set(sample)) == 3
+        items = [1, 2, 3]
+        rng.shuffle(items)
+        assert sorted(items) == [1, 2, 3]
+        assert rng.seed == 1

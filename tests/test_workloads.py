@@ -1,0 +1,112 @@
+"""Unit tests for the workload generator and presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model import validate_model
+from repro.workloads import (
+    GeneratorConfig,
+    cruise_controller,
+    fig3_example,
+    generate_workload,
+)
+from repro.workloads.generator import paper_experiment_config
+
+
+class TestGenerator:
+    def test_sizes_respected(self):
+        for n in (1, 7, 30):
+            app, arch = generate_workload(
+                GeneratorConfig(processes=n, nodes=3, seed=5))
+            assert len(app) == n
+            assert len(arch) == 3
+
+    def test_deterministic(self):
+        a1, _ = generate_workload(GeneratorConfig(processes=25, seed=9))
+        a2, _ = generate_workload(GeneratorConfig(processes=25, seed=9))
+        assert a1.process_names == a2.process_names
+        assert a1.message_names == a2.message_names
+        for p1, p2 in zip(a1.processes, a2.processes):
+            assert p1.wcet == p2.wcet
+
+    def test_seed_changes_workload(self):
+        a1, _ = generate_workload(GeneratorConfig(processes=25, seed=1))
+        a2, _ = generate_workload(GeneratorConfig(processes=25, seed=2))
+        w1 = [p.wcet for p in a1.processes]
+        w2 = [p.wcet for p in a2.processes]
+        assert w1 != w2
+
+    def test_model_consistency(self):
+        app, arch = generate_workload(
+            GeneratorConfig(processes=40, nodes=4, seed=3))
+        validate_model(app, arch)
+
+    def test_every_nonsource_has_inputs(self):
+        app, _ = generate_workload(GeneratorConfig(processes=40, seed=3))
+        sources = set(app.sources)
+        for name in app.process_names:
+            if name not in sources:
+                assert app.inputs_of(name)
+
+    def test_wcet_range_and_heterogeneity(self):
+        config = GeneratorConfig(processes=30, seed=4,
+                                 wcet_range=(10, 100), hetero=0.25)
+        app, _ = generate_workload(config)
+        for process in app.processes:
+            for value in process.wcet.values():
+                assert 10 * 0.75 <= value <= 100 * 1.25
+
+    def test_overheads_scale_with_wcet(self):
+        config = GeneratorConfig(processes=10, seed=4,
+                                 alpha_fraction=0.1, mu_fraction=0.2,
+                                 chi_fraction=0.3)
+        app, _ = generate_workload(config)
+        for process in app.processes:
+            assert process.alpha > 0
+            assert process.mu > process.alpha
+            assert process.chi > process.mu
+
+    def test_deadline_is_generous(self):
+        app, _ = generate_workload(GeneratorConfig(processes=30, seed=4))
+        assert app.deadline > 0
+        assert app.deadline > app.mean_wcet() * 10
+
+    @pytest.mark.parametrize("kwargs", [
+        {"processes": 0}, {"nodes": 0}, {"hetero": 1.0},
+        {"wcet_range": (0, 10)}, {"wcet_range": (100, 10)},
+        {"layer_width": 0}, {"max_in": 0},
+    ])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValidationError):
+            GeneratorConfig(**kwargs)
+
+    def test_paper_experiment_config_ranges(self):
+        for size in (20, 60, 100):
+            for seed in (1, 2, 3):
+                config, k = paper_experiment_config(size, seed)
+                assert 2 <= config.nodes <= 6
+                assert 3 <= k <= 7
+                assert config.processes == size
+
+
+class TestPresets:
+    def test_fig3(self):
+        app, arch = fig3_example()
+        assert len(app) == 5
+        # P3 restricted to N1 (the "X" of Fig. 3c).
+        assert app.process("P3").allowed_nodes == ("N1",)
+        assert app.process("P2").wcet == {"N1": 40.0, "N2": 60.0}
+        validate_model(app, arch)
+
+    def test_cruise_controller(self):
+        app, arch = cruise_controller()
+        assert len(app) == 24
+        assert len(arch) == 3
+        validate_model(app, arch)
+        # Sensors fixed on N1, actuators on N3.
+        assert app.process("radar_acq").fixed_node == "N1"
+        assert app.process("brake_cmd").fixed_node == "N3"
+        # It is a meaningful DAG: actuation depends on sensing.
+        assert "throttle_cmd" in app.descendants("radar_acq")
