@@ -48,8 +48,9 @@ def main() -> None:
         print(f"  {name}: {policy.kind.value:28s} on {','.join(nodes)}")
     print(f"  estimated FT length: {result.schedule_length:.1f}")
     print(f"  NFT baseline length: {result.nft_length:.1f}")
-    print(f"  fault tolerance overhead: "
-          f"{fault_tolerance_overhead(result.schedule_length, result.nft_length):.1f} %")
+    fto = fault_tolerance_overhead(result.schedule_length,
+                                   result.nft_length)
+    print(f"  fault tolerance overhead: {fto:.1f} %")
     print()
 
     # 2. Exact conditional schedule tables.

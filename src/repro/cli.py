@@ -14,17 +14,25 @@ Commands
     Synthesize and exhaustively fault-inject a small instance.
 ``fig7`` / ``fig8``
     Run the paper's evaluation sweeps (quick or paper profile).
+``batch``
+    Run a sweep through the batch engine: parallel workers, resumable
+    JSONL checkpointing, JSON/CSV result export.
 
 Examples
 --------
 
 ::
 
-    python -m repro synth --processes 20 --nodes 3 --k 2 --strategy MXR
-    python -m repro synth --preset cruise --k 2 --strategy MXR --tables
-    python -m repro tables --preset fig5
-    python -m repro verify --processes 5 --nodes 2 --k 2
-    python -m repro fig7 --profile quick
+    repro synth --processes 20 --nodes 3 --k 2 --strategy MXR
+    repro synth --preset cruise --k 2 --strategy MXR --tables
+    repro tables --preset fig5
+    repro verify --processes 5 --nodes 2 --k 2
+    repro fig7 --profile quick
+    repro batch --experiment fig7 --profile paper --workers 4 \
+        --checkpoint fig7.ckpt.jsonl --out fig7.json --csv fig7.csv
+
+(``repro`` is the installed console script; ``python -m repro`` works
+from a source checkout.)
 """
 
 from __future__ import annotations
@@ -33,6 +41,9 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.engine import BatchEngine, EngineConfig
+from repro.experiments import fig7 as fig7_mod
+from repro.experiments import fig8 as fig8_mod
 from repro.experiments.fig7 import COMPARED, Fig7Config, run_fig7
 from repro.experiments.fig8 import Fig8Config, run_fig8
 from repro.experiments.reporting import render_rows
@@ -144,7 +155,7 @@ def _cmd_verify(args) -> int:
 def _cmd_fig7(args) -> int:
     config = (Fig7Config.paper() if args.profile == "paper"
               else Fig7Config.quick())
-    rows = run_fig7(config, verbose=True)
+    rows = run_fig7(config, verbose=True, workers=args.workers)
     print(render_rows(
         ["processes", "samples", "FTO(MXR) %"]
         + [f"dev {s} %" for s in COMPARED],
@@ -155,11 +166,60 @@ def _cmd_fig7(args) -> int:
 def _cmd_fig8(args) -> int:
     config = (Fig8Config.paper() if args.profile == "paper"
               else Fig8Config.quick())
-    rows = run_fig8(config, verbose=True)
+    rows = run_fig8(config, verbose=True, workers=args.workers)
     print(render_rows(
         ["processes", "samples", "FTO[27] %", "FTO[15] %",
          "deviation %"],
         [row.as_cells() for row in rows]))
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    if args.experiment == "fig7":
+        config = (Fig7Config.paper() if args.profile == "paper"
+                  else Fig7Config.quick())
+        jobs = fig7_mod.fig7_jobs(config)
+    else:
+        config = (Fig8Config.paper() if args.profile == "paper"
+                  else Fig8Config.quick())
+        jobs = fig8_mod.fig8_jobs(config)
+
+    engine = BatchEngine(EngineConfig(
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=not args.no_resume,
+    ))
+    report = engine.run(jobs)
+    cells = report.results()
+
+    if args.experiment == "fig7":
+        rows = fig7_mod.rows_from_cells(cells, sizes=config.sizes)
+        print(render_rows(
+            ["processes", "samples", "FTO(MXR) %"]
+            + [f"dev {s} %" for s in COMPARED],
+            [row.as_cells() for row in rows]))
+    else:
+        rows = fig8_mod.rows_from_cells(cells, sizes=config.sizes)
+        print(render_rows(
+            ["processes", "samples", "FTO[27] %", "FTO[15] %",
+             "deviation %"],
+            [row.as_cells() for row in rows]))
+
+    hits = sum(c["cache_hits"] for c in cells)
+    misses = sum(c["cache_misses"] for c in cells)
+    lookups = hits + misses
+    hit_rate = (hits / lookups * 100.0) if lookups else 0.0
+    print()
+    print(f"{len(cells)} cells ({report.executed} executed, "
+          f"{report.resumed} resumed) in {report.wall_time:.1f}s "
+          f"with {args.workers} worker(s); "
+          f"estimation cache hit rate {hit_rate:.1f}%")
+    if args.out:
+        report.write_json(args.out)
+        print(f"results written to {args.out}")
+    if args.csv:
+        report.write_csv(args.csv)
+        print(f"CSV written to {args.csv}")
     return 0
 
 
@@ -213,7 +273,29 @@ def build_parser() -> argparse.ArgumentParser:
                                help=f"run the paper's {name} sweep")
         p_fig.add_argument("--profile", choices=("quick", "paper"),
                            default="quick")
+        p_fig.add_argument("--workers", type=int, default=1,
+                           help="worker processes for the sweep cells")
         p_fig.set_defaults(func=handler)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a sweep through the parallel batch engine")
+    p_batch.add_argument("--experiment", choices=("fig7", "fig8"),
+                         required=True)
+    p_batch.add_argument("--profile", choices=("quick", "paper"),
+                         default="quick")
+    p_batch.add_argument("--workers", type=int, default=1,
+                         help="worker processes (<=1 runs serially)")
+    p_batch.add_argument("--checkpoint", default=None, metavar="PATH",
+                         help="JSONL checkpoint of completed cells "
+                              "(enables resume)")
+    p_batch.add_argument("--no-resume", action="store_true",
+                         help="ignore an existing checkpoint file")
+    p_batch.add_argument("--out", default=None, metavar="PATH",
+                         help="write the full JSON report")
+    p_batch.add_argument("--csv", default=None, metavar="PATH",
+                         help="write one CSV row per sweep cell")
+    p_batch.set_defaults(func=_cmd_batch)
     return parser
 
 

@@ -1,0 +1,52 @@
+"""Batch experiment engine: parallel sweeps with estimation caching.
+
+The paper's evaluation figures are sweeps over grids of synthetic
+applications; this package turns such sweeps into first-class batch
+runs:
+
+* :mod:`repro.engine.jobs` — the unit of work: a picklable, pure
+  :class:`~repro.engine.jobs.BatchJob` referencing its runner by
+  import path;
+* :mod:`repro.engine.grid` — cartesian axis expansion into jobs with
+  stable ids;
+* :mod:`repro.engine.runner` — the :class:`~repro.engine.runner.
+  BatchEngine`: serial or process-pool execution, JSONL checkpointing
+  of completed cells, resume, and deterministic JSON/CSV reports;
+* :mod:`repro.engine.cache` — the
+  :class:`~repro.engine.cache.EstimationCache` memoizing the
+  slack-sharing schedule estimate behind a canonical solution
+  fingerprint (the dominant cost inside every sweep cell).
+
+The Fig. 7 / Fig. 8 harnesses of :mod:`repro.experiments` route
+through this engine (``repro batch`` on the command line).
+"""
+
+from repro.engine.cache import (
+    CacheStats,
+    EstimationCache,
+    solution_fingerprint,
+)
+from repro.engine.grid import grid_jobs
+from repro.engine.jobs import BatchJob, resolve_runner, run_job
+from repro.engine.runner import (
+    BatchEngine,
+    BatchReport,
+    EngineConfig,
+    JobOutcome,
+    run_batch,
+)
+
+__all__ = [
+    "BatchEngine",
+    "BatchJob",
+    "BatchReport",
+    "CacheStats",
+    "EngineConfig",
+    "EstimationCache",
+    "JobOutcome",
+    "grid_jobs",
+    "resolve_runner",
+    "run_batch",
+    "run_job",
+    "solution_fingerprint",
+]

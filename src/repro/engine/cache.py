@@ -1,0 +1,22 @@
+"""Estimation caching, re-exported as part of the engine API.
+
+The implementation lives in :mod:`repro.schedule.estimation_cache`
+(the cache wraps a schedule-level function and is consumed by the
+synthesis layer, which must not depend on the batch engine); the
+engine package re-exports it because per-cell estimation caching is
+one of the engine's pillars.
+"""
+
+from repro.schedule.estimation_cache import (
+    DEFAULT_MAX_ENTRIES,
+    CacheStats,
+    EstimationCache,
+    solution_fingerprint,
+)
+
+__all__ = [
+    "DEFAULT_MAX_ENTRIES",
+    "CacheStats",
+    "EstimationCache",
+    "solution_fingerprint",
+]

@@ -1,0 +1,47 @@
+"""Sweep grids: cartesian products of axes expanded into jobs.
+
+The Fig. 7 / Fig. 8 sweeps — and every future batch experiment — are
+grids: a few named axes (application size, generator seed, strategy
+set), each cell independent of every other.  :func:`grid_jobs` expands
+the axes in deterministic row-major order (first axis slowest) into
+:class:`~repro.engine.jobs.BatchJob` instances with stable, readable
+job ids, so serial and parallel runs enumerate identical work and
+checkpoint files survive re-expansion of the same configuration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from itertools import product
+
+from repro.engine.jobs import BatchJob
+
+
+def grid_jobs(
+    runner: str,
+    axes: Mapping[str, Sequence[object]],
+    *,
+    prefix: str,
+    common: Mapping[str, object] | None = None,
+) -> list[BatchJob]:
+    """Expand named axes into one job per grid cell.
+
+    ``axes`` maps axis names to value sequences; every combination
+    becomes one job whose params hold the axis values plus the
+    ``common`` parameters shared by all cells.  The job id is
+    ``prefix/axis0=v0/axis1=v1/...`` in axis order.
+    """
+    if not axes:
+        raise ValueError("a sweep grid needs at least one axis")
+    names = list(axes)
+    for name in names:
+        if not axes[name]:
+            raise ValueError(f"axis {name!r} has no values")
+    jobs: list[BatchJob] = []
+    for values in product(*(axes[name] for name in names)):
+        cell = dict(common or {})
+        cell.update(zip(names, values))
+        suffix = "/".join(f"{name}={value}"
+                          for name, value in zip(names, values))
+        jobs.append(BatchJob.create(f"{prefix}/{suffix}", runner, **cell))
+    return jobs

@@ -1,0 +1,87 @@
+"""Batch jobs: the unit of work the engine fans out.
+
+A :class:`BatchJob` is a pure, picklable description of one sweep
+cell: a stable ``job_id``, a ``runner`` reference of the form
+``"package.module:function"``, and a parameter mapping.  The runner
+is resolved by import path (not by an in-process registry) so a
+``ProcessPoolExecutor`` worker can execute jobs without any setup
+beyond having the package importable — and so checkpoint files remain
+meaningful across interpreter restarts.
+
+Parameters are stored as canonical JSON text (sorted keys), which
+makes jobs hashable, picklable, and round-trip-exact with the JSONL
+checkpoint file — a job's params always compare equal to what a
+resumed run reads back.  The JSON contract is enforced at creation
+time: unserializable params fail fast, and tuples are normalized to
+lists up front (JSON semantics) rather than silently on first resume.
+
+Runners are plain functions ``(params: dict) -> dict``; results must
+be JSON-serializable too, because they stream to the checkpoint file
+and the JSON/CSV reports.  Seeds for stochastic work inside a job
+should be derived with :func:`repro.utils.rng.derive_seed` from the
+sweep seed and the job's grid coordinates, which keeps every job
+reproducible in isolation and independent of execution order.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from dataclasses import dataclass
+from collections.abc import Callable, Mapping
+
+JobRunner = Callable[[Mapping[str, object]], dict]
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One independent cell of a sweep grid."""
+
+    job_id: str
+    runner: str
+    params_json: str
+
+    @classmethod
+    def create(cls, job_id: str, runner: str,
+               **params: object) -> "BatchJob":
+        """Build a job from keyword parameters."""
+        if ":" not in runner:
+            raise ValueError(
+                f"runner must be 'module:function', got {runner!r}")
+        try:
+            encoded = json.dumps(params, sort_keys=True)
+        except (TypeError, ValueError) as error:
+            raise ValueError(
+                f"job {job_id!r} params must be JSON-serializable: "
+                f"{error}") from None
+        return cls(job_id=job_id, runner=runner, params_json=encoded)
+
+    def params_dict(self) -> dict:
+        """The job parameters as a plain dict."""
+        return json.loads(self.params_json)
+
+
+def resolve_runner(reference: str) -> JobRunner:
+    """Import and return the runner a job references."""
+    module_name, _, attribute = reference.partition(":")
+    if not module_name or not attribute:
+        raise ValueError(
+            f"runner must be 'module:function', got {reference!r}")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attribute)
+    except AttributeError:
+        raise ValueError(
+            f"module {module_name!r} has no runner {attribute!r}"
+        ) from None
+
+
+def run_job(job: BatchJob) -> dict:
+    """Execute one job in the current process and return its result."""
+    runner = resolve_runner(job.runner)
+    result = runner(job.params_dict())
+    if not isinstance(result, dict):
+        raise TypeError(
+            f"runner {job.runner!r} returned {type(result).__name__}, "
+            "expected a JSON-serializable dict")
+    return result

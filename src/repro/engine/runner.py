@@ -1,0 +1,295 @@
+"""The batch engine: fan jobs out, checkpoint, stream results.
+
+Execution model
+---------------
+
+* every :class:`~repro.engine.jobs.BatchJob` is independent and pure,
+  so the engine may run them serially (``workers <= 1``) or across a
+  ``ProcessPoolExecutor`` — the report is assembled in job submission
+  order either way, which makes serial and parallel runs byte-identical
+  in their JSON/CSV output;
+* each completed cell is appended to a JSONL checkpoint file the
+  moment it finishes (flushed per line), so an interrupted sweep loses
+  at most the in-flight cells;
+* a resumed run loads the checkpoint, verifies each recorded cell
+  still matches the job's parameters (a changed configuration
+  invalidates the record, never silently reuses it) and only executes
+  the remainder.
+
+Timing is kept out of the result files on purpose: wall-clock numbers
+live in the :class:`BatchReport` (and the checkpoint lines) where they
+cannot break output reproducibility.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Callable, Sequence
+
+from repro.engine.jobs import BatchJob, run_job
+
+#: Called once per cell as it completes (or is restored), for live
+#: progress reporting. Parallel cells report in completion order.
+ProgressCallback = Callable[["JobOutcome"], None]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How one batch run executes."""
+
+    #: ``<= 1`` runs serially in-process; ``N > 1`` uses a process pool.
+    workers: int = 1
+    #: JSONL file recording completed cells (None disables).
+    checkpoint_path: str | Path | None = None
+    #: Load the checkpoint and skip already-completed cells.
+    resume: bool = True
+
+
+@dataclass
+class JobOutcome:
+    """One executed (or resumed) cell."""
+
+    job: BatchJob
+    result: dict
+    elapsed: float
+    from_checkpoint: bool = False
+
+
+@dataclass
+class BatchReport:
+    """All outcomes of one engine run, in job submission order."""
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def executed(self) -> int:
+        """Cells computed in this run."""
+        return sum(1 for o in self.outcomes if not o.from_checkpoint)
+
+    @property
+    def resumed(self) -> int:
+        """Cells restored from the checkpoint file."""
+        return sum(1 for o in self.outcomes if o.from_checkpoint)
+
+    def results(self) -> list[dict]:
+        """The per-cell result dicts, in job order."""
+        return [outcome.result for outcome in self.outcomes]
+
+    def result_of(self, job_id: str) -> dict:
+        """The result of one cell by id."""
+        for outcome in self.outcomes:
+            if outcome.job.job_id == job_id:
+                return outcome.result
+        raise KeyError(f"no outcome for job {job_id!r}")
+
+    # -- deterministic exports ------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """Timing-free report payload (stable across runs)."""
+        return {
+            "jobs": [
+                {
+                    "job_id": outcome.job.job_id,
+                    "runner": outcome.job.runner,
+                    "params": outcome.job.params_dict(),
+                    "result": outcome.result,
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text of the report."""
+        return json.dumps(self.to_jsonable(), indent=2, sort_keys=True)
+
+    def write_json(self, path: str | Path) -> None:
+        """Write the canonical JSON report."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    def write_csv(self, path: str | Path) -> None:
+        """Write one CSV row per cell (nested keys dotted, sorted)."""
+        rows = [_flatten(outcome.result) for outcome in self.outcomes]
+        columns = sorted({key for row in rows for key in row})
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["job_id", *columns])
+            for outcome, row in zip(self.outcomes, rows):
+                writer.writerow(
+                    [outcome.job.job_id]
+                    + [_cell(row.get(column)) for column in columns])
+
+
+def _flatten(result: dict, prefix: str = "") -> dict:
+    flat: dict = {}
+    for key, value in result.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, prefix=f"{name}."))
+        else:
+            flat[name] = value
+    return flat
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    return str(value)
+
+
+def _execute(job: BatchJob) -> tuple[str, dict, float]:
+    """Worker entry point: run one job and time it."""
+    started = time.perf_counter()
+    result = run_job(job)
+    return job.job_id, result, time.perf_counter() - started
+
+
+class BatchEngine:
+    """Runs a list of jobs under one :class:`EngineConfig`."""
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self._config = config or EngineConfig()
+
+    @property
+    def config(self) -> EngineConfig:
+        """The engine configuration."""
+        return self._config
+
+    def run(self, jobs: Sequence[BatchJob], *,
+            progress: ProgressCallback | None = None) -> BatchReport:
+        """Execute (or resume) all jobs and return the ordered report.
+
+        ``progress`` is invoked live — restored cells first (in job
+        order), then executed cells as each one finishes — so long
+        sweeps can report while running.
+        """
+        seen: set[str] = set()
+        for job in jobs:
+            if job.job_id in seen:
+                raise ValueError(f"duplicate job id {job.job_id!r}")
+            seen.add(job.job_id)
+
+        started = time.perf_counter()
+        if self._config.checkpoint_path is not None:
+            # Fail on an unwritable location before any cell runs,
+            # not after the first one finishes.
+            Path(self._config.checkpoint_path).parent.mkdir(
+                parents=True, exist_ok=True)
+        restored = self._load_checkpoint(jobs)
+        if progress is not None:
+            for job in jobs:
+                if job.job_id in restored:
+                    result, elapsed = restored[job.job_id]
+                    progress(JobOutcome(job, result, elapsed,
+                                        from_checkpoint=True))
+        pending = [job for job in jobs if job.job_id not in restored]
+
+        executed: dict[str, tuple[dict, float]] = {}
+        if pending:
+            if self._config.workers > 1:
+                self._run_parallel(pending, executed, progress)
+            else:
+                self._run_serial(pending, executed, progress)
+
+        outcomes: list[JobOutcome] = []
+        for job in jobs:
+            if job.job_id in restored:
+                result, elapsed = restored[job.job_id]
+                outcomes.append(JobOutcome(job, result, elapsed,
+                                           from_checkpoint=True))
+            else:
+                result, elapsed = executed[job.job_id]
+                outcomes.append(JobOutcome(job, result, elapsed))
+        return BatchReport(outcomes=outcomes,
+                           wall_time=time.perf_counter() - started)
+
+    # -- execution paths ------------------------------------------------------
+
+    def _record(self, job: BatchJob, result: dict, elapsed: float,
+                executed: dict[str, tuple[dict, float]],
+                progress: ProgressCallback | None) -> None:
+        executed[job.job_id] = (result, elapsed)
+        self._append_checkpoint(job, result, elapsed)
+        if progress is not None:
+            progress(JobOutcome(job, result, elapsed))
+
+    def _run_serial(self, pending: Sequence[BatchJob],
+                    executed: dict[str, tuple[dict, float]],
+                    progress: ProgressCallback | None) -> None:
+        for job in pending:
+            __, result, elapsed = _execute(job)
+            self._record(job, result, elapsed, executed, progress)
+
+    def _run_parallel(self, pending: Sequence[BatchJob],
+                      executed: dict[str, tuple[dict, float]],
+                      progress: ProgressCallback | None) -> None:
+        by_id = {job.job_id: job for job in pending}
+        with ProcessPoolExecutor(
+                max_workers=self._config.workers) as pool:
+            futures = {pool.submit(_execute, job) for job in pending}
+            while futures:
+                done, futures = wait(futures,
+                                     return_when=FIRST_COMPLETED)
+                for future in done:
+                    job_id, result, elapsed = future.result()
+                    self._record(by_id[job_id], result, elapsed,
+                                 executed, progress)
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _load_checkpoint(self, jobs: Sequence[BatchJob],
+                         ) -> dict[str, tuple[dict, float]]:
+        path = self._config.checkpoint_path
+        if path is None or not self._config.resume:
+            return {}
+        path = Path(path)
+        if not path.exists():
+            return {}
+        params_by_id = {job.job_id: job.params_dict() for job in jobs}
+        restored: dict[str, tuple[dict, float]] = {}
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail of an interrupted run
+            job_id = record.get("job_id")
+            if job_id not in params_by_id:
+                continue
+            if record.get("params") != params_by_id[job_id]:
+                continue  # configuration changed since the checkpoint
+            result = record.get("result")
+            if not isinstance(result, dict):
+                continue
+            restored[job_id] = (result,
+                                float(record.get("elapsed", 0.0)))
+        return restored
+
+    def _append_checkpoint(self, job: BatchJob, result: dict,
+                           elapsed: float) -> None:
+        path = self._config.checkpoint_path
+        if path is None:
+            return
+        record = {
+            "job_id": job.job_id,
+            "params": job.params_dict(),
+            "result": result,
+            "elapsed": elapsed,
+        }
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+
+def run_batch(jobs: Sequence[BatchJob],
+              config: EngineConfig | None = None, *,
+              progress: ProgressCallback | None = None) -> BatchReport:
+    """Convenience wrapper: run jobs under a config."""
+    return BatchEngine(config).run(jobs, progress=progress)

@@ -14,24 +14,43 @@ The paper reports MXR beating MR by 77 % and MX by 17.6 % on average,
 with SFX in between; what this reproduction asserts is the ordering
 ``0 = dev(MXR) < dev(MX) < dev(SFX) < dev(MR)`` and the magnitude
 regimes (MR worse by tens of percent, MX by double digits).
+
+The sweep is expressed as a grid of independent (size, seed) cells and
+executed by :mod:`repro.engine` — serially or across worker processes
+(``run_fig7(..., workers=N)`` / ``repro batch``), with one
+:class:`~repro.engine.cache.EstimationCache` per cell shared by the
+NFT baseline and all four strategies.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, replace
+from collections.abc import Mapping, Sequence
 
-from repro.experiments.reporting import render_rows
+from repro.engine.cache import EstimationCache
+from repro.engine.grid import grid_jobs
+from repro.engine.jobs import BatchJob
+from repro.engine.runner import BatchEngine, EngineConfig, JobOutcome
+from repro.experiments.reporting import (
+    group_cells_by_size,
+    mean,
+    render_rows,
+)
+from repro.model.fault_model import FaultModel
 from repro.schedule.analysis import percentage_deviation
 from repro.synthesis.strategies import nft_baseline, synthesize
 from repro.synthesis.tabu import TabuSettings
+from repro.utils.rng import derive_seed
 from repro.workloads.generator import (
     generate_workload,
     paper_experiment_config,
 )
-from repro.model.fault_model import FaultModel
 
 #: Strategies compared against the MXR baseline, in plot order.
 COMPARED = ("MR", "SFX", "MX")
+
+#: Import-path runner reference resolved by engine workers.
+CELL_RUNNER = "repro.experiments.fig7:run_fig7_cell"
 
 
 @dataclass(frozen=True)
@@ -77,51 +96,96 @@ class Fig7Row:
                 + [f"{self.avg_deviation[s]:.1f}" for s in COMPARED])
 
 
+def fig7_jobs(config: Fig7Config | None = None) -> list[BatchJob]:
+    """Expand the sweep into one engine job per (size, seed) cell."""
+    config = config or Fig7Config()
+    return grid_jobs(
+        CELL_RUNNER,
+        {"size": config.sizes, "seed": config.seeds},
+        prefix="fig7",
+        common={"settings": asdict(config.settings)},
+    )
+
+
+def run_fig7_cell(params: Mapping[str, object]) -> dict:
+    """One sweep cell: all strategies on one (size, seed) workload.
+
+    Pure function of its params (the engine's worker contract): the
+    tabu seed is derived from the sweep seed plus the grid coordinates
+    with :func:`repro.utils.rng.derive_seed`, so cells are reproducible
+    in isolation and independent of execution order. One estimation
+    cache is shared by the NFT baseline and all four strategies.
+    """
+    size = int(params["size"])
+    seed = int(params["seed"])
+    base = TabuSettings(**params["settings"])
+    settings = replace(base, seed=derive_seed(base.seed, "fig7",
+                                              size, seed))
+    gen_config, k = paper_experiment_config(size, seed)
+    app, arch = generate_workload(gen_config)
+    fault_model = FaultModel(k=k)
+    cache = EstimationCache()
+    baseline = nft_baseline(app, arch, settings, cache=cache)
+    mxr = synthesize(app, arch, fault_model, "MXR", settings=settings,
+                     baseline=baseline, cache=cache)
+    deviations: dict[str, float] = {}
+    evaluations = mxr.evaluations
+    for strategy in COMPARED:
+        result = synthesize(app, arch, fault_model, strategy,
+                            settings=settings, baseline=baseline,
+                            cache=cache)
+        deviations[strategy] = percentage_deviation(result.fto, mxr.fto)
+        evaluations += result.evaluations - baseline.evaluations
+    stats = cache.stats()
+    return {
+        "size": size,
+        "seed": seed,
+        "nodes": gen_config.nodes,
+        "k": k,
+        "fto_mxr": mxr.fto,
+        "deviations": deviations,
+        "evaluations": evaluations,
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+    }
+
+
+def rows_from_cells(cells: Sequence[Mapping], *,
+                    sizes: Sequence[int] | None = None) -> list[Fig7Row]:
+    """Aggregate per-cell results into one row per application size."""
+    return [
+        Fig7Row(
+            processes=size,
+            samples=len(group),
+            avg_fto_mxr=mean([c["fto_mxr"] for c in group]),
+            avg_deviation={
+                s: mean([c["deviations"][s] for c in group])
+                for s in COMPARED
+            },
+        )
+        for size, group in group_cells_by_size(cells, sizes)
+    ]
+
+
+def _print_cell(outcome: JobOutcome) -> None:
+    cell = outcome.result
+    resumed = " (resumed)" if outcome.from_checkpoint else ""
+    print(f"  size={cell['size']} seed={cell['seed']} "
+          f"nodes={cell['nodes']} k={cell['k']} "
+          f"FTO(MXR)={cell['fto_mxr']:.1f}%{resumed}")
+
+
 def run_fig7(config: Fig7Config | None = None, *, verbose: bool = False,
+             workers: int = 1,
+             engine_config: EngineConfig | None = None,
              ) -> list[Fig7Row]:
     """Run the sweep and return one row per application size."""
     config = config or Fig7Config()
-    rows: list[Fig7Row] = []
-    for size in config.sizes:
-        deviations: dict[str, list[float]] = {s: [] for s in COMPARED}
-        ftos_mxr: list[float] = []
-        for seed in config.seeds:
-            gen_config, k = paper_experiment_config(size, seed)
-            app, arch = generate_workload(gen_config)
-            fault_model = FaultModel(k=k)
-            settings = TabuSettings(
-                iterations=config.settings.iterations,
-                neighborhood=config.settings.neighborhood,
-                tenure=config.settings.tenure,
-                seed=config.settings.seed + seed,
-                no_improve_restart=config.settings.no_improve_restart,
-                restart_strength=config.settings.restart_strength,
-                penalty_weight=config.settings.penalty_weight,
-                bus_contention=config.settings.bus_contention,
-            )
-            baseline = nft_baseline(app, arch, settings)
-            mxr = synthesize(app, arch, fault_model, "MXR",
-                             settings=settings, baseline=baseline)
-            ftos_mxr.append(mxr.fto)
-            for strategy in COMPARED:
-                result = synthesize(app, arch, fault_model, strategy,
-                                    settings=settings, baseline=baseline)
-                deviations[strategy].append(
-                    percentage_deviation(result.fto, mxr.fto))
-            if verbose:
-                print(f"  size={size} seed={seed} nodes={gen_config.nodes} "
-                      f"k={k} FTO(MXR)={mxr.fto:.1f}%")
-        rows.append(Fig7Row(
-            processes=size,
-            samples=len(config.seeds),
-            avg_fto_mxr=_mean(ftos_mxr),
-            avg_deviation={s: _mean(v) for s, v in deviations.items()},
-        ))
-    return rows
-
-
-def _mean(values: list[float]) -> float:
-    return sum(values) / len(values)
+    engine = BatchEngine(engine_config
+                         or EngineConfig(workers=workers))
+    report = engine.run(fig7_jobs(config),
+                        progress=_print_cell if verbose else None)
+    return rows_from_cells(report.results(), sizes=config.sizes)
 
 
 def main() -> None:
@@ -134,7 +198,7 @@ def main() -> None:
                                                   for s in COMPARED],
         [row.as_cells() for row in rows]))
     overall = {
-        s: _mean([row.avg_deviation[s] for row in rows]) for s in COMPARED
+        s: mean([row.avg_deviation[s] for row in rows]) for s in COMPARED
     }
     print()
     print("paper: MR ≈ +77 %, MX ≈ +17.6 % (SFX between)")

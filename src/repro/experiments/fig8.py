@@ -14,18 +14,35 @@ from the optimized FTO — the paper's y-axis, where "larger deviation
 means smaller overhead" for the proposed technique:
 
     dev = (FTO_27 − FTO_15) / FTO_27 × 100.
+
+Like Fig. 7, the sweep is a grid of independent (size, seed) cells
+executed by :mod:`repro.engine` with a per-cell estimation cache —
+particularly effective here because the MC and MC_GLOBAL runs share
+their whole mapping search.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, replace
+from collections.abc import Mapping, Sequence
 
-from repro.experiments.reporting import render_rows
+from repro.engine.cache import EstimationCache
+from repro.engine.grid import grid_jobs
+from repro.engine.jobs import BatchJob
+from repro.engine.runner import BatchEngine, EngineConfig, JobOutcome
+from repro.experiments.reporting import (
+    group_cells_by_size,
+    mean,
+    render_rows,
+)
 from repro.model.fault_model import FaultModel
 from repro.synthesis.strategies import nft_baseline, synthesize
 from repro.synthesis.tabu import TabuSettings
+from repro.utils.rng import DeterministicRng, derive_seed
 from repro.workloads.generator import GeneratorConfig, generate_workload
-from repro.utils.rng import DeterministicRng
+
+#: Import-path runner reference resolved by engine workers.
+CELL_RUNNER = "repro.experiments.fig8:run_fig8_cell"
 
 
 @dataclass(frozen=True)
@@ -77,64 +94,108 @@ class Fig8Row:
                 f"{self.avg_deviation:.1f}"]
 
 
+def fig8_jobs(config: Fig8Config | None = None) -> list[BatchJob]:
+    """Expand the sweep into one engine job per (size, seed) cell."""
+    config = config or Fig8Config()
+    return grid_jobs(
+        CELL_RUNNER,
+        {"size": config.sizes, "seed": config.seeds},
+        prefix="fig8",
+        common={
+            "settings": asdict(config.settings),
+            "k_range": list(config.k_range),
+            "chi_fraction": config.chi_fraction,
+            "alpha_fraction": config.alpha_fraction,
+        },
+    )
+
+
+def run_fig8_cell(params: Mapping[str, object]) -> dict:
+    """One sweep cell: MC vs MC_GLOBAL on one (size, seed) workload."""
+    size = int(params["size"])
+    seed = int(params["seed"])
+    base = TabuSettings(**params["settings"])
+    k_lo, k_hi = params["k_range"]
+    settings = replace(base, seed=derive_seed(base.seed, "fig8",
+                                              size, seed))
+    rng = DeterministicRng(seed * 271 + size)
+    nodes = rng.randint(2, 6)
+    k = rng.randint(int(k_lo), int(k_hi))
+    gen_config = GeneratorConfig(
+        processes=size,
+        nodes=nodes,
+        seed=seed * 7919 + size + 17,
+        chi_fraction=float(params["chi_fraction"]),
+        alpha_fraction=float(params["alpha_fraction"]),
+    )
+    app, arch = generate_workload(gen_config)
+    fault_model = FaultModel(k=k)
+    cache = EstimationCache()
+    baseline = nft_baseline(app, arch, settings, cache=cache)
+    local = synthesize(app, arch, fault_model, "MC",
+                       settings=settings, baseline=baseline,
+                       cache=cache)
+    optimized = synthesize(app, arch, fault_model, "MC_GLOBAL",
+                           settings=settings, baseline=baseline,
+                           cache=cache)
+    fto_baseline = local.fto
+    fto_optimized = optimized.fto
+    if fto_baseline > 0:
+        deviation = (fto_baseline - fto_optimized) / fto_baseline * 100.0
+    else:
+        deviation = 0.0
+    stats = cache.stats()
+    return {
+        "size": size,
+        "seed": seed,
+        "nodes": nodes,
+        "k": k,
+        "fto_baseline": fto_baseline,
+        "fto_optimized": fto_optimized,
+        "deviation": deviation,
+        "evaluations": (local.evaluations + optimized.evaluations
+                        - baseline.evaluations),
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+    }
+
+
+def rows_from_cells(cells: Sequence[Mapping], *,
+                    sizes: Sequence[int] | None = None) -> list[Fig8Row]:
+    """Aggregate per-cell results into one row per application size."""
+    return [
+        Fig8Row(
+            processes=size,
+            samples=len(group),
+            avg_fto_baseline=mean([c["fto_baseline"] for c in group]),
+            avg_fto_optimized=mean([c["fto_optimized"]
+                                    for c in group]),
+            avg_deviation=mean([c["deviation"] for c in group]),
+        )
+        for size, group in group_cells_by_size(cells, sizes)
+    ]
+
+
+def _print_cell(outcome: JobOutcome) -> None:
+    cell = outcome.result
+    resumed = " (resumed)" if outcome.from_checkpoint else ""
+    print(f"  size={cell['size']} seed={cell['seed']} "
+          f"nodes={cell['nodes']} k={cell['k']} "
+          f"FTO[27]={cell['fto_baseline']:.1f}% "
+          f"FTO[15]={cell['fto_optimized']:.1f}%{resumed}")
+
+
 def run_fig8(config: Fig8Config | None = None, *, verbose: bool = False,
+             workers: int = 1,
+             engine_config: EngineConfig | None = None,
              ) -> list[Fig8Row]:
     """Run the sweep and return one row per application size."""
     config = config or Fig8Config()
-    rows: list[Fig8Row] = []
-    for size in config.sizes:
-        devs: list[float] = []
-        base_ftos: list[float] = []
-        opt_ftos: list[float] = []
-        for seed in config.seeds:
-            rng = DeterministicRng(seed * 271 + size)
-            nodes = rng.randint(2, 6)
-            k = rng.randint(*config.k_range)
-            gen_config = GeneratorConfig(
-                processes=size,
-                nodes=nodes,
-                seed=seed * 7919 + size + 17,
-                chi_fraction=config.chi_fraction,
-                alpha_fraction=config.alpha_fraction,
-            )
-            app, arch = generate_workload(gen_config)
-            fault_model = FaultModel(k=k)
-            settings = TabuSettings(
-                iterations=config.settings.iterations,
-                neighborhood=config.settings.neighborhood,
-                tenure=config.settings.tenure,
-                seed=config.settings.seed + seed,
-                no_improve_restart=config.settings.no_improve_restart,
-                restart_strength=config.settings.restart_strength,
-                penalty_weight=config.settings.penalty_weight,
-                bus_contention=config.settings.bus_contention,
-            )
-            baseline = nft_baseline(app, arch, settings)
-            local = synthesize(app, arch, fault_model, "MC",
-                               settings=settings, baseline=baseline)
-            optimized = synthesize(app, arch, fault_model, "MC_GLOBAL",
-                                   settings=settings, baseline=baseline)
-            fto_baseline = local.fto
-            fto_optimized = optimized.fto
-            base_ftos.append(fto_baseline)
-            opt_ftos.append(fto_optimized)
-            if fto_baseline > 0:
-                devs.append((fto_baseline - fto_optimized)
-                            / fto_baseline * 100.0)
-            else:
-                devs.append(0.0)
-            if verbose:
-                print(f"  size={size} seed={seed} nodes={nodes} k={k} "
-                      f"FTO[27]={fto_baseline:.1f}% "
-                      f"FTO[15]={fto_optimized:.1f}%")
-        rows.append(Fig8Row(
-            processes=size,
-            samples=len(config.seeds),
-            avg_fto_baseline=sum(base_ftos) / len(base_ftos),
-            avg_fto_optimized=sum(opt_ftos) / len(opt_ftos),
-            avg_deviation=sum(devs) / len(devs),
-        ))
-    return rows
+    engine = BatchEngine(engine_config
+                         or EngineConfig(workers=workers))
+    report = engine.run(fig8_jobs(config),
+                        progress=_print_cell if verbose else None)
+    return rows_from_cells(report.results(), sizes=config.sizes)
 
 
 def main() -> None:

@@ -1,8 +1,8 @@
-"""Plain-text result tables for the experiment CLIs."""
+"""Result tables and cell aggregation shared by the experiments."""
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.utils.textgrid import TextGrid
 
@@ -14,3 +14,24 @@ def render_rows(header: Sequence[str], rows: Sequence[Sequence[object]],
     for row in rows:
         grid.add_row(row)
     return grid.render()
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    return sum(values) / len(values)
+
+
+def group_cells_by_size(
+    cells: Sequence[Mapping],
+    sizes: Sequence[int] | None = None,
+) -> list[tuple[int, list[Mapping]]]:
+    """Group sweep-cell results by application size.
+
+    ``sizes`` fixes the row order (the sweep configuration's order);
+    without it, sizes appear sorted ascending.
+    """
+    by_size: dict[int, list[Mapping]] = {}
+    for cell in cells:
+        by_size.setdefault(int(cell["size"]), []).append(cell)
+    order = sizes if sizes is not None else sorted(by_size)
+    return [(size, by_size[size]) for size in order]

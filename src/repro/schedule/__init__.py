@@ -17,6 +17,11 @@ from repro.schedule.mapping import CopyMapping
 from repro.schedule.priorities import partial_critical_path_priorities
 from repro.schedule.list_scheduler import FaultFreeSchedule, schedule_fault_free
 from repro.schedule.estimation import FtEstimate, estimate_ft_schedule
+from repro.schedule.estimation_cache import (
+    CacheStats,
+    EstimationCache,
+    solution_fingerprint,
+)
 from repro.schedule.conditional import ConditionalScheduler, synthesize_schedule
 from repro.schedule.table import EntryKind, ScheduleSet, TableEntry
 from repro.schedule.render import render_node_table, render_schedule_set
@@ -39,7 +44,10 @@ __all__ = [
     "CopyMapping",
     "EntryKind",
     "FaultFreeSchedule",
+    "CacheStats",
+    "EstimationCache",
     "FtEstimate",
+    "solution_fingerprint",
     "NodeTableSize",
     "ScheduleMetrics",
     "ScheduleSet",

@@ -1,0 +1,171 @@
+"""Keyed memoization of the slack-sharing schedule estimate.
+
+:func:`repro.schedule.estimation.estimate_ft_schedule` is the dominant
+cost of design-space exploration: the tabu engine calls it for every
+neighborhood candidate, and neighborhoods revisit solutions constantly
+(a remap move followed by its reverse, two strategies exploring the
+same subspace, the refinement sweep re-proposing the incumbent).  The
+estimate is a pure function of
+
+    (fault budget k, bus-contention flag, policy assignment, mapping)
+
+for a fixed application/architecture/priority context, so one
+:class:`EstimationCache` per workload makes every repeated evaluation
+free.  The cache returns the *same* :class:`FtEstimate` object for a
+repeated key — callers never mutate estimates, and identity reuse is
+what makes cached searches bit-identical to uncached ones.
+
+The key is a :func:`solution_fingerprint`: a canonical tuple of every
+process's copy plans and copy placements, independent of dict insertion
+order and stable across processes (no ``hash()`` randomization).
+
+The cache lives in the schedule layer (it wraps a schedule-level
+function and is used by :mod:`repro.synthesis`); the batch engine
+re-exports it as part of its public API.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+from repro.model.fault_model import FaultModel
+from repro.policies.types import PolicyAssignment
+from repro.schedule.estimation import FtEstimate, estimate_ft_schedule
+from repro.schedule.mapping import CopyMapping
+
+#: Default bound on retained estimates (LRU eviction beyond this).
+DEFAULT_MAX_ENTRIES = 100_000
+
+Fingerprint = tuple
+
+
+def solution_fingerprint(policies: PolicyAssignment,
+                         mapping: CopyMapping) -> Fingerprint:
+    """Canonical, hashable identity of one (policies, mapping) solution.
+
+    Sorted by process name so two solutions built in different orders
+    fingerprint identically; per process it captures every copy's
+    recovery plan and placement — exactly the inputs the estimator
+    reads from the solution.
+    """
+    parts = []
+    for name, policy in sorted(policies.items()):
+        plans = tuple((plan.recoveries, plan.checkpoints)
+                      for plan in policy.copies)
+        nodes = tuple(mapping.node_of(name, copy)
+                      for copy in range(len(policy.copies)))
+        parts.append((name, plans, nodes))
+    return tuple(parts)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one cache."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class EstimationCache:
+    """LRU-bounded memo of :func:`estimate_ft_schedule` results.
+
+    One cache serves one (application, architecture, priorities)
+    context — the workload of one sweep cell.  The first call binds the
+    cache to its application/architecture; mixing workloads through one
+    cache raises, because the fingerprint does not (and need not)
+    encode them.
+    """
+
+    def __init__(self, max_entries: int | None = DEFAULT_MAX_ENTRIES,
+                 ) -> None:
+        self._entries: OrderedDict[tuple, FtEstimate] = OrderedDict()
+        self._max_entries = max_entries
+        self._app: Application | None = None
+        self._arch: Architecture | None = None
+        self._priorities: dict[str, float] | None = None
+        self.hits = 0
+        self.misses = 0
+
+    def estimate(
+        self,
+        app: Application,
+        arch: Architecture,
+        mapping: CopyMapping,
+        policies: PolicyAssignment,
+        fault_model: FaultModel,
+        *,
+        priorities: Mapping[str, float] | None = None,
+        bus_contention: bool = True,
+    ) -> FtEstimate:
+        """Drop-in replacement for :func:`estimate_ft_schedule`."""
+        normalized = None if priorities is None else dict(priorities)
+        if self._app is None:
+            self._app, self._arch = app, arch
+            self._priorities = normalized
+        elif app is not self._app or arch is not self._arch:
+            raise ValueError(
+                "EstimationCache is bound to one workload; create a "
+                "fresh cache per (application, architecture)")
+        elif normalized != self._priorities:
+            # The fingerprint deliberately omits priorities (they are
+            # fixed per workload), so serving a different priority map
+            # from this cache would silently return wrong estimates.
+            raise ValueError(
+                "EstimationCache is bound to one priority assignment; "
+                "create a fresh cache per (application, architecture, "
+                "priorities)")
+        key = (fault_model.k, bus_contention,
+               solution_fingerprint(policies, mapping))
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        estimate = estimate_ft_schedule(
+            app, arch, mapping, policies, fault_model,
+            priorities=priorities, bus_contention=bus_contention)
+        self._entries[key] = estimate
+        if (self._max_entries is not None
+                and len(self._entries) > self._max_entries):
+            self._entries.popitem(last=False)
+        return estimate
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the hit/miss counters."""
+        return CacheStats(hits=self.hits, misses=self.misses,
+                          entries=len(self._entries))
+
+    def clear(self) -> None:
+        """Drop all entries and counters."""
+        self._entries.clear()
+        self._app = None
+        self._arch = None
+        self._priorities = None
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (f"EstimationCache({stats.entries} entries, "
+                f"{stats.hits} hits / {stats.misses} misses)")

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
+from repro.schedule.estimation_cache import EstimationCache
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.fault_model import FaultModel
@@ -76,6 +77,7 @@ def optimize_checkpoints_globally(
     priorities: Mapping[str, float] | None = None,
     bus_contention: bool = True,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    cache: EstimationCache | None = None,
 ) -> tuple[PolicyAssignment, FtEstimate, int]:
     """Steepest-descent over per-copy checkpoint counts.
 
@@ -83,9 +85,14 @@ def optimize_checkpoints_globally(
     fixed (checkpoint tuning happens inside the mapping search's inner
     loop in [15]; here it is exposed as its own pass so the Fig. 8
     comparison isolates exactly the checkpointing decision).
+    ``evaluations`` counts logical estimator calls whether or not a
+    ``cache`` serves them.
     """
+    estimator = cache.estimate if cache is not None \
+        else estimate_ft_schedule
+
     def evaluate(candidate: PolicyAssignment) -> FtEstimate:
-        return estimate_ft_schedule(
+        return estimator(
             app, arch, mapping, candidate, fault_model,
             priorities=priorities, bus_contention=bus_contention)
 

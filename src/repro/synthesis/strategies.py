@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Mapping
 
+from repro.schedule.estimation_cache import EstimationCache
 from repro.errors import SynthesisError
 from repro.model.application import Application
 from repro.model.architecture import Architecture
@@ -81,7 +82,7 @@ class NftBaseline:
 
 
 def _policy_refinement(app, arch, fault_model, space, policies, mapping,
-                       priorities, settings):
+                       priorities, settings, cache=None):
     """Greedy per-process policy improvement at a fixed mapping.
 
     Iterates the processes in PCP-priority order; each one adopts the
@@ -89,8 +90,11 @@ def _policy_refinement(app, arch, fault_model, space, policies, mapping,
     estimated schedule length. Repeats until a fixpoint (bounded)."""
     from repro.synthesis.moves import PolicyMove
 
+    estimator = cache.estimate if cache is not None \
+        else estimate_ft_schedule
+
     def evaluate(candidate_policies, candidate_mapping):
-        return estimate_ft_schedule(
+        return estimator(
             app, arch, candidate_mapping, candidate_policies,
             fault_model, priorities=priorities,
             bus_contention=settings.bus_contention)
@@ -152,6 +156,7 @@ def _extend_process_map(app: Application,
 def nft_baseline(app: Application, arch: Architecture,
                  settings: TabuSettings | None = None,
                  priorities: Mapping[str, float] | None = None,
+                 cache: EstimationCache | None = None,
                  ) -> NftBaseline:
     """Optimize the mapping ignoring fault tolerance.
 
@@ -161,7 +166,8 @@ def nft_baseline(app: Application, arch: Architecture,
     """
     policies = PolicyAssignment.uniform(app, ProcessPolicy.none())
     search = TabuSearch(app, arch, FaultModel(k=0), policy_space=None,
-                        settings=settings, priorities=priorities)
+                        settings=settings, priorities=priorities,
+                        cache=cache)
     result = search.optimize((policies, initial_mapping(app, arch,
                                                         policies)))
     process_map = {name: result.mapping.node_of(name, 0)
@@ -183,12 +189,21 @@ def synthesize(
     settings: TabuSettings | None = None,
     baseline: NftBaseline | None = None,
     fixed_policies: Mapping[str, ProcessPolicy] | None = None,
+    cache: EstimationCache | None = None,
 ) -> StrategyResult:
     """Run one synthesis strategy and report its FTO.
 
     Passing a precomputed ``baseline`` avoids re-running the NFT
     optimization when several strategies are compared on one workload
     (as the Fig. 7 experiment does).
+
+    ``cache`` memoizes the schedule-length estimate across the whole
+    run (tabu neighborhoods, refinement sweeps, checkpoint descent).
+    When ``None`` a private per-call cache is used; passing one cache
+    to several strategy runs on the same workload (as the batch engine
+    does per sweep cell) additionally shares estimates *between*
+    strategies. Caching never changes results — the estimate is a pure
+    function of the solution — only how often it is recomputed.
 
     ``fixed_policies`` pins the fault-tolerance policy of selected
     processes (paper §6: "there are cases when the policy assignment
@@ -209,9 +224,11 @@ def synthesize(
         if k > 0 and not policy.tolerates(k):
             raise SynthesisError(
                 f"fixed policy of {name!r} does not tolerate k={k}")
+    if cache is None:
+        cache = EstimationCache()
     priorities = partial_critical_path_priorities(app, arch)
     if baseline is None:
-        baseline = nft_baseline(app, arch, settings, priorities)
+        baseline = nft_baseline(app, arch, settings, priorities, cache)
 
     if strategy == "SFX":
         # Fault-ignorant mapping, then re-execution bolted on.
@@ -219,7 +236,7 @@ def synthesize(
             app, ProcessPolicy.re_execution(k), fixed_policies)
         mapping = _extend_process_map(app, baseline.process_map,
                                       policies)
-        estimate = estimate_ft_schedule(
+        estimate = cache.estimate(
             app, arch, mapping, policies, fault_model,
             priorities=priorities,
             bus_contention=settings.bus_contention)
@@ -277,7 +294,8 @@ def synthesize(
             start = PolicyAssignment.uniform(app, ProcessPolicy.none())
         search = TabuSearch(app, arch, fault_model,
                             policy_space=tabu_space if k > 0 else None,
-                            settings=settings, priorities=priorities)
+                            settings=settings, priorities=priorities,
+                            cache=cache)
         result = search.optimize(
             (start, initial_mapping(app, arch, start)))
         passes = [(result.policies, result.mapping, result.estimate)]
@@ -289,7 +307,7 @@ def synthesize(
             # policy candidate until a fixpoint.
             refined = _policy_refinement(
                 app, arch, fault_model, sweep_space, result.policies,
-                result.mapping, priorities, settings)
+                result.mapping, priorities, settings, cache)
             passes.append(refined[:3])
             evals += refined[3]
         best = min(passes, key=lambda p: p[2].schedule_length)
@@ -329,7 +347,7 @@ def synthesize(
         policies, estimate, extra = optimize_checkpoints_globally(
             app, arch, mapping, policies, fault_model,
             priorities=priorities,
-            bus_contention=settings.bus_contention)
+            bus_contention=settings.bus_contention, cache=cache)
         evaluations += extra
 
     return StrategyResult(

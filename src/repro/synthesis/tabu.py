@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass, field
 from collections.abc import Callable, Mapping, Sequence
 
+from repro.schedule.estimation_cache import EstimationCache
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.fault_model import FaultModel
@@ -55,10 +56,17 @@ class TabuSettings:
     bus_contention: bool = True
 
     def effective_tenure(self, process_count: int) -> int:
-        """Default tenure ≈ sqrt(n) + 2."""
+        """Default tenure = isqrt(n) + 2.
+
+        ``math.isqrt`` (not ``int(math.sqrt(...))``) so the tenure is
+        exact integer arithmetic: the float square root can land just
+        below an exact integer root and truncate one too low, making
+        the search trajectory depend on the platform's libm instead of
+        only on the seed.
+        """
         if self.tenure is not None:
             return self.tenure
-        return int(math.sqrt(max(1, process_count))) + 2
+        return math.isqrt(max(1, process_count)) + 2
 
 
 @dataclass
@@ -86,6 +94,7 @@ class TabuSearch:
         policy_space: PolicySpace | None = None,
         settings: TabuSettings | None = None,
         priorities: Mapping[str, float] | None = None,
+        cache: EstimationCache | None = None,
     ) -> None:
         self._app = app
         self._arch = arch
@@ -95,14 +104,22 @@ class TabuSearch:
         self._priorities = dict(
             priorities if priorities is not None
             else partial_critical_path_priorities(app, arch))
+        self._estimator = cache.estimate if cache is not None \
+            else estimate_ft_schedule
         self._evaluations = 0
 
     # -- cost ------------------------------------------------------------------
 
     def evaluate(self, solution: Solution) -> tuple[float, FtEstimate]:
-        """Penalized cost of one solution."""
+        """Penalized cost of one solution.
+
+        ``evaluations`` counts logical evaluations — with an
+        :class:`EstimationCache` attached, repeated solutions are
+        served from the cache but still counted, so cached and
+        uncached searches report identical telemetry.
+        """
         policies, mapping = solution
-        estimate = estimate_ft_schedule(
+        estimate = self._estimator(
             self._app, self._arch, mapping, policies, self._fault_model,
             priorities=self._priorities,
             bus_contention=self._settings.bus_contention)

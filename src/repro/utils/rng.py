@@ -16,6 +16,20 @@ from typing import TypeVar
 ItemT = TypeVar("ItemT")
 
 
+def derive_seed(base: int, *labels: object) -> int:
+    """Derive a reproducible child seed from a base seed and labels.
+
+    Uses sha256 rather than ``hash()`` because Python randomizes
+    string hashing per interpreter run; the result is stable across
+    processes, which makes it the seed derivation of choice for
+    parallel experiment jobs (every job derives its own stream from
+    the sweep seed plus its grid coordinates).
+    """
+    text = ":".join([str(int(base)), *(str(label) for label in labels)])
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+
+
 class DeterministicRng:
     """A seeded wrapper around :class:`random.Random` with named
     sub-stream derivation.
@@ -41,9 +55,7 @@ class DeterministicRng:
         Uses sha256 rather than ``hash()`` because Python randomizes
         string hashing per interpreter run.
         """
-        digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
-        child_seed = int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
-        return DeterministicRng(child_seed)
+        return DeterministicRng(derive_seed(self._seed, name))
 
     # -- thin pass-throughs -------------------------------------------------
 

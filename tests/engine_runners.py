@@ -1,0 +1,41 @@
+"""Importable job runners used by the engine tests.
+
+The engine resolves runners by import path even in worker processes,
+so test runners must live in a real module (pytest puts this directory
+on ``sys.path``), not in a test class.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def echo(params: dict) -> dict:
+    """Return the params unchanged (pure, trivially verifiable)."""
+    return dict(params)
+
+
+def touch_and_echo(params: dict) -> dict:
+    """Append the cell name to a log file, then echo.
+
+    The log makes executions observable: a resumed cell leaves no new
+    line behind.
+    """
+    with open(params["log"], "a", encoding="utf-8") as handle:
+        handle.write(f"{params['name']}\n")
+    return {"name": params["name"], "value": params["value"]}
+
+
+def failing(params: dict) -> dict:
+    """Always raises — exercises error propagation."""
+    raise RuntimeError(f"job {params['name']} exploded")
+
+
+def not_a_dict(params: dict):
+    """Violates the runner contract (non-dict result)."""
+    return [params["name"]]
+
+
+def read_log(path: str | Path) -> list[str]:
+    """The executed-cell log, in execution order."""
+    return Path(path).read_text(encoding="utf-8").splitlines()

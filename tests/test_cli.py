@@ -26,6 +26,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["tables", "--preset", "nope"])
 
+    def test_batch_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch"])
+
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(
+            ["batch", "--experiment", "fig7"])
+        assert args.profile == "quick"
+        assert args.workers == 1
+        assert args.checkpoint is None
+        assert not args.no_resume
+
+    def test_fig_sweeps_accept_workers(self):
+        args = build_parser().parse_args(["fig7", "--workers", "3"])
+        assert args.workers == 3
+
 
 class TestCommands:
     def test_synth_synthetic(self, capsys):
@@ -73,3 +89,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "cruise-controller" in out
+
+
+@pytest.fixture
+def tiny_quick_profiles(monkeypatch):
+    """Shrink the quick profiles so CLI sweep tests stay fast."""
+    from repro.experiments.fig7 import Fig7Config
+    from repro.experiments.fig8 import Fig8Config
+    from repro.synthesis.tabu import TabuSettings
+
+    tiny = TabuSettings(iterations=4, neighborhood=4,
+                        bus_contention=False)
+    monkeypatch.setattr(
+        Fig7Config, "quick",
+        classmethod(lambda cls: cls(sizes=(8,), seeds=(1,),
+                                    settings=tiny)))
+    monkeypatch.setattr(
+        Fig8Config, "quick",
+        classmethod(lambda cls: cls(sizes=(8,), seeds=(1,),
+                                    settings=tiny)))
+
+
+class TestBatchCommand:
+    def test_batch_fig7_writes_outputs(self, tiny_quick_profiles,
+                                       tmp_path, capsys):
+        out = tmp_path / "r.json"
+        csv = tmp_path / "r.csv"
+        ckpt = tmp_path / "ckpt.jsonl"
+        code = main(["batch", "--experiment", "fig7",
+                     "--checkpoint", str(ckpt),
+                     "--out", str(out), "--csv", str(csv)])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "1 executed, 0 resumed" in printed
+        assert "cache hit rate" in printed
+        assert out.exists() and csv.exists() and ckpt.exists()
+
+    def test_batch_fig7_resumes(self, tiny_quick_profiles, tmp_path,
+                                capsys):
+        ckpt = tmp_path / "ckpt.jsonl"
+        main(["batch", "--experiment", "fig7",
+              "--checkpoint", str(ckpt)])
+        capsys.readouterr()
+        code = main(["batch", "--experiment", "fig7",
+                     "--checkpoint", str(ckpt)])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "0 executed, 1 resumed" in printed
+
+    def test_batch_fig8_runs(self, tiny_quick_profiles, capsys):
+        code = main(["batch", "--experiment", "fig8"])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "FTO[27]" in printed

@@ -14,7 +14,6 @@ from repro.model import (
     Message,
     Node,
     Process,
-    Transparency,
 )
 from repro.policies import PolicyAssignment, ProcessPolicy
 from repro.schedule import CopyMapping, synthesize_schedule

@@ -6,7 +6,7 @@ from __future__ import annotations
 import pytest
 
 from repro.model import Application, FaultModel, Message, Process
-from repro.policies import CopyPlan, PolicyAssignment, ProcessPolicy
+from repro.policies import PolicyAssignment, ProcessPolicy
 from repro.schedule import CopyMapping, estimate_ft_schedule
 from tests.conftest import make_mapping
 

@@ -8,7 +8,7 @@ import pytest
 
 from repro.errors import ContextExplosionError
 from repro.ftcpg import NodeKind, build_ftcpg
-from repro.model import Application, FaultModel, Message, Process, Transparency
+from repro.model import Application, FaultModel, Message, Process
 from repro.policies import PolicyAssignment, ProcessPolicy
 from repro.workloads import fig5_example
 

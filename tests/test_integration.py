@@ -17,7 +17,7 @@ from repro.schedule import (
     estimate_ft_schedule,
     synthesize_schedule,
 )
-from repro.synthesis import TabuSettings, nft_baseline, synthesize
+from repro.synthesis import TabuSettings, synthesize
 from repro.workloads import (
     GeneratorConfig,
     cruise_controller,

@@ -7,6 +7,7 @@ import pytest
 
 import repro
 import repro.comm
+import repro.engine
 import repro.experiments
 import repro.ftcpg
 import repro.model
@@ -20,6 +21,7 @@ import repro.workloads
 PACKAGES = [
     repro,
     repro.comm,
+    repro.engine,
     repro.experiments,
     repro.ftcpg,
     repro.model,

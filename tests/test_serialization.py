@@ -8,7 +8,6 @@ import pytest
 
 from repro.errors import ValidationError
 from repro.ftcpg import FaultPlan
-from repro.model import FaultModel, Transparency
 from repro.policies import PolicyAssignment, ProcessPolicy
 from repro.runtime import simulate
 from repro.schedule import (

@@ -17,8 +17,8 @@ from repro.model import (
 from repro.policies import PolicyAssignment, ProcessPolicy
 from repro.runtime import simulate
 from repro.schedule import CopyMapping, synthesize_schedule
-from repro.schedule.table import EntryKind, TableEntry
-from repro.ftcpg.conditions import AttemptId, Guard
+from repro.schedule.table import EntryKind
+from repro.ftcpg.conditions import AttemptId
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SynthesisError
-from repro.model import Application, FaultModel, Message, Process
+from repro.model import Application, FaultModel, Process
 from repro.policies import PolicyAssignment, PolicyKind, ProcessPolicy
 from repro.synthesis import (
     TabuSearch,

@@ -1,0 +1,127 @@
+"""Search determinism: identical seeds give bit-identical solutions.
+
+The batch engine depends on this: sweep cells may run serially, in
+worker processes, or be resumed from a checkpoint, and all three must
+agree. The tests pin (a) exact tenure arithmetic, (b) repeat-run
+determinism, (c) equality of cached and uncached searches, and (d) a
+regression value for one small seeded run.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.engine.cache import EstimationCache
+from repro.model import FaultModel
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.synthesis import (
+    TabuSearch,
+    TabuSettings,
+    initial_mapping,
+    synthesize,
+)
+from repro.workloads import GeneratorConfig, generate_workload
+
+SETTINGS = TabuSettings(iterations=8, neighborhood=8, seed=5,
+                        bus_contention=False)
+
+
+def small_workload():
+    return generate_workload(GeneratorConfig(processes=8, nodes=3,
+                                             seed=3))
+
+
+class TestEffectiveTenure:
+    def test_explicit_tenure_wins(self):
+        assert TabuSettings(tenure=9).effective_tenure(100) == 9
+
+    def test_exact_integer_arithmetic(self):
+        settings = TabuSettings()
+        for count in range(1, 500):
+            assert settings.effective_tenure(count) == \
+                math.isqrt(count) + 2
+
+    def test_large_counts_do_not_depend_on_float_sqrt(self):
+        # 10**18 + 2*10**9 has isqrt exactly 10**9; the float sqrt
+        # rounds above it and int() would truncate to the wrong side
+        # on a naive implementation.
+        count = 10**18 + 2 * 10**9
+        assert TabuSettings().effective_tenure(count) == \
+            math.isqrt(count) + 2
+
+    def test_degenerate_counts(self):
+        assert TabuSettings().effective_tenure(0) == 3
+        assert TabuSettings().effective_tenure(1) == 3
+
+
+class TestSeededDeterminism:
+    def test_repeat_runs_identical(self):
+        app, arch = small_workload()
+        results = [synthesize(app, arch, FaultModel(k=2), "MXR",
+                              settings=SETTINGS) for _ in range(2)]
+        a, b = results
+        assert a.schedule_length == b.schedule_length
+        assert a.nft_length == b.nft_length
+        assert a.evaluations == b.evaluations
+        assert a.mapping == b.mapping
+        assert dict(a.policies.items()) == dict(b.policies.items())
+
+    def test_cached_search_bit_identical_to_uncached(self):
+        app, arch = small_workload()
+        fm = FaultModel(k=2)
+        policies = PolicyAssignment.uniform(
+            app, ProcessPolicy.re_execution(2))
+        start = (policies, initial_mapping(app, arch, policies))
+
+        uncached = TabuSearch(app, arch, fm,
+                              settings=SETTINGS).optimize(start)
+        cached = TabuSearch(app, arch, fm, settings=SETTINGS,
+                            cache=EstimationCache()).optimize(start)
+
+        assert cached.cost == uncached.cost
+        assert cached.estimate.schedule_length == \
+            uncached.estimate.schedule_length
+        assert cached.estimate.timings == uncached.estimate.timings
+        assert cached.mapping == uncached.mapping
+        assert dict(cached.policies.items()) == \
+            dict(uncached.policies.items())
+        assert cached.history == uncached.history
+        # Telemetry counts logical evaluations, not cache misses.
+        assert cached.evaluations == uncached.evaluations
+
+    def test_shared_cache_across_strategies_changes_nothing(self):
+        app, arch = small_workload()
+        fm = FaultModel(k=2)
+        shared = EstimationCache()
+        via_shared = [synthesize(app, arch, fm, s, settings=SETTINGS,
+                                 cache=shared) for s in ("MX", "MR")]
+        private = [synthesize(app, arch, fm, s, settings=SETTINGS)
+                   for s in ("MX", "MR")]
+        for a, b in zip(via_shared, private):
+            assert a.schedule_length == b.schedule_length
+            assert a.mapping == b.mapping
+        assert shared.hits > 0  # sharing actually shared something
+
+    def test_pinned_regression(self):
+        """Exact result of one small seeded MXR run.
+
+        If this changes, search determinism changed — an intentional
+        algorithm change must update the pins in the same commit.
+        """
+        app, arch = small_workload()
+        result = synthesize(app, arch, FaultModel(k=2), "MXR",
+                            settings=SETTINGS)
+        assert result.schedule_length == 498.74000000000007
+        assert result.nft_length == 235.954
+        assert result.evaluations == 311
+        assert {name: mapped
+                for (name, copy), mapped in result.mapping.items()
+                if copy == 0} == {
+            "P1": "N1", "P2": "N2", "P3": "N3", "P4": "N3",
+            "P5": "N1", "P6": "N2", "P7": "N3", "P8": "N3",
+        }
+        assert all(
+            tuple((c.recoveries, c.checkpoints) for c in policy.copies)
+            == ((2, 0),)
+            for _, policy in result.policies.items()
+        )
