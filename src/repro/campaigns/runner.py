@@ -1,0 +1,377 @@
+"""Monte Carlo fault-injection campaigns over synthesized schedules.
+
+A *campaign* takes one workload, synthesizes a fault-tolerant design
+for it (strategy + tabu budget, exactly as the experiments do), builds
+the exact conditional schedule tables, and then stress-tests those
+tables under a sampled set of concrete fault plans — turning the
+per-scenario checker of :mod:`repro.runtime.simulator` into an
+empirical validation pipeline in the spirit of the transparent-recovery
+validation line of Kandasamy et al. (see
+:mod:`repro.schedule.estimation`).
+
+Execution model
+---------------
+
+The plan set is split into ``chunks`` stride slices
+(:func:`repro.campaigns.sampling.chunk_slice`); each chunk is one pure
+:class:`~repro.engine.jobs.BatchJob` fanned out through the PR 1
+:class:`~repro.engine.runner.BatchEngine` — so campaigns inherit the
+engine's process-pool parallelism, resumable JSONL checkpoints and
+deterministic reports for free. Every chunk re-derives the same
+synthesis and the same plan list from the campaign seed (workers share
+nothing), simulates its slice, and returns streaming
+:class:`~repro.campaigns.stats.CampaignStats`; the parent folds chunk
+stats in job-submission order, which makes serial and parallel
+campaign reports byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from collections.abc import Mapping
+
+from repro.campaigns.sampling import (
+    SAMPLERS,
+    chunk_slice,
+    sample_campaign_plans,
+)
+from repro.campaigns.stats import (
+    HIST_BIN_PCT,
+    CampaignStats,
+    estimate_bound,
+)
+from repro.engine.grid import grid_jobs
+from repro.engine.jobs import BatchJob
+from repro.engine.runner import (
+    BatchEngine,
+    EngineConfig,
+    ProgressCallback,
+)
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+from repro.model.fault_model import FaultModel
+from repro.runtime.simulator import simulate
+from repro.schedule.conditional import synthesize_schedule
+from repro.schedule.estimation import estimate_ft_schedule
+from repro.synthesis.strategies import synthesize
+from repro.synthesis.tabu import TabuSettings
+from repro.utils.rng import derive_seed
+from repro.workloads.generator import GeneratorConfig, generate_workload
+from repro.workloads.presets import SIMPLE_PRESETS
+
+#: Import-path runner reference resolved by engine workers.
+CHUNK_RUNNER = "repro.campaigns.runner:run_campaign_chunk"
+
+#: Named workloads a campaign can target (all transparency-free).
+PRESET_WORKLOADS = tuple(SIMPLE_PRESETS)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One campaign: a workload, a design flow, and a sampling plan.
+
+    ``workload`` is a JSON-able spec: ``{"preset": <name>}`` for one
+    of :data:`PRESET_WORKLOADS`, or generator knobs
+    ``{"processes": .., "nodes": .., "seed": ..}``. Keeping the spec
+    declarative (instead of passing model objects) is what lets chunk
+    jobs rebuild the instance inside worker processes and lets
+    checkpoint files stay meaningful across runs.
+    """
+
+    workload: Mapping[str, object] = field(
+        default_factory=lambda: {"processes": 8, "nodes": 2, "seed": 1})
+    k: int = 2
+    strategy: str = "MXR"
+    sampler: str = "uniform"
+    samples: int = 200
+    chunks: int = 4
+    seed: int = 0
+    settings: TabuSettings = field(
+        default_factory=lambda: TabuSettings(
+            iterations=8, neighborhood=8, bus_contention=False))
+    max_contexts: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be >= 0, got {self.k}")
+        if self.sampler not in SAMPLERS:
+            raise ValueError(
+                f"unknown sampler {self.sampler!r}, expected one of "
+                f"{SAMPLERS}")
+        if self.chunks < 1:
+            raise ValueError(f"chunks must be >= 1, got {self.chunks}")
+        if self.samples < 0:
+            raise ValueError(
+                f"samples must be >= 0, got {self.samples}")
+
+    @property
+    def label(self) -> str:
+        """Stable id component naming the workload."""
+        preset = self.workload.get("preset")
+        if preset is not None:
+            return str(preset)
+        return (f"gen{self.workload.get('processes', 8)}p"
+                f"{self.workload.get('nodes', 2)}n"
+                f"s{self.workload.get('seed', 1)}")
+
+
+def load_campaign_workload(spec: Mapping[str, object],
+                           ) -> tuple[Application, Architecture]:
+    """Rebuild the campaign's workload from its declarative spec."""
+    unknown = set(spec) - {"preset", "processes", "nodes", "seed"}
+    if unknown:
+        raise ValueError(
+            f"unknown workload spec key(s) {sorted(unknown)}; expected "
+            "'preset' or generator knobs 'processes'/'nodes'/'seed'")
+    preset = spec.get("preset")
+    if preset is not None:
+        if preset not in SIMPLE_PRESETS:
+            raise ValueError(
+                f"unknown campaign preset {preset!r}, expected one of "
+                f"{PRESET_WORKLOADS}")
+        return SIMPLE_PRESETS[preset]()
+    return generate_workload(GeneratorConfig(
+        processes=int(spec.get("processes", 8)),
+        nodes=int(spec.get("nodes", 2)),
+        seed=int(spec.get("seed", 1)),
+    ))
+
+
+def campaign_jobs(config: CampaignConfig) -> list[BatchJob]:
+    """One engine job per plan chunk."""
+    return grid_jobs(
+        CHUNK_RUNNER,
+        {"chunk": tuple(range(config.chunks))},
+        prefix=f"campaign/{config.label}/k={config.k}"
+               f"/{config.strategy}/{config.sampler}",
+        common={
+            "workload": dict(config.workload),
+            "k": config.k,
+            "strategy": config.strategy,
+            "sampler": config.sampler,
+            "samples": config.samples,
+            "chunks": config.chunks,
+            "seed": config.seed,
+            "settings": asdict(config.settings),
+            "max_contexts": config.max_contexts,
+        },
+    )
+
+
+def run_campaign_chunk(params: Mapping[str, object]) -> dict:
+    """One chunk: synthesize, build exact tables, simulate a slice.
+
+    Pure function of its params (the engine's worker contract). The
+    synthesis seed and the sampling seed are both derived from the
+    campaign seed — *not* from the chunk index — so every chunk
+    reproduces the identical design and plan list and only its stride
+    slice differs.
+    """
+    app, arch = load_campaign_workload(params["workload"])
+    k = int(params["k"])
+    fault_model = FaultModel(k=k)
+    base = TabuSettings(**params["settings"])
+    settings = replace(base, seed=derive_seed(
+        int(params["seed"]), "campaign-tabu", base.seed))
+    result = synthesize(app, arch, fault_model, str(params["strategy"]),
+                        settings=settings)
+    schedule = synthesize_schedule(
+        app, arch, result.mapping, result.policies, fault_model,
+        max_contexts=int(params["max_contexts"]))
+    # The soundness seam: simulations are held against the *budgeted*
+    # slack-sharing estimate (sound for the replication hybrids the
+    # search may pick — the default "max" rule is not; see
+    # :func:`repro.schedule.estimation.estimate_ft_schedule`) plus the
+    # condition-broadcast allowance the estimation model skips.
+    certified = estimate_ft_schedule(
+        app, arch, result.mapping, result.policies, fault_model,
+        slack_sharing="budgeted")
+    bound = estimate_bound(app, arch, certified, k)
+
+    plans = sample_campaign_plans(
+        app, result.policies, k,
+        sampler=str(params["sampler"]),
+        samples=int(params["samples"]),
+        seed=derive_seed(int(params["seed"]), "campaign-plans"))
+    slice_plans = chunk_slice(plans, int(params["chunk"]),
+                              int(params["chunks"]))
+
+    stats = CampaignStats()
+    for plan in slice_plans:
+        outcome = simulate(app, arch, result.mapping, result.policies,
+                           fault_model, schedule, plan)
+        stats.observe(outcome, bound=bound,
+                      ff_length=result.estimate.ff_length,
+                      deadline=app.deadline,
+                      expected_processes=len(app.process_names))
+    return {
+        "chunk": int(params["chunk"]),
+        "plans_total": len(plans),
+        "stats": stats.to_jsonable(),
+        "estimate": result.estimate.schedule_length,
+        "certified_estimate": certified.schedule_length,
+        "estimate_bound": bound,
+        "exact_worst_case": schedule.worst_case_length,
+        "fault_free_length": result.estimate.ff_length,
+        "nft_length": result.nft_length,
+        "deadline": app.deadline,
+        "processes": len(app.process_names),
+        "nodes": len(arch.node_names),
+    }
+
+
+#: Scalars every chunk of one campaign must agree on (they all derive
+#: from the same seed); a mismatch means a runner broke purity.
+_CONSISTENT_KEYS = ("plans_total", "estimate", "certified_estimate",
+                    "estimate_bound",
+                    "exact_worst_case", "fault_free_length",
+                    "nft_length", "deadline", "processes", "nodes")
+
+
+@dataclass
+class CampaignReport:
+    """Merged outcome of one campaign (all chunks)."""
+
+    config: CampaignConfig
+    stats: CampaignStats
+    estimate: float
+    certified_estimate: float
+    estimate_bound: float
+    exact_worst_case: float
+    fault_free_length: float
+    nft_length: float
+    deadline: float
+    processes: int
+    nodes: int
+    plans_total: int
+    executed_chunks: int = 0
+    resumed_chunks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no plan violated an invariant, missed a deadline,
+        or finished beyond the estimate bound."""
+        return (self.stats.violations == 0
+                and self.stats.deadline_misses == 0
+                and self.stats.exceeded == 0)
+
+    # -- deterministic export -------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """Timing-free report payload (byte-stable across runs)."""
+        stats = self.stats.to_jsonable()
+        stats["mean_makespan"] = self.stats.mean_makespan
+        stats["mean_slack_utilization"] = \
+            self.stats.mean_slack_utilization
+        stats["deadline_miss_rate"] = self.stats.deadline_miss_rate
+        return {
+            "campaign": {
+                "workload": self.config.label,
+                "k": self.config.k,
+                "strategy": self.config.strategy,
+                "sampler": self.config.sampler,
+                "samples": self.config.samples,
+                "chunks": self.config.chunks,
+                "seed": self.config.seed,
+            },
+            "instance": {
+                "processes": self.processes,
+                "nodes": self.nodes,
+                "deadline": self.deadline,
+            },
+            "schedule": {
+                "estimate": self.estimate,
+                "certified_estimate": self.certified_estimate,
+                "estimate_bound": self.estimate_bound,
+                "exact_worst_case": self.exact_worst_case,
+                "fault_free_length": self.fault_free_length,
+                "nft_length": self.nft_length,
+            },
+            "plans_total": self.plans_total,
+            "gap_hist_bin_pct": HIST_BIN_PCT,
+            "stats": stats,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text of the report."""
+        return json.dumps(self.to_jsonable(), indent=2, sort_keys=True)
+
+    def write_json(self, path: str | Path) -> None:
+        """Write the canonical JSON report."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable aggregate summary (CLI output)."""
+        stats = self.stats
+        lines = [
+            f"workload {self.config.label}: {self.processes} processes "
+            f"on {self.nodes} nodes, k = {self.config.k}, "
+            f"strategy {self.config.strategy}",
+            f"{stats.plans} plans simulated "
+            f"({self.config.sampler} sampler, {self.config.chunks} "
+            f"chunk(s); {self.executed_chunks} executed, "
+            f"{self.resumed_chunks} resumed)",
+            f"finish: worst {stats.worst_makespan:.1f}, "
+            f"mean {stats.mean_makespan:.1f}, "
+            f"fault-free {_fmt_opt(stats.fault_free_makespan)} "
+            f"simulated ({self.fault_free_length:.1f} estimated), "
+            f"deadline {self.deadline:.1f}",
+            f"estimate {self.estimate:.1f} (certified "
+            f"{self.certified_estimate:.1f}, bound "
+            f"{self.estimate_bound:.1f}, exact worst case "
+            f"{self.exact_worst_case:.1f})",
+            f"slack utilization: mean "
+            f"{stats.mean_slack_utilization * 100:.1f} %, "
+            f"max {stats.util_max * 100:.1f} %",
+            f"violations {stats.violations}, deadline misses "
+            f"{stats.deadline_misses}, plans beyond the estimate "
+            f"bound {stats.exceeded} (min gap "
+            f"{0.0 if stats.min_gap is None else stats.min_gap:.1f})",
+        ]
+        return lines
+
+
+def _fmt_opt(value: float | None) -> str:
+    """One-decimal float, or a dash when no plan anchored the value."""
+    return "-" if value is None else f"{value:.1f}"
+
+
+def run_campaign(config: CampaignConfig, *,
+                 engine_config: EngineConfig | None = None,
+                 progress: ProgressCallback | None = None,
+                 ) -> CampaignReport:
+    """Run (or resume) one campaign through the batch engine."""
+    engine = BatchEngine(engine_config or EngineConfig())
+    batch = engine.run(campaign_jobs(config), progress=progress)
+    cells = batch.results()
+
+    first = cells[0]
+    for cell in cells[1:]:
+        for key in _CONSISTENT_KEYS:
+            if cell[key] != first[key]:
+                raise RuntimeError(
+                    f"campaign chunks disagree on {key!r}: "
+                    f"{cell[key]!r} != {first[key]!r} — a chunk "
+                    "runner is not a pure function of the seed")
+
+    merged = CampaignStats()
+    for cell in cells:
+        merged.merge(CampaignStats.from_jsonable(cell["stats"]))
+    return CampaignReport(
+        config=config,
+        stats=merged,
+        estimate=float(first["estimate"]),
+        certified_estimate=float(first["certified_estimate"]),
+        estimate_bound=float(first["estimate_bound"]),
+        exact_worst_case=float(first["exact_worst_case"]),
+        fault_free_length=float(first["fault_free_length"]),
+        nft_length=float(first["nft_length"]),
+        deadline=float(first["deadline"]),
+        processes=int(first["processes"]),
+        nodes=int(first["nodes"]),
+        plans_total=int(first["plans_total"]),
+        executed_chunks=batch.executed,
+        resumed_chunks=batch.resumed,
+    )

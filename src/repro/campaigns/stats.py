@@ -1,0 +1,228 @@
+"""Streaming per-schedule statistics of a fault-injection campaign.
+
+A campaign may simulate many thousands of plans across worker
+processes, so the aggregates are *streaming* (O(1) memory per chunk)
+and *mergeable*: every chunk job returns one JSON-able
+:class:`CampaignStats`, and the parent folds them in job-submission
+order. Merging is exact — counts add, extrema combine with min/max,
+means are kept as (sum, count) — so a chunked parallel campaign
+reports byte-identical aggregates to a serial one.
+
+The central quantity is the **estimate gap**: the campaign compares
+every simulated finish against the estimate *bound* — the
+slack-sharing estimate of :func:`repro.schedule.estimation.
+estimate_ft_schedule` plus the condition-broadcast allowance it
+deliberately does not model (see :func:`estimate_bound`). A sound
+bound means zero plans exceed it; the gap histogram shows how tight
+it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+from repro.runtime.simulator import SimulationResult
+from repro.schedule.estimation import FtEstimate
+from repro.utils.mathutils import TIME_EPS, fgt
+
+#: Gap histogram shape: ``HIST_BINS`` bins of ``HIST_BIN_PCT`` percent
+#: of the bound each; the last bin absorbs everything beyond.
+HIST_BIN_PCT = 5.0
+HIST_BINS = 12
+
+
+def broadcast_allowance(app: Application, arch: Architecture,
+                        k: int) -> float:
+    """Bus time the estimate does not model, bounded per instance.
+
+    The exact conditional scheduler additionally pays
+    condition-broadcast frames and knowledge waits: at most one TDMA
+    round per observed fault and per cross-node dependency (see the
+    module docstring of :mod:`repro.schedule.estimation` and the
+    matching invariant pinned by ``tests/test_property_scheduling``).
+    """
+    return (k + len(app.process_names)) * arch.bus.round_length
+
+
+def estimate_bound(app: Application, arch: Architecture,
+                   estimate: FtEstimate, k: int) -> float:
+    """The sound upper bound a campaign holds simulations against."""
+    return estimate.schedule_length + broadcast_allowance(app, arch, k)
+
+
+@dataclass
+class CampaignStats:
+    """Mergeable aggregates over simulated fault plans."""
+
+    plans: int = 0
+    faulty_plans: int = 0
+    violations: int = 0
+    deadline_misses: int = 0
+    unfinished: int = 0
+    #: Plans whose simulated finish exceeded the estimate bound — the
+    #: soundness counter; a correct seam keeps this at zero.
+    exceeded: int = 0
+    worst_makespan: float = 0.0
+    makespan_sum: float = 0.0
+    finished_plans: int = 0
+    fault_free_makespan: float | None = None
+    #: min over plans of (bound - makespan): how close any scenario
+    #: came to the bound (negative iff ``exceeded`` > 0).
+    min_gap: float | None = None
+    util_sum: float = 0.0
+    util_max: float = 0.0
+    util_count: int = 0
+    gap_hist: list[int] = field(
+        default_factory=lambda: [0] * HIST_BINS)
+
+    # -- observation ----------------------------------------------------------
+
+    def observe(self, result: SimulationResult, *, bound: float,
+                ff_length: float, deadline: float,
+                expected_processes: int | None = None) -> None:
+        """Fold one simulation outcome into the aggregates.
+
+        Pass ``expected_processes`` so a plan under which only *some*
+        processes complete counts as unfinished — its makespan (the
+        max over the completers) understates the true, unbounded
+        finish and must stay out of the worst/mean/gap statistics.
+        """
+        self.plans += 1
+        faulty = not result.plan.is_fault_free()
+        if faulty:
+            self.faulty_plans += 1
+        if not result.ok:
+            self.violations += 1
+        makespan = result.makespan
+        incomplete = (expected_processes is not None
+                      and len(result.completed) < expected_processes)
+        if makespan == float("inf") or incomplete:
+            # A plan under which some process never completes has, by
+            # definition, missed the global deadline (the simulator
+            # records the matching error); count it so the miss rate
+            # agrees with the recorded violations.
+            self.unfinished += 1
+            self.deadline_misses += 1
+            return
+        self.finished_plans += 1
+        self.makespan_sum += makespan
+        self.worst_makespan = max(self.worst_makespan, makespan)
+        if not faulty and self.fault_free_makespan is None:
+            self.fault_free_makespan = makespan
+        if fgt(makespan, deadline):
+            self.deadline_misses += 1
+        gap = bound - makespan
+        exceeds = fgt(makespan, bound)
+        if exceeds:
+            self.exceeded += 1
+        if self.min_gap is None or gap < self.min_gap:
+            self.min_gap = gap
+        if bound > 0 and not exceeds:
+            # Exceeding plans stay out of the histogram: clamping their
+            # negative gap into bin 0 would disguise an unsound run as
+            # a set of tight-but-safe finishes. They are counted by
+            # ``exceeded`` (and bounded below by ``min_gap``) instead.
+            gap_pct = max(0.0, gap) / bound * 100.0
+            index = min(int(gap_pct / HIST_BIN_PCT), HIST_BINS - 1)
+            self.gap_hist[index] += 1
+        if faulty and bound > ff_length + TIME_EPS:
+            utilization = max(0.0, makespan - ff_length) \
+                / (bound - ff_length)
+            self.util_sum += utilization
+            self.util_max = max(self.util_max, utilization)
+            self.util_count += 1
+
+    # -- merging --------------------------------------------------------------
+
+    def merge(self, other: "CampaignStats") -> None:
+        """Fold another chunk's aggregates into this one (exact)."""
+        self.plans += other.plans
+        self.faulty_plans += other.faulty_plans
+        self.violations += other.violations
+        self.deadline_misses += other.deadline_misses
+        self.unfinished += other.unfinished
+        self.exceeded += other.exceeded
+        self.worst_makespan = max(self.worst_makespan,
+                                  other.worst_makespan)
+        self.makespan_sum += other.makespan_sum
+        self.finished_plans += other.finished_plans
+        if self.fault_free_makespan is None:
+            self.fault_free_makespan = other.fault_free_makespan
+        if other.min_gap is not None and (self.min_gap is None
+                                          or other.min_gap < self.min_gap):
+            self.min_gap = other.min_gap
+        self.util_sum += other.util_sum
+        self.util_max = max(self.util_max, other.util_max)
+        self.util_count += other.util_count
+        self.gap_hist = [a + b for a, b
+                         in zip(self.gap_hist, other.gap_hist)]
+
+    # -- derived --------------------------------------------------------------
+
+    @property
+    def mean_makespan(self) -> float:
+        """Mean finish over plans that completed."""
+        if not self.finished_plans:
+            return 0.0
+        return self.makespan_sum / self.finished_plans
+
+    @property
+    def mean_slack_utilization(self) -> float:
+        """Mean fraction of the budgeted recovery slack consumed by
+        faulty plans (0 = no slack used, 1 = bound reached)."""
+        if not self.util_count:
+            return 0.0
+        return self.util_sum / self.util_count
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of simulated plans missing the global deadline."""
+        if not self.plans:
+            return 0.0
+        return self.deadline_misses / self.plans
+
+    # -- transport ------------------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """Plain-JSON form (chunk results, campaign reports)."""
+        return {
+            "plans": self.plans,
+            "faulty_plans": self.faulty_plans,
+            "violations": self.violations,
+            "deadline_misses": self.deadline_misses,
+            "unfinished": self.unfinished,
+            "exceeded": self.exceeded,
+            "worst_makespan": self.worst_makespan,
+            "makespan_sum": self.makespan_sum,
+            "finished_plans": self.finished_plans,
+            "fault_free_makespan": self.fault_free_makespan,
+            "min_gap": self.min_gap,
+            "util_sum": self.util_sum,
+            "util_max": self.util_max,
+            "util_count": self.util_count,
+            "gap_hist": list(self.gap_hist),
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "CampaignStats":
+        """Rebuild chunk aggregates from their JSON form."""
+        stats = cls()
+        for name in ("plans", "faulty_plans", "violations",
+                     "deadline_misses", "unfinished", "exceeded",
+                     "finished_plans", "util_count"):
+            setattr(stats, name, int(payload[name]))
+        for name in ("worst_makespan", "makespan_sum", "util_sum",
+                     "util_max"):
+            setattr(stats, name, float(payload[name]))
+        for name in ("fault_free_makespan", "min_gap"):
+            value = payload[name]
+            setattr(stats, name,
+                    None if value is None else float(value))
+        stats.gap_hist = [int(c) for c in payload["gap_hist"]]
+        if len(stats.gap_hist) != HIST_BINS:
+            raise ValueError(
+                f"gap histogram has {len(stats.gap_hist)} bins, "
+                f"expected {HIST_BINS}")
+        return stats

@@ -17,6 +17,11 @@ Commands
 ``batch``
     Run a sweep through the batch engine: parallel workers, resumable
     JSONL checkpointing, JSON/CSV result export.
+``campaign``
+    Monte Carlo fault-injection campaign: synthesize a design, build
+    the exact tables, stress-test them under sampled fault plans
+    through the batch engine (parallel chunks, resumable checkpoints,
+    estimate-gap report).
 
 Examples
 --------
@@ -30,6 +35,8 @@ Examples
     repro fig7 --profile quick
     repro batch --experiment fig7 --profile paper --workers 4 \
         --checkpoint fig7.ckpt.jsonl --out fig7.json --csv fig7.csv
+    repro campaign --processes 8 --nodes 2 --k 2 --samples 200 \
+        --sampler stratified --chunks 4 --workers 4 --out campaign.json
 
 (``repro`` is the installed console script; ``python -m repro`` works
 from a source checkout.)
@@ -41,6 +48,13 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.campaigns import (
+    PRESET_WORKLOADS,
+    SAMPLERS,
+    CampaignConfig,
+    run_campaign,
+)
+from repro.campaigns.stats import HIST_BIN_PCT
 from repro.engine import BatchEngine, EngineConfig
 from repro.experiments import fig7 as fig7_mod
 from repro.experiments import fig8 as fig8_mod
@@ -57,9 +71,8 @@ from repro.schedule import (
 )
 from repro.synthesis import TabuSettings, initial_mapping, synthesize
 from repro.workloads import (
+    SIMPLE_PRESETS,
     GeneratorConfig,
-    cruise_controller,
-    fig3_example,
     fig5_example,
     generate_workload,
 )
@@ -67,14 +80,11 @@ from repro.workloads import (
 
 def _load_workload(args) -> tuple[Application, Architecture,
                                   Transparency | None]:
-    if args.preset == "fig3":
-        app, arch = fig3_example()
-        return app, arch, None
     if args.preset == "fig5":
         app, arch, __, transparency, ___ = fig5_example()
         return app, arch, transparency
-    if args.preset == "cruise":
-        app, arch = cruise_controller()
+    if args.preset in SIMPLE_PRESETS:
+        app, arch = SIMPLE_PRESETS[args.preset]()
         return app, arch, None
     app, arch = generate_workload(GeneratorConfig(
         processes=args.processes, nodes=args.nodes, seed=args.seed))
@@ -223,6 +233,49 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    if args.preset is not None:
+        workload: dict = {"preset": args.preset}
+    else:
+        workload = {"processes": args.processes, "nodes": args.nodes,
+                    "seed": args.seed}
+    config = CampaignConfig(
+        workload=workload,
+        k=args.k,
+        strategy=args.strategy,
+        sampler=args.sampler,
+        samples=args.samples,
+        chunks=args.chunks,
+        seed=args.seed,
+        settings=TabuSettings(iterations=args.iterations,
+                              neighborhood=args.neighborhood,
+                              bus_contention=False),
+    )
+    engine_config = EngineConfig(
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=not args.no_resume,
+    )
+    report = run_campaign(config, engine_config=engine_config)
+    for line in report.summary_lines():
+        print(line)
+    hist = report.stats.gap_hist
+    if any(hist):
+        print("estimate-gap histogram (% of bound):")
+        for index, count in enumerate(hist):
+            if not count:
+                continue
+            low = index * HIST_BIN_PCT
+            high = low + HIST_BIN_PCT
+            label = (f"{low:.0f}+" if index == len(hist) - 1
+                     else f"{low:.0f}-{high:.0f}")
+            print(f"  {label:>6} %: {count} plan(s)")
+    if args.out:
+        report.write_json(args.out)
+        print(f"report written to {args.out}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -233,7 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_workload_args(p):
         p.add_argument("--preset",
-                       choices=("fig3", "fig5", "cruise"),
+                       choices=("fig5", *SIMPLE_PRESETS),
                        default=None,
                        help="use a built-in workload instead of a "
                             "synthetic one")
@@ -296,6 +349,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--csv", default=None, metavar="PATH",
                          help="write one CSV row per sweep cell")
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="Monte Carlo fault-injection campaign on one design")
+    p_camp.add_argument("--preset", choices=PRESET_WORKLOADS,
+                        default=None,
+                        help="use a built-in workload instead of a "
+                             "synthetic one")
+    p_camp.add_argument("--processes", type=int, default=8)
+    p_camp.add_argument("--nodes", type=int, default=2)
+    p_camp.add_argument("--seed", type=int, default=1,
+                        help="workload seed; also seeds the campaign's "
+                             "derived tabu/sampling streams")
+    p_camp.add_argument("--k", type=int, default=2,
+                        help="transient fault budget per cycle")
+    p_camp.add_argument("--strategy", default="MXR",
+                        choices=("MXR", "MX", "MR", "SFX", "MC",
+                                 "MC_GLOBAL"))
+    p_camp.add_argument("--iterations", type=int, default=8)
+    p_camp.add_argument("--neighborhood", type=int, default=8)
+    p_camp.add_argument("--sampler", choices=SAMPLERS,
+                        default="stratified",
+                        help="fault-plan sampling strategy")
+    p_camp.add_argument("--samples", type=int, default=200,
+                        help="faulty plans to sample (ignored by the "
+                             "exhaustive sampler)")
+    p_camp.add_argument("--chunks", type=int, default=4,
+                        help="plan chunks fanned out as engine jobs; "
+                             "each chunk re-runs the synthesis, so "
+                             "pick roughly --workers (kept "
+                             "independent of --workers because the "
+                             "chunking determines the report's "
+                             "deterministic fold order)")
+    p_camp.add_argument("--workers", type=int, default=4,
+                        help="worker processes (<=1 runs serially); "
+                             "the default matches --chunks so the "
+                             "per-chunk synthesis cost buys "
+                             "parallelism")
+    p_camp.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="JSONL checkpoint of completed chunks "
+                             "(enables resume)")
+    p_camp.add_argument("--no-resume", action="store_true",
+                        help="ignore an existing checkpoint file")
+    p_camp.add_argument("--out", default=None, metavar="PATH",
+                        help="write the canonical JSON campaign report")
+    p_camp.set_defaults(func=_cmd_campaign)
     return parser
 
 

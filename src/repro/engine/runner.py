@@ -180,6 +180,7 @@ class BatchEngine:
             # not after the first one finishes.
             Path(self._config.checkpoint_path).parent.mkdir(
                 parents=True, exist_ok=True)
+            self._repair_checkpoint()
         restored = self._load_checkpoint(jobs)
         if progress is not None:
             for job in jobs:
@@ -242,6 +243,31 @@ class BatchEngine:
 
     # -- checkpointing --------------------------------------------------------
 
+    def _repair_checkpoint(self) -> None:
+        """Drop a torn final line left by a killed writer.
+
+        Appends are flushed per line, so a crash can leave at most one
+        record without its terminating newline. That torn tail must be
+        removed *before* this run appends: ``open(..., "a")`` would
+        otherwise glue the next completed record onto it, producing one
+        unparseable line that silently loses a *valid* cell on the next
+        resume. The torn record itself is unparseable anyway; its job
+        simply re-runs.
+        """
+        path = Path(self._config.checkpoint_path)
+        if not path.exists():
+            return
+        data = path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        cut = data.rfind(b"\n") + 1  # 0 when the only line is torn
+        # Truncate in place rather than rewriting the file: truncation
+        # only ever drops the torn tail, so a crash *during* repair
+        # cannot lose the valid records a full rewrite would be
+        # holding in flight.
+        with open(path, "r+b") as handle:
+            handle.truncate(cut)
+
     def _load_checkpoint(self, jobs: Sequence[BatchJob],
                          ) -> dict[str, tuple[dict, float]]:
         path = self._config.checkpoint_path
@@ -259,7 +285,9 @@ class BatchEngine:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn tail of an interrupted run
+                continue  # torn or corrupted line: drop, re-run
+            if not isinstance(record, dict):
+                continue  # valid JSON but not a record
             job_id = record.get("job_id")
             if job_id not in params_by_id:
                 continue
@@ -268,8 +296,10 @@ class BatchEngine:
             result = record.get("result")
             if not isinstance(result, dict):
                 continue
-            restored[job_id] = (result,
-                                float(record.get("elapsed", 0.0)))
+            elapsed = record.get("elapsed", 0.0)
+            if not isinstance(elapsed, (int, float)):
+                elapsed = 0.0  # corrupted timing never blocks a resume
+            restored[job_id] = (result, float(elapsed))
         return restored
 
     def _append_checkpoint(self, job: BatchJob, result: dict,

@@ -5,20 +5,31 @@
   baseline over application size (paper Fig. 7);
 * :mod:`repro.experiments.fig8` — efficiency of checkpoint
   optimization: avg % deviation of the FTO of the global checkpoint
-  optimization from the per-process [27] baseline (paper Fig. 8).
+  optimization from the per-process [27] baseline (paper Fig. 8);
+* :mod:`repro.experiments.campaign` — beyond the paper: estimate vs
+  exact tables vs Monte Carlo simulated execution across the workload
+  grid (the validation loop the paper leaves open).
 
-Both are runnable as modules (``python -m repro.experiments.fig7``) and
+All are runnable as modules (``python -m repro.experiments.fig7``) and
 wrapped by the pytest-benchmark harnesses in ``benchmarks/``.
 """
 
+from repro.experiments.campaign import (
+    CampaignRow,
+    CampaignSweepConfig,
+    run_campaign_sweep,
+)
 from repro.experiments.fig7 import Fig7Config, Fig7Row, run_fig7
 from repro.experiments.fig8 import Fig8Config, Fig8Row, run_fig8
 
 __all__ = [
+    "CampaignRow",
+    "CampaignSweepConfig",
     "Fig7Config",
     "Fig7Row",
     "Fig8Config",
     "Fig8Row",
+    "run_campaign_sweep",
     "run_fig7",
     "run_fig8",
 ]

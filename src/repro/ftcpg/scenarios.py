@@ -117,18 +117,33 @@ def iter_fault_plans(app: Application, policies: PolicyAssignment,
             cap = min(plan.recoveries + 1, k)
             options.append(_copy_distributions(plan.segments, cap))
 
-    for combo in itertools.product(*options):
-        total = sum(sum(counts) for counts in combo)
-        if total > k:
-            continue
-        if total == 0 and not include_fault_free:
-            continue
-        faults = {
-            key: counts
-            for key, counts in zip(copies, combo)
-            if sum(counts) > 0
-        }
-        yield FaultPlan(faults=faults)
+    # Budget-pruned recursion rather than product-then-filter: the
+    # naive cartesian product walks |options|^copies combinations even
+    # when almost all exceed the budget (5^30 combos for 46k valid
+    # plans on a 30-process instance), which made "exhaustive but
+    # modest" scenario sets intractable. Per-copy options are ordered
+    # by total, so a branch can cut as soon as one copy overdraws; the
+    # emission order is exactly the order the filtered product had.
+    def expand(index: int, remaining: int,
+               chosen: list[tuple[int, ...]]) -> Iterator[FaultPlan]:
+        if index == len(options):
+            if remaining == k and not include_fault_free:
+                return
+            yield FaultPlan(faults={
+                key: counts
+                for key, counts in zip(copies, chosen)
+                if sum(counts) > 0
+            })
+            return
+        for counts in options[index]:
+            used = sum(counts)
+            if used > remaining:
+                break  # ordered by total: the rest overdraws too
+            chosen.append(counts)
+            yield from expand(index + 1, remaining - used, chosen)
+            chosen.pop()
+
+    yield from expand(0, k, [])
 
 
 def count_fault_plans(app: Application, policies: PolicyAssignment,

@@ -11,7 +11,11 @@ exhaustively over *all* fault scenarios within the budget ``k``.
 """
 
 from repro.runtime.simulator import SimulationResult, simulate
-from repro.runtime.faults import sample_fault_plan, sample_fault_plans
+from repro.runtime.faults import (
+    sample_fault_plan,
+    sample_fault_plan_exact,
+    sample_fault_plans,
+)
 from repro.runtime.verify import (
     VerificationReport,
     verify_tolerance,
@@ -22,6 +26,7 @@ __all__ = [
     "SimulationResult",
     "VerificationReport",
     "sample_fault_plan",
+    "sample_fault_plan_exact",
     "sample_fault_plans",
     "simulate",
     "verify_tolerance",

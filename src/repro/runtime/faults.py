@@ -28,6 +28,22 @@ def sample_fault_plan(app: Application, policies: PolicyAssignment,
     if k <= 0:
         return FaultPlan({})
     total = rng.randint(1, k)
+    return sample_fault_plan_exact(app, policies, total, rng)
+
+
+def sample_fault_plan_exact(app: Application, policies: PolicyAssignment,
+                            total: int, rng: DeterministicRng,
+                            ) -> FaultPlan:
+    """Draw one random plan with exactly ``total`` faults (best effort:
+    fewer when the copies cannot absorb that many, which the budget
+    check ``total <= k`` normally rules out).
+
+    This is the placement step of :func:`sample_fault_plan` exposed on
+    its own so stratified samplers (one stratum per fault count, as in
+    :mod:`repro.campaigns.sampling`) can control the total directly.
+    """
+    if total <= 0:
+        return FaultPlan({})
     counts: dict[tuple[str, int], list[int]] = {}
     capacity: dict[tuple[str, int], int] = {}
     segments: dict[tuple[str, int], int] = {}

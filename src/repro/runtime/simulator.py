@@ -37,7 +37,7 @@ from repro.model.fault_model import FaultModel
 from repro.policies.types import PolicyAssignment
 from repro.schedule.mapping import CopyMapping
 from repro.schedule.table import EntryKind, ScheduleSet, TableEntry
-from repro.utils.mathutils import TIME_EPS
+from repro.utils.mathutils import TIME_EPS, fgt, flt
 
 CopyKey = tuple[str, int]
 
@@ -132,8 +132,8 @@ def simulate(
                 return False
         return True
 
-    fired = [e for e in schedule.entries if guard_fires(e)]
-    fired.sort(key=lambda e: (e.start, _kind_rank(e)))
+    fired = _replay_order([e for e in schedule.entries
+                           if guard_fires(e)])
 
     # Knowledge of condition values per node: produced locally at the
     # detection point, remotely at the broadcast arrival.
@@ -205,12 +205,12 @@ def simulate(
             continue
         completed[process.name] = min(finishes)
         if process.deadline is not None and \
-                completed[process.name] > process.deadline + TIME_EPS:
+                fgt(completed[process.name], process.deadline):
             errors.append(
                 f"process {process.name!r} missed local deadline "
                 f"{process.deadline} (finished {completed[process.name]})")
     makespan = max(completed.values()) if completed else float("inf")
-    if makespan > app.deadline + TIME_EPS:
+    if fgt(makespan, app.deadline):
         errors.append(
             f"global deadline {app.deadline} missed (makespan {makespan}, "
             f"plan {plan.describe()})")
@@ -230,6 +230,36 @@ def _kind_rank(entry: TableEntry) -> int:
             EntryKind.ATTEMPT: 2}[entry.kind]
 
 
+def _replay_order(entries: list[TableEntry]) -> list[TableEntry]:
+    """Sort for replay: by start, kind tie-break for near-tie starts.
+
+    Two activations whose starts differ only by float rounding (which
+    varies between platforms/libms) must replay in the *same* order
+    everywhere, and the kind tie-break above must apply to them —
+    otherwise an attempt can be replayed before the message that
+    arrives "at the same time", producing a spurious missing-input or
+    overlap error on one platform but not another. Starts are grouped
+    by clustering *runs* closer than ``TIME_EPS`` (not by rounding to
+    a fixed grid, which would still split a near-tie straddling a grid
+    boundary); within a group, bus effects come before attempts.
+    """
+    ordered = sorted(entries, key=lambda e: (e.start, _kind_rank(e)))
+    group = 0
+    anchor: float | None = None
+    keyed = []
+    for entry in ordered:
+        # Anchored, not chained: a group holds entries within TIME_EPS
+        # of its *first* member, so no group ever spans more than eps —
+        # transitive chaining could merge a run of N eps-spaced entries
+        # and reorder genuinely-later messages before earlier attempts.
+        if anchor is None or entry.start - anchor > TIME_EPS:
+            group += 1
+            anchor = entry.start
+        keyed.append((group, _kind_rank(entry), entry.start, entry))
+    keyed.sort(key=lambda item: item[:3])
+    return [item[3] for item in keyed]
+
+
 def _check_attempt(entry, app, arch, mapping, policies, truth, known_at,
                    node_busy, delivered, segment_finish, attempt_finish,
                    completion, errors) -> None:
@@ -244,13 +274,13 @@ def _check_attempt(entry, app, arch, mapping, policies, truth, known_at,
             errors.append(
                 f"{attempt.label()} on {node}: guard literal {literal} "
                 "is never known on this node")
-        elif known > entry.start + TIME_EPS:
+        elif fgt(known, entry.start):
             errors.append(
                 f"{attempt.label()} on {node}: starts at {entry.start} "
                 f"but {literal} only known at {known}")
 
     # Processor exclusivity.
-    if entry.start < node_busy[node] - TIME_EPS:
+    if flt(entry.start, node_busy[node]):
         errors.append(
             f"{attempt.label()} overlaps on {node}: start {entry.start} "
             f"< busy-until {node_busy[node]}")
@@ -259,19 +289,19 @@ def _check_attempt(entry, app, arch, mapping, policies, truth, known_at,
     # Continuity / inputs.
     if attempt.segment == 1 and attempt.attempt == 1:
         process = app.process(attempt.process)
-        if entry.start < process.release - TIME_EPS:
+        if flt(entry.start, process.release):
             errors.append(
                 f"{attempt.label()} starts before its release "
                 f"{process.release}")
         for message in app.inputs_of(attempt.process):
             at = delivered.get(message.name, {}).get(node)
-            if at is None or at > entry.start + TIME_EPS:
+            if at is None or fgt(at, entry.start):
                 errors.append(
                     f"{attempt.label()} on {node} starts at {entry.start} "
                     f"without input {message.name!r} (available: {at})")
     elif attempt.attempt == 1:
         prev = segment_finish.get((key, attempt.segment - 1))
-        if prev is None or prev > entry.start + TIME_EPS:
+        if prev is None or fgt(prev, entry.start):
             errors.append(
                 f"{attempt.label()} starts before segment "
                 f"{attempt.segment - 1} finished ({prev})")
@@ -279,7 +309,7 @@ def _check_attempt(entry, app, arch, mapping, policies, truth, known_at,
         prev_attempt = AttemptId(attempt.process, attempt.copy,
                                  attempt.segment, attempt.attempt - 1)
         prev = attempt_finish.get(prev_attempt)
-        if prev is None or prev > entry.start + TIME_EPS:
+        if prev is None or fgt(prev, entry.start):
             errors.append(
                 f"retry {attempt.label()} starts before attempt "
                 f"{attempt.attempt - 1} was detected faulty ({prev})")
@@ -321,7 +351,7 @@ def _deliver_message(entry, app, mapping, truth, delivered, completion,
     if not truth.copy_success.get(key, False):
         return  # dead copy: the reserved slot stays empty
     sent_at = completion.get(key)
-    if sent_at is None or sent_at > entry.start + TIME_EPS:
+    if sent_at is None or fgt(sent_at, entry.start):
         errors.append(
             f"message {entry.message!r} (copy {entry.producer_copy}) "
             f"transmitted at {entry.start} before its producer finished "

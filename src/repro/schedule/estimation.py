@@ -92,6 +92,80 @@ class FtEstimate:
                    if key[0] == process)
 
 
+#: Slack-sharing modes of :func:`estimate_ft_schedule`.
+SLACK_SHARING_MODES = ("max", "budgeted")
+
+
+class _MaxSlackPool:
+    """The paper's shared-slack rule: running max of per-copy slacks."""
+
+    def __init__(self, k: int) -> None:
+        self._k = k
+        self._slack = 0.0
+
+    def add(self, execution: CopyExecution) -> float:
+        """Fold one scheduled copy; return the shared slack so far."""
+        self._slack = max(self._slack, execution.recovery_slack(self._k))
+        return self._slack
+
+
+class _BudgetedSlackPool:
+    """Sound shared slack for heterogeneous recovery budgets.
+
+    A fault distribution gives copy ``j`` some ``f_j <= R_j`` of the
+    ``k`` faults; each costs ``f_j`` retries (``C/n + mu + alpha``
+    each), and when the distribution exhausts the whole budget the
+    final retry skips detection (``- alpha`` of the copy absorbing it,
+    as in :meth:`~repro.policies.recovery.CopyExecution.
+    worst_case_duration`). The shared slack is the *worst distribution
+    total*, computed by a DP over the budget — which equals the
+    running max whenever some copy can absorb all ``k`` faults at the
+    per-fault cost of the maximum, and exceeds it exactly when copies
+    saturate (``R_j < k``) and the adversary splits.
+    """
+
+    _NEG = float("-inf")
+
+    def __init__(self, k: int) -> None:
+        self._k = k
+        #: best[b]: worst total slack of exactly ``b`` faults, no
+        #: detection discount (used while the budget is not exhausted).
+        self._best = [0.0] + [self._NEG] * k
+        #: discounted[b]: ditto with the one ``- alpha`` discount of
+        #: the copy taking the final, budget-exhausting fault.
+        self._discounted = [self._NEG] * (k + 1)
+
+    def add(self, execution: CopyExecution) -> float:
+        """Fold one scheduled copy; return the shared slack so far."""
+        k = self._k
+        if k == 0:
+            return 0.0
+        cap = min(execution.plan.recoveries, k)
+        if cap > 0:
+            cost = (execution.segment_time + execution.mu
+                    + execution.alpha)
+            best, discounted = self._best, self._discounted
+            new_best = list(best)
+            new_discounted = list(discounted)
+            for b in range(1, k + 1):
+                for f in range(1, min(cap, b) + 1):
+                    gain = f * cost
+                    if best[b - f] > self._NEG:
+                        new_best[b] = max(new_best[b],
+                                          best[b - f] + gain)
+                        new_discounted[b] = max(
+                            new_discounted[b],
+                            best[b - f] + gain - execution.alpha)
+                    if discounted[b - f] > self._NEG:
+                        new_discounted[b] = max(
+                            new_discounted[b],
+                            discounted[b - f] + gain)
+            self._best, self._discounted = new_best, new_discounted
+        # Distributions short of the full budget keep detection on
+        # every retry (no discount); a full distribution discounts one.
+        return max(0.0, max(self._best[:k]), self._discounted[k])
+
+
 def estimate_ft_schedule(
     app: Application,
     arch: Architecture,
@@ -101,6 +175,7 @@ def estimate_ft_schedule(
     *,
     priorities: Mapping[str, float] | None = None,
     bus_contention: bool = True,
+    slack_sharing: str = "max",
 ) -> FtEstimate:
     """Estimate the worst-case fault-tolerant schedule length.
 
@@ -108,8 +183,32 @@ def estimate_ft_schedule(
     :class:`SchedulingError` only on structural problems; deadline
     misses are reported in the result, not raised, because the design
     optimizer treats them as penalized costs.
+
+    ``slack_sharing`` picks the shared-slack rule per node:
+
+    * ``"max"`` (default) — the paper's rule: the running max of the
+      per-copy slacks, justified by "concentrating all ``k`` faults on
+      the costliest copy dominates any split". That argument silently
+      assumes every copy can absorb all ``k`` faults; when a copy's
+      recovery count is *below* ``k`` (replication hybrids), the
+      adversary splits faults across saturated copies and the max is
+      optimistic. Kept as the default because it is the estimator the
+      paper's optimization loop uses — every published comparison
+      (Fig. 7/8) is defined in its terms.
+    * ``"budgeted"`` — sound for heterogeneous recovery budgets: a
+      small DP distributes the ``k`` faults among the copies of the
+      node (each capped at its own recovery count) and charges the
+      worst total. Identical to ``"max"`` whenever every copy can
+      absorb ``k`` faults and detection overheads are uniform; used by
+      the fault-injection campaigns
+      (:mod:`repro.campaigns`) as their certified bound, where this
+      optimism was first observed empirically.
     """
     k = fault_model.k
+    if slack_sharing not in SLACK_SHARING_MODES:
+        raise ValueError(
+            f"unknown slack_sharing {slack_sharing!r}, expected one "
+            f"of {SLACK_SHARING_MODES}")
     if priorities is None:
         priorities = partial_critical_path_priorities(app, arch)
     bus = TdmaBus(arch.bus)
@@ -133,7 +232,11 @@ def estimate_ft_schedule(
 
     # -- list schedule -------------------------------------------------------
     node_free: dict[str, float] = {n: 0.0 for n in arch.node_names}
-    node_slack: dict[str, float] = {n: 0.0 for n in arch.node_names}
+    pool_type = (_MaxSlackPool if slack_sharing == "max"
+                 else _BudgetedSlackPool)
+    node_slack: dict[str, _MaxSlackPool | _BudgetedSlackPool] = {
+        n: pool_type(k) for n in arch.node_names
+    }
     timings: dict[CopyKey, CopyTiming] = {}
     #: (message name, producer copy index) -> bus arrival time
     arrival: dict[tuple[str, int], float] = {}
@@ -218,8 +321,7 @@ def estimate_ft_schedule(
                     else execution.worst_case_duration(0))
         ff_finish = earliest + duration
         node_free[node] = ff_finish
-        node_slack[node] = max(node_slack[node], execution.recovery_slack(k))
-        wc_finish = ff_finish + node_slack[node]
+        wc_finish = ff_finish + node_slack[node].add(execution)
         timings[key] = CopyTiming(node=node, start=earliest,
                                   ff_finish=ff_finish, wc_finish=wc_finish)
         scheduled += 1

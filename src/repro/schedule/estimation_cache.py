@@ -7,7 +7,8 @@ neighborhood candidate, and neighborhoods revisit solutions constantly
 same subspace, the refinement sweep re-proposing the incumbent).  The
 estimate is a pure function of
 
-    (fault budget k, bus-contention flag, policy assignment, mapping)
+    (fault budget k, bus-contention flag, slack-sharing mode,
+     policy assignment, mapping)
 
 for a fixed application/architecture/priority context, so one
 :class:`EstimationCache` per workload makes every repeated evaluation
@@ -113,6 +114,7 @@ class EstimationCache:
         *,
         priorities: Mapping[str, float] | None = None,
         bus_contention: bool = True,
+        slack_sharing: str = "max",
     ) -> FtEstimate:
         """Drop-in replacement for :func:`estimate_ft_schedule`."""
         normalized = None if priorities is None else dict(priorities)
@@ -131,7 +133,7 @@ class EstimationCache:
                 "EstimationCache is bound to one priority assignment; "
                 "create a fresh cache per (application, architecture, "
                 "priorities)")
-        key = (fault_model.k, bus_contention,
+        key = (fault_model.k, bus_contention, slack_sharing,
                solution_fingerprint(policies, mapping))
         cached = self._entries.get(key)
         if cached is not None:
@@ -141,7 +143,8 @@ class EstimationCache:
         self.misses += 1
         estimate = estimate_ft_schedule(
             app, arch, mapping, policies, fault_model,
-            priorities=priorities, bus_contention=bus_contention)
+            priorities=priorities, bus_contention=bus_contention,
+            slack_sharing=slack_sharing)
         self._entries[key] = estimate
         if (self._max_entries is not None
                 and len(self._entries) > self._max_entries):

@@ -10,19 +10,27 @@
 
 from repro.workloads.generator import GeneratorConfig, generate_workload
 from repro.workloads.presets import (
+    SIMPLE_PRESETS,
     brake_by_wire,
+    bursty_heterogeneous,
     cruise_controller,
+    deep_chain,
     fig1_process,
     fig3_example,
     fig5_example,
+    wide_fork_join,
 )
 
 __all__ = [
     "GeneratorConfig",
+    "SIMPLE_PRESETS",
     "brake_by_wire",
+    "bursty_heterogeneous",
     "cruise_controller",
+    "deep_chain",
     "fig1_process",
     "fig3_example",
     "fig5_example",
     "generate_workload",
+    "wide_fork_join",
 ]

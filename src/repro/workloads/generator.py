@@ -63,6 +63,28 @@ class GeneratorConfig:
             raise ValidationError("hetero must be in [0, 1)")
         if self.layer_width < 1 or self.max_in < 1:
             raise ValidationError("layer_width and max_in must be >= 1")
+        for label, fraction in (("alpha_fraction", self.alpha_fraction),
+                                ("mu_fraction", self.mu_fraction),
+                                ("chi_fraction", self.chi_fraction)):
+            if fraction < 0:
+                raise ValidationError(
+                    f"{label} must be >= 0, got {fraction}")
+        low, high = self.message_bytes
+        if low < 1 or high < low:
+            raise ValidationError(
+                f"bad message_bytes {self.message_bytes}: need "
+                "1 <= min <= max")
+        if self.deadline_slack <= 0:
+            raise ValidationError(
+                f"deadline_slack must be positive, got "
+                f"{self.deadline_slack}")
+        if self.slot_length <= 0:
+            raise ValidationError(
+                f"slot_length must be positive, got {self.slot_length}")
+        if self.slot_payload_bytes < 1:
+            raise ValidationError(
+                f"slot_payload_bytes must be >= 1, got "
+                f"{self.slot_payload_bytes}")
 
 
 def generate_workload(config: GeneratorConfig,
@@ -146,13 +168,24 @@ def generate_workload(config: GeneratorConfig,
 def _deadline_estimate(processes: list[Process], layers: list[list[str]],
                        config: GeneratorConfig) -> float:
     """A deadline loose enough that FTO (not deadline pressure) is the
-    observable, as in the paper's experiments."""
+    observable, as in the paper's experiments.
+
+    Besides the critical-path and load bounds, the heaviest single
+    process must anchor the scale: under ``k`` faults that process
+    re-executes up to ``k + 1`` times *serially*, so a mean-based
+    deadline is infeasible by construction on small instances with one
+    dominant process (a 3-process workload with WCETs 15/24/91 used to
+    get a deadline below 3x91 — no schedule could tolerate two faults
+    on the heavy process).
+    """
     mean_wcet = sum(
         sum(p.wcet.values()) / len(p.wcet) for p in processes
     ) / len(processes)
+    max_wcet = max(max(p.wcet.values()) for p in processes)
     critical_path = len(layers) * mean_wcet
     load_bound = len(processes) * mean_wcet / config.nodes
-    return config.deadline_slack * max(critical_path, load_bound)
+    return config.deadline_slack * max(critical_path, load_bound,
+                                       max_wcet)
 
 
 def paper_experiment_config(processes: int, seed: int,

@@ -1,5 +1,7 @@
-"""The paper's hand-drawn examples (Figures 1–6) and a realistic case
-study.
+"""The paper's hand-drawn examples (Figures 1–6), realistic case
+studies, and structurally extreme families for fault-injection
+campaigns (:func:`deep_chain`, :func:`wide_fork_join`,
+:func:`bursty_heterogeneous`).
 
 All numbers that the paper states explicitly are used verbatim; where
 the paper's figures are ambiguous (the DATE format omits some WCETs and
@@ -18,6 +20,7 @@ from repro.model.process import Process
 from repro.model.transparency import Transparency
 from repro.policies.types import CopyPlan
 from repro.schedule.mapping import CopyMapping
+from repro.utils.rng import DeterministicRng
 
 
 def fig1_process() -> tuple[Process, CopyPlan]:
@@ -168,6 +171,151 @@ def brake_by_wire() -> tuple[Application, Architecture, Transparency]:
     return app, arch, transparency
 
 
+def deep_chain(length: int = 10, nodes: int = 2, *, seed: int = 1,
+               ) -> tuple[Application, Architecture]:
+    """A deep pipeline: ``length`` processes in one dependency chain.
+
+    The structural opposite of the layered generator output — zero
+    parallelism, so every recovery slack sits on the critical path and
+    fault-injection campaigns observe the *serial* worst case: each
+    additional fault pushes the finish by a full recovery. WCETs vary
+    moderately (deterministically from ``seed``) so mapping still
+    matters across the ``nodes`` TTP nodes.
+    """
+    if length < 2:
+        raise ValueError(f"chain needs >= 2 processes, got {length}")
+    rng = DeterministicRng(seed)
+    node_names = tuple(f"N{i + 1}" for i in range(nodes))
+    processes = []
+    total_base = 0.0
+    for index in range(length):
+        base = round(rng.uniform(15.0, 45.0), 1)
+        total_base += base
+        wcet = {n: round(base * rng.uniform(0.9, 1.1), 1)
+                for n in node_names}
+        processes.append(Process(f"C{index + 1}", wcet,
+                                 alpha=round(base * 0.05, 2),
+                                 mu=round(base * 0.05, 2),
+                                 chi=round(base * 0.05, 2)))
+    messages = [
+        Message(f"m{i + 1}", f"C{i + 1}", f"C{i + 2}", size_bytes=8)
+        for i in range(length - 1)
+    ]
+    # The whole chain is the critical path; 4x leaves room for the
+    # recovery slack of several faults without deadline pressure.
+    app = Application(processes, messages, deadline=round(total_base * 4, 1),
+                      name=f"deep-chain-{length}")
+    arch = Architecture(
+        [Node(n) for n in node_names],
+        BusSpec(slot_order=node_names, slot_length=1.0),
+        name=f"chain-arch-{nodes}n",
+    )
+    return app, arch
+
+
+def wide_fork_join(width: int = 6, nodes: int = 3, *, seed: int = 2,
+                   ) -> tuple[Application, Architecture]:
+    """A source fanning out to ``width`` parallel workers and joining.
+
+    Maximum parallelism between two synchronization points: the join
+    waits for *every* worker, so a fault on any one of them moves the
+    sink — the sharing of recovery slack across co-located workers
+    (the core of the estimation model) is exactly what campaigns on
+    this family stress.
+    """
+    if width < 2:
+        raise ValueError(f"fork-join needs width >= 2, got {width}")
+    rng = DeterministicRng(seed)
+    node_names = tuple(f"N{i + 1}" for i in range(nodes))
+
+    def proc(name: str, base: float) -> Process:
+        wcet = {n: round(base * rng.uniform(0.85, 1.15), 1)
+                for n in node_names}
+        return Process(name, wcet, alpha=round(base * 0.04, 2),
+                       mu=round(base * 0.06, 2),
+                       chi=round(base * 0.04, 2))
+
+    workers = [proc(f"W{i + 1}", round(rng.uniform(20.0, 50.0), 1))
+               for i in range(width)]
+    source = proc("fork", 12.0)
+    sink = proc("join", 14.0)
+    processes = [source, *workers, sink]
+    messages = [Message(f"m_out{i + 1}", "fork", w.name, size_bytes=8)
+                for i, w in enumerate(workers)]
+    messages += [Message(f"m_in{i + 1}", w.name, "join", size_bytes=8)
+                 for i, w in enumerate(workers)]
+    mean_wcet = sum(sum(p.wcet.values()) / len(p.wcet)
+                    for p in processes) / len(processes)
+    deadline = round(6 * mean_wcet * (2 + width / nodes), 1)
+    app = Application(processes, messages, deadline=deadline,
+                      name=f"fork-join-{width}w")
+    arch = Architecture(
+        [Node(n) for n in node_names],
+        BusSpec(slot_order=node_names, slot_length=1.0),
+        name=f"forkjoin-arch-{nodes}n",
+    )
+    return app, arch
+
+
+def bursty_heterogeneous(bursts: int = 3, burst_width: int = 3, *,
+                         nodes: int = 3, seed: int = 7,
+                         ) -> tuple[Application, Architecture]:
+    """Bursts of short tasks funneled through heavy aggregators.
+
+    ``bursts`` alternating stages: a wide layer of light processes
+    (the burst) followed by one heavy aggregator consuming all of
+    them. WCETs are strongly heterogeneous across nodes (up to 2x,
+    deterministically from ``seed``), so the mapping choice dominates
+    and the fault behaviour differs sharply between light and heavy
+    processes — the mixed regime the uniform generator never
+    produces.
+    """
+    if bursts < 1 or burst_width < 2:
+        raise ValueError(
+            f"need bursts >= 1 and burst_width >= 2, got "
+            f"{bursts}x{burst_width}")
+    rng = DeterministicRng(seed)
+    node_names = tuple(f"N{i + 1}" for i in range(nodes))
+
+    def proc(name: str, base: float) -> Process:
+        # Strong heterogeneity: per-node factors in [0.6, 1.8].
+        wcet = {n: round(base * rng.uniform(0.6, 1.8), 1)
+                for n in node_names}
+        return Process(name, wcet, alpha=round(base * 0.05, 2),
+                       mu=round(base * 0.05, 2),
+                       chi=round(base * 0.05, 2))
+
+    processes: list[Process] = []
+    messages: list[Message] = []
+    previous_aggregator: str | None = None
+    for burst in range(1, bursts + 1):
+        light = [proc(f"B{burst}_{i + 1}",
+                      round(rng.uniform(4.0, 10.0), 1))
+                 for i in range(burst_width)]
+        heavy = proc(f"A{burst}", round(rng.uniform(40.0, 70.0), 1))
+        processes += [*light, heavy]
+        for task in light:
+            if previous_aggregator is not None:
+                messages.append(Message(
+                    f"m_{previous_aggregator}_{task.name}",
+                    previous_aggregator, task.name, size_bytes=4))
+            messages.append(Message(f"m_{task.name}_{heavy.name}",
+                                    task.name, heavy.name,
+                                    size_bytes=4))
+        previous_aggregator = heavy.name
+    mean_wcet = sum(sum(p.wcet.values()) / len(p.wcet)
+                    for p in processes) / len(processes)
+    deadline = round(6 * mean_wcet * bursts * 2, 1)
+    app = Application(processes, messages, deadline=deadline,
+                      name=f"bursty-{bursts}x{burst_width}")
+    arch = Architecture(
+        [Node(n) for n in node_names],
+        BusSpec(slot_order=node_names, slot_length=1.0),
+        name=f"bursty-arch-{nodes}n",
+    )
+    return app, arch
+
+
 def cruise_controller() -> tuple[Application, Architecture]:
     """An adaptive cruise controller in the style of the case studies
     used throughout this research line (sensing → fusion → control →
@@ -242,3 +390,19 @@ def cruise_controller() -> tuple[Application, Architecture]:
         name="cc-arch",
     )
     return app, arch
+
+
+#: Name -> loader for every preset that returns a plain
+#: ``(Application, Architecture)`` pair — the single source of truth
+#: shared by the CLI workload dispatch and the campaign runner, so the
+#: two can never disagree on which presets exist. ``fig5`` (which also
+#: returns a fault model, transparency and a fixed mapping) and
+#: ``brake_by_wire`` (which returns a transparency) are dispatched
+#: specially by their callers and stay out of this table.
+SIMPLE_PRESETS = {
+    "fig3": fig3_example,
+    "cruise": cruise_controller,
+    "chain": deep_chain,
+    "forkjoin": wide_fork_join,
+    "bursty": bursty_heterogeneous,
+}

@@ -142,3 +142,53 @@ class TestBatchCommand:
         printed = capsys.readouterr().out
         assert code == 0
         assert "FTO[27]" in printed
+
+
+class TestCampaignCommand:
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.sampler == "stratified"
+        assert args.samples == 200
+        assert args.chunks == 4
+        assert args.workers == 4
+        assert args.checkpoint is None
+
+    def test_campaign_bad_sampler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--sampler", "nope"])
+
+    def test_campaign_preset_choices(self):
+        args = build_parser().parse_args(
+            ["campaign", "--preset", "forkjoin"])
+        assert args.preset == "forkjoin"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "--preset", "fig5"])
+
+    def test_new_workload_presets_accepted(self):
+        for preset in ("chain", "forkjoin", "bursty"):
+            args = build_parser().parse_args(
+                ["synth", "--preset", preset])
+            assert args.preset == preset
+
+    def test_campaign_runs_and_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        ckpt = tmp_path / "campaign.ckpt.jsonl"
+        argv = ["campaign", "--processes", "5", "--nodes", "2",
+                "--seed", "3", "--k", "1", "--samples", "8",
+                "--chunks", "2", "--iterations", "4",
+                "--neighborhood", "4", "--checkpoint", str(ckpt),
+                "--out", str(out)]
+        code = main(argv)
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "plans simulated" in printed
+        assert "plans beyond the estimate bound 0" in printed
+        assert out.exists() and ckpt.exists()
+        # A rerun resumes every chunk and reproduces the report.
+        before = out.read_text()
+        code = main(argv)
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "0 executed, 2 resumed" in printed
+        assert out.read_text() == before

@@ -261,6 +261,61 @@ class TestEngineCheckpoint:
         report = run_batch(jobs, EngineConfig(checkpoint_path=ckpt))
         assert report.resumed == 1 and report.executed == 2
 
+    def test_torn_tail_repaired_before_appending(self, tmp_path):
+        """A torn final line must not swallow the next appended record.
+
+        Without repair, ``open(..., "a")`` glues the next completed
+        cell onto the unterminated tail; that whole line then fails to
+        parse on the following resume and a *valid* record is silently
+        lost and re-executed.
+        """
+        log = tmp_path / "log.txt"
+        ckpt = tmp_path / "ckpt.jsonl"
+        jobs = self._jobs(log)
+        run_batch(jobs[:1], EngineConfig(checkpoint_path=ckpt))
+        with open(ckpt, "a", encoding="utf-8") as handle:
+            handle.write('{"job_id": "cell/b", "resu')  # killed writer
+        run_batch(jobs, EngineConfig(checkpoint_path=ckpt))
+        # Every line of the repaired checkpoint parses again...
+        records = [json.loads(line)
+                   for line in ckpt.read_text().splitlines()]
+        assert sorted({r["job_id"] for r in records}) == \
+            ["cell/a", "cell/b", "cell/c"]
+        # ...so a third run resumes everything.
+        third = run_batch(jobs, EngineConfig(checkpoint_path=ckpt))
+        assert third.resumed == 3 and third.executed == 0
+        assert engine_runners.read_log(log) == ["a", "b", "c"]
+
+    def test_torn_single_line_checkpoint(self, tmp_path):
+        log = tmp_path / "log.txt"
+        ckpt = tmp_path / "ckpt.jsonl"
+        ckpt.write_text('{"job_id": "cell/a", "par')  # only line torn
+        report = run_batch(self._jobs(log),
+                           EngineConfig(checkpoint_path=ckpt))
+        assert report.executed == 3 and report.resumed == 0
+
+    def test_non_dict_checkpoint_line_tolerated(self, tmp_path):
+        log = tmp_path / "log.txt"
+        ckpt = tmp_path / "ckpt.jsonl"
+        jobs = self._jobs(log)
+        run_batch(jobs[:1], EngineConfig(checkpoint_path=ckpt))
+        with open(ckpt, "a", encoding="utf-8") as handle:
+            handle.write('[1, 2, 3]\n"just a string"\n17\n')
+        report = run_batch(jobs, EngineConfig(checkpoint_path=ckpt))
+        assert report.resumed == 1 and report.executed == 2
+
+    def test_corrupted_elapsed_never_blocks_resume(self, tmp_path):
+        log = tmp_path / "log.txt"
+        ckpt = tmp_path / "ckpt.jsonl"
+        jobs = self._jobs(log)
+        run_batch(jobs, EngineConfig(checkpoint_path=ckpt))
+        records = [json.loads(line)
+                   for line in ckpt.read_text().splitlines()]
+        records[1]["elapsed"] = "garbage"
+        ckpt.write_text("".join(json.dumps(r) + "\n" for r in records))
+        report = run_batch(jobs, EngineConfig(checkpoint_path=ckpt))
+        assert report.resumed == 3 and report.executed == 0
+
     def test_no_resume_reexecutes(self, tmp_path):
         log = tmp_path / "log.txt"
         ckpt = tmp_path / "ckpt.jsonl"

@@ -185,3 +185,110 @@ class TestDeadlines:
                                         policies, FaultModel(k=1))
         assert estimate.completion_bound("P4") == \
             estimate.timings[("P4", 0)].wc_finish
+
+
+class TestBudgetedSlackSharing:
+    """The sound slack-sharing mode used by fault-injection campaigns.
+
+    The default ``"max"`` rule assumes every copy can absorb all ``k``
+    faults; with heterogeneous recovery budgets the adversary splits
+    faults across saturated copies, and ``"budgeted"`` must charge
+    that worst distribution.
+    """
+
+    def _two_independent(self, *, r_a: int, r_b: int):
+        app = Application(
+            [Process("A", {"N1": 50.0}),
+             Process("B", {"N1": 30.0})],
+            deadline=1000.0)
+        policies = PolicyAssignment.build(
+            app, ProcessPolicy.re_execution(r_a),
+            {"B": ProcessPolicy.re_execution(r_b)})
+        mapping = CopyMapping({("A", 0): "N1", ("B", 0): "N1"})
+        return app, policies, mapping
+
+    def test_unknown_mode_rejected(self, chain_app, two_nodes):
+        policies = reexec(chain_app, 1)
+        mapping = make_mapping(chain_app, policies)
+        with pytest.raises(ValueError, match="slack_sharing"):
+            estimate_ft_schedule(chain_app, two_nodes, mapping,
+                                 policies, FaultModel(k=1),
+                                 slack_sharing="nope")
+
+    def test_matches_max_for_uniform_budgets(self, two_nodes):
+        # Every copy can absorb the whole budget: concentration on the
+        # costliest copy dominates, the DP reduces to the running max.
+        app, policies, mapping = self._two_independent(r_a=2, r_b=2)
+        fm = FaultModel(k=2)
+        base = estimate_ft_schedule(app, two_nodes, mapping, policies,
+                                    fm)
+        budgeted = estimate_ft_schedule(app, two_nodes, mapping,
+                                        policies, fm,
+                                        slack_sharing="budgeted")
+        assert budgeted.schedule_length == \
+            pytest.approx(base.schedule_length)
+        # Both faults concentrated on A: ff 80 + 2 * 50.
+        assert budgeted.schedule_length == pytest.approx(180.0)
+
+    def test_charges_split_across_saturated_copies(self, two_nodes):
+        # A can only absorb one fault (R=1 < k=2): the worst adversary
+        # splits 1+1, costing 50 + 30 = 80 — more than either
+        # concentration (A: 50, B: 60) the max rule considers.
+        app, policies, mapping = self._two_independent(r_a=1, r_b=2)
+        fm = FaultModel(k=2)
+        base = estimate_ft_schedule(app, two_nodes, mapping, policies,
+                                    fm)
+        budgeted = estimate_ft_schedule(app, two_nodes, mapping,
+                                        policies, fm,
+                                        slack_sharing="budgeted")
+        assert base.schedule_length == pytest.approx(80.0 + 60.0)
+        assert budgeted.schedule_length == pytest.approx(80.0 + 80.0)
+
+    def test_never_below_max_mode(self, fork_join_app, two_nodes):
+        for k in (1, 2, 3):
+            policies = reexec(fork_join_app, k)
+            mapping = make_mapping(fork_join_app, policies)
+            fm = FaultModel(k=k)
+            base = estimate_ft_schedule(fork_join_app, two_nodes,
+                                        mapping, policies, fm)
+            budgeted = estimate_ft_schedule(fork_join_app, two_nodes,
+                                            mapping, policies, fm,
+                                            slack_sharing="budgeted")
+            assert budgeted.schedule_length >= \
+                base.schedule_length - 1e-9
+
+    def test_budget_exhaustion_discount_applied(self, two_nodes):
+        # One copy, alpha > 0: the final retry of a full budget skips
+        # detection exactly as in worst_case_duration (Fig. 1c), in
+        # both sharing modes.
+        app = Application([Process("A", {"N1": 60.0}, alpha=10.0,
+                                   mu=10.0)], deadline=1000.0)
+        policies = PolicyAssignment.uniform(
+            app, ProcessPolicy.re_execution(1))
+        mapping = CopyMapping({("A", 0): "N1"})
+        fm = FaultModel(k=1)
+        for mode in ("max", "budgeted"):
+            estimate = estimate_ft_schedule(app, two_nodes, mapping,
+                                            policies, fm,
+                                            slack_sharing=mode)
+            # ff 70 (C + alpha) + retry (C + mu + alpha) - alpha.
+            assert estimate.schedule_length == pytest.approx(140.0)
+
+    def test_cache_keys_modes_separately(self, chain_app, two_nodes):
+        from repro.schedule import EstimationCache
+        policies = PolicyAssignment.build(
+            chain_app, ProcessPolicy.re_execution(1),
+            {chain_app.process_names[0]:
+             ProcessPolicy.re_execution(2)})
+        mapping = make_mapping(chain_app, policies)
+        fm = FaultModel(k=2)
+        cache = EstimationCache()
+        base = cache.estimate(chain_app, two_nodes, mapping, policies,
+                              fm)
+        budgeted = cache.estimate(chain_app, two_nodes, mapping,
+                                  policies, fm,
+                                  slack_sharing="budgeted")
+        assert cache.stats().misses == 2
+        assert budgeted.schedule_length >= base.schedule_length - 1e-9
+        assert cache.estimate(chain_app, two_nodes, mapping, policies,
+                              fm, slack_sharing="budgeted") is budgeted

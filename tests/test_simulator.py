@@ -187,3 +187,51 @@ class TestReplicationRuntime:
         result = simulate(app, two_nodes, mapping, policies, fm, schedule,
                           FaultPlan({("A", 0): (1,), ("A", 1): (1,)}))
         assert any("never completed" in err for err in result.errors)
+
+
+class TestFloatRobustness:
+    """Near-tie start times must not flip the replay order or raise
+    spurious overlap/missing-input errors (platform libm jitter)."""
+
+    def _jittered(self, schedule, magnitude: float):
+        from dataclasses import replace as dc_replace
+        entries = tuple(
+            dc_replace(entry,
+                       start=entry.start
+                       + (magnitude if index % 2 else -magnitude))
+            for index, entry in enumerate(schedule.entries)
+        )
+        return dc_replace(schedule, entries=entries)
+
+    def test_sub_eps_jitter_is_invisible(self, cross_setup):
+        app, arch, mapping, policies, fm, schedule = cross_setup
+        jittered = self._jittered(schedule, 1e-9)
+        for plan in (FaultPlan({}), FaultPlan({("A", 0): (1,)}),
+                     FaultPlan({("B", 0): (1,)}),
+                     FaultPlan({("A", 0): (1,), ("B", 0): (1,)})):
+            clean = simulate(app, arch, mapping, policies, fm,
+                             schedule, plan)
+            noisy = simulate(app, arch, mapping, policies, fm,
+                             jittered, plan)
+            assert noisy.errors == clean.errors
+            if clean.ok:
+                assert noisy.completed == pytest.approx(clean.completed)
+
+    def test_replay_order_groups_near_ties(self, cross_setup):
+        """Bus effects still replay before attempts whose quantized
+        start is equal, even when the raw floats differ by rounding."""
+        app, arch, mapping, policies, fm, schedule = cross_setup
+        from dataclasses import replace as dc_replace
+        entries = []
+        for entry in schedule.entries:
+            if entry.kind is EntryKind.MESSAGE:
+                # A message nudged infinitesimally *after* its
+                # consumers' start must still deliver to them.
+                entries.append(dc_replace(entry,
+                                          start=entry.start + 1e-9))
+            else:
+                entries.append(entry)
+        nudged = dc_replace(schedule, entries=tuple(entries))
+        result = simulate(app, arch, mapping, policies, fm, nudged,
+                          FaultPlan({}))
+        assert result.ok, result.errors

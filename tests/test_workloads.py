@@ -8,9 +8,12 @@ from repro.errors import ValidationError
 from repro.model import validate_model
 from repro.workloads import (
     GeneratorConfig,
+    bursty_heterogeneous,
     cruise_controller,
+    deep_chain,
     fig3_example,
     generate_workload,
+    wide_fork_join,
 )
 from repro.workloads.generator import paper_experiment_config
 
@@ -110,3 +113,105 @@ class TestPresets:
         assert app.process("brake_cmd").fixed_node == "N3"
         # It is a meaningful DAG: actuation depends on sensing.
         assert "throttle_cmd" in app.descendants("radar_acq")
+
+
+class TestGeneratorValidation:
+    def test_negative_overhead_fractions_rejected(self):
+        for field in ("alpha_fraction", "mu_fraction", "chi_fraction"):
+            with pytest.raises(ValidationError, match=field):
+                GeneratorConfig(**{field: -0.01})
+
+    def test_bad_message_bytes_rejected(self):
+        with pytest.raises(ValidationError, match="message_bytes"):
+            GeneratorConfig(message_bytes=(24, 4))  # min > max
+        with pytest.raises(ValidationError, match="message_bytes"):
+            GeneratorConfig(message_bytes=(0, 8))  # min < 1
+
+    def test_nonpositive_deadline_slack_rejected(self):
+        with pytest.raises(ValidationError, match="deadline_slack"):
+            GeneratorConfig(deadline_slack=0.0)
+        with pytest.raises(ValidationError, match="deadline_slack"):
+            GeneratorConfig(deadline_slack=-1.0)
+
+    def test_nonpositive_slot_length_rejected(self):
+        with pytest.raises(ValidationError, match="slot_length"):
+            GeneratorConfig(slot_length=0.0)
+
+    def test_bad_slot_payload_rejected(self):
+        with pytest.raises(ValidationError, match="slot_payload"):
+            GeneratorConfig(slot_payload_bytes=0)
+
+    def test_zero_overhead_fractions_allowed(self):
+        app, arch = generate_workload(GeneratorConfig(
+            processes=5, alpha_fraction=0.0, mu_fraction=0.0,
+            chi_fraction=0.0))
+        validate_model(app, arch)
+
+
+class TestCampaignFamilies:
+    def test_deep_chain_is_a_chain(self):
+        app, arch = deep_chain()
+        validate_model(app, arch)
+        assert len(app) == 10
+        # Exactly one linear dependency chain.
+        assert len(app.messages) == len(app) - 1
+        assert app.sources == ("C1",)
+        assert app.descendants("C1") == frozenset(
+            f"C{i}" for i in range(2, 11))
+
+    def test_wide_fork_join_structure(self):
+        app, arch = wide_fork_join()
+        validate_model(app, arch)
+        workers = [n for n in app.process_names if n.startswith("W")]
+        assert len(workers) == 6
+        assert app.sources == ("fork",)
+        # The join consumes every worker.
+        assert {m.src for m in app.inputs_of("join")} == set(workers)
+
+    def test_bursty_structure_and_heterogeneity(self):
+        app, arch = bursty_heterogeneous()
+        validate_model(app, arch)
+        light = [p for p in app.processes if p.name.startswith("B")]
+        heavy = [p for p in app.processes if p.name.startswith("A")]
+        assert len(light) == 9 and len(heavy) == 3
+        # Heavy aggregators dwarf the burst tasks.
+        assert min(min(p.wcet.values()) for p in heavy) > \
+            max(max(p.wcet.values()) for p in light)
+        # Strong per-node heterogeneity somewhere in the set.
+        spreads = [max(p.wcet.values()) / min(p.wcet.values())
+                   for p in app.processes]
+        assert max(spreads) > 1.5
+
+    def test_families_deterministic(self):
+        for family in (deep_chain, wide_fork_join,
+                       bursty_heterogeneous):
+            a1, _ = family()
+            a2, _ = family()
+            assert [p.wcet for p in a1.processes] == \
+                [p.wcet for p in a2.processes]
+
+    def test_families_parameterized(self):
+        app, arch = deep_chain(length=4, nodes=3)
+        assert len(app) == 4 and len(arch) == 3
+        app, _ = wide_fork_join(width=3)
+        assert len(app) == 5
+        app, _ = bursty_heterogeneous(bursts=2, burst_width=4)
+        assert len(app) == 10
+        with pytest.raises(ValueError):
+            deep_chain(length=1)
+        with pytest.raises(ValueError):
+            wide_fork_join(width=1)
+        with pytest.raises(ValueError):
+            bursty_heterogeneous(bursts=0)
+
+
+class TestDeadlineFeasibility:
+    def test_deadline_covers_dominant_process_reexecution(self):
+        # Regression (hypothesis seed 650): WCETs 15/24/91 on three
+        # nodes used to get a mean-based deadline of 265.9 — below the
+        # 3 x 91.8 a two-fault re-execution of the heavy process needs,
+        # making every schedule infeasible by construction.
+        app, _ = generate_workload(GeneratorConfig(
+            processes=3, nodes=3, seed=650, layer_width=3))
+        max_wcet = max(max(p.wcet.values()) for p in app.processes)
+        assert app.deadline >= 3.3 * max_wcet
