@@ -1,0 +1,68 @@
+"""Benchmark: design-space explorer throughput and determinism.
+
+Runs one exploration twice — serially and across a worker pool — and
+records candidate evaluations per second plus the estimation cache hit
+rate in ``extra_info``. Two properties are asserted:
+
+* the merged report is byte-identical serial vs parallel (the
+  frontier merge is a set function — the explorer's core guarantee);
+* every candidate was either evaluated or explicitly skipped (no
+  silent drops).
+
+Run:  pytest benchmarks/bench_dse.py --benchmark-only
+
+``REPRO_BENCH_PROFILE=full`` widens the space (default: quick).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.dse import DseConfig, SpaceConfig, run_dse
+from repro.engine import EngineConfig
+
+QUICK = os.environ.get("REPRO_BENCH_PROFILE", "quick") != "full"
+
+CONFIG = DseConfig(
+    workload={"processes": 8, "nodes": 2, "seed": 1},
+    space=SpaceConfig(
+        strategies=("MXR", "SFX") if QUICK else ("MXR", "MX", "MR",
+                                                 "SFX"),
+        k_values=(1,) if QUICK else (1, 2),
+        checkpoint_counts=(0, 1) if QUICK else (0, 1, 2),
+        transparency_samples=1 if QUICK else 4,
+    ),
+    chunks=4,
+)
+WORKERS = min(4, os.cpu_count() or 1)
+
+
+def test_dse_throughput(benchmark):
+    started = time.perf_counter()
+    serial = run_dse(CONFIG, engine_config=EngineConfig(workers=1))
+    serial_time = time.perf_counter() - started
+
+    parallel = benchmark.pedantic(
+        lambda: run_dse(CONFIG,
+                        engine_config=EngineConfig(workers=WORKERS)),
+        rounds=1, iterations=1)
+
+    # The explorer's core guarantee: fan-out never changes the frontier.
+    assert parallel.to_json() == serial.to_json()
+    # No silent drops: every candidate accounted for.
+    assert (serial.evaluated + serial.duplicates + len(serial.skipped)
+            == serial.candidates_total)
+    assert len(serial.frontier) >= 3
+
+    evals_per_sec = (serial.evaluated / serial_time
+                     if serial_time else 0.0)
+    benchmark.extra_info["candidates"] = serial.candidates_total
+    benchmark.extra_info["evaluated"] = serial.evaluated
+    benchmark.extra_info["frontier"] = len(serial.frontier)
+    benchmark.extra_info["serial_seconds"] = round(serial_time, 3)
+    benchmark.extra_info["evaluations_per_second"] = round(
+        evals_per_sec, 2)
+    benchmark.extra_info["cache_hit_rate_pct"] = round(
+        serial.cache_hit_rate, 1)
+    benchmark.extra_info["workers"] = WORKERS

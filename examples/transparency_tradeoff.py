@@ -12,6 +12,11 @@ application and reports, for each level:
 * the number of distinct activation start times over all scenarios
   (a debuggability proxy: fewer distinct traces to test).
 
+This is the hand-rolled, fixed-design version of the trade-off; the
+design-space explorer (``repro dse``, :mod:`repro.dse`, docs/dse.md)
+searches the full surface — strategies, fault budgets, checkpoint
+counts and transparency vectors — and reports the Pareto frontier.
+
 Run:  python examples/transparency_tradeoff.py
 """
 
@@ -67,6 +72,9 @@ def main() -> None:
     print("more transparency => fewer distinct traces and columns")
     print("(contained faults, simpler validation) at the price of a")
     print("longer worst-case schedule — the paper's §3.3 trade-off.")
+    print()
+    print("explore the full surface (strategies x k x checkpoints x")
+    print("transparency vectors) with:  repro dse  (see docs/dse.md)")
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ parallel run covers exactly the plans a serial run covers.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TypeVar
 
 from repro.errors import PolicyError
 from repro.ftcpg.scenarios import (
@@ -142,13 +143,18 @@ def _stratified_plans(app: Application, policies: PolicyAssignment,
     return plans
 
 
-def chunk_slice(plans: Sequence[FaultPlan], chunk: int, chunks: int,
-                ) -> list[FaultPlan]:
-    """The stride slice of one campaign chunk.
+ItemT = TypeVar("ItemT")
 
-    Chunk ``i`` of ``n`` simulates ``plans[i::n]``; the slices
-    partition the plan list exactly, so the union over all chunks —
-    however they are scheduled — is the serial campaign.
+
+def chunk_slice(plans: Sequence[ItemT], chunk: int, chunks: int,
+                ) -> list[ItemT]:
+    """The stride slice of one work chunk.
+
+    Chunk ``i`` of ``n`` processes ``plans[i::n]``; the slices
+    partition the list exactly, so the union over all chunks —
+    however they are scheduled — is the serial run. Generic on
+    purpose: campaigns slice fault plans, the design-space explorer
+    (:mod:`repro.dse`) slices candidates.
     """
     if chunks < 1:
         raise ValueError(f"chunks must be >= 1, got {chunks}")

@@ -22,6 +22,11 @@ Commands
     the exact tables, stress-test them under sampled fault plans
     through the batch engine (parallel chunks, resumable checkpoints,
     estimate-gap report).
+``dse``
+    Pareto design-space exploration: evaluate strategy × k ×
+    checkpoint-count × transparency-vector candidates exactly and
+    report the epsilon-Pareto frontier over (worst-case length,
+    transparency degree, FT memory overhead).
 
 Examples
 --------
@@ -37,9 +42,12 @@ Examples
         --checkpoint fig7.ckpt.jsonl --out fig7.json --csv fig7.csv
     repro campaign --processes 8 --nodes 2 --k 2 --samples 200 \
         --sampler stratified --chunks 4 --workers 4 --out campaign.json
+    repro dse --processes 8 --nodes 2 --k 2 --chunks 4 --workers 4 \
+        --out pareto.json --csv pareto.csv
 
 (``repro`` is the installed console script; ``python -m repro`` works
-from a source checkout.)
+from a source checkout. The full flag-by-flag reference lives in
+``docs/cli.md``.)
 """
 
 from __future__ import annotations
@@ -55,6 +63,13 @@ from repro.campaigns import (
     run_campaign,
 )
 from repro.campaigns.stats import HIST_BIN_PCT
+from repro.dse import (
+    DEFAULT_EPSILONS,
+    DSE_STRATEGIES,
+    DseConfig,
+    SpaceConfig,
+    run_dse,
+)
 from repro.engine import BatchEngine, EngineConfig
 from repro.experiments import fig7 as fig7_mod
 from repro.experiments import fig8 as fig8_mod
@@ -276,12 +291,77 @@ def _cmd_campaign(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_dse(args) -> int:
+    if args.preset is not None:
+        workload: dict = {"preset": args.preset}
+    else:
+        workload = {"processes": args.processes, "nodes": args.nodes,
+                    "seed": args.seed}
+    config = DseConfig(
+        workload=workload,
+        space=SpaceConfig(
+            strategies=tuple(args.strategies),
+            k_values=tuple(args.k),
+            checkpoint_counts=tuple(args.checkpoint_counts),
+            transparency_samples=args.transparency_samples,
+            seed=args.seed,
+        ),
+        epsilons=(args.epsilon_length, args.epsilon_transparency,
+                  args.epsilon_memory),
+        chunks=args.chunks,
+        seed=args.seed,
+        settings=TabuSettings(iterations=args.iterations,
+                              neighborhood=args.neighborhood,
+                              bus_contention=False),
+    )
+    engine_config = EngineConfig(
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=not args.no_resume,
+    )
+    report = run_dse(config, engine_config=engine_config)
+    for line in report.summary_lines():
+        print(line)
+    print()
+    print(report.frontier_table())
+    if args.out:
+        report.write_json(args.out)
+        print(f"report written to {args.out}")
+    if args.csv:
+        report.write_csv(args.csv)
+        print(f"CSV written to {args.csv}")
+    return 0
+
+
+#: ``repro --help`` epilog — kept in sync with the subcommands above
+#: (tests/test_docs.py audits every command named here against the
+#: parser).
+_EPILOG = """\
+examples:
+  repro synth --preset cruise --k 2 --strategy MXR --tables
+  repro tables --preset fig5
+  repro verify --processes 5 --nodes 2 --k 2
+  repro fig7 --profile quick --workers 4
+  repro fig8 --profile quick --workers 4
+  repro batch --experiment fig7 --profile paper --workers 4 \\
+      --checkpoint fig7.ckpt.jsonl --out fig7.json --csv fig7.csv
+  repro campaign --processes 8 --nodes 2 --k 2 --sampler stratified \\
+      --samples 200 --chunks 4 --workers 4 --out campaign.json
+  repro dse --processes 8 --nodes 2 --k 2 --chunks 4 --workers 4 \\
+      --out pareto.json
+
+full reference: docs/cli.md
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Synthesis of fault-tolerant embedded systems "
-                    "(Eles et al., DATE 2008 reproduction)")
+                    "(Eles et al., DATE 2008 reproduction)",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_workload_args(p):
@@ -395,6 +475,72 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--out", default=None, metavar="PATH",
                         help="write the canonical JSON campaign report")
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_dse = sub.add_parser(
+        "dse",
+        help="Pareto design-space exploration over policy strategy, "
+             "k, checkpoint counts and transparency vectors")
+    p_dse.add_argument("--preset", choices=PRESET_WORKLOADS,
+                       default=None,
+                       help="use a built-in workload instead of a "
+                            "synthetic one")
+    p_dse.add_argument("--processes", type=int, default=8)
+    p_dse.add_argument("--nodes", type=int, default=2)
+    p_dse.add_argument("--seed", type=int, default=1,
+                       help="workload seed; also seeds the derived "
+                            "tabu and transparency-sampling streams")
+    p_dse.add_argument("--k", type=int, nargs="+", default=[2],
+                       metavar="K",
+                       help="fault budget(s) to explore; designs are "
+                            "only comparable at equal k, so each "
+                            "budget gets its own frontier")
+    p_dse.add_argument("--strategies", nargs="+",
+                       choices=DSE_STRATEGIES,
+                       default=list(DSE_STRATEGIES),
+                       help="policy strategies to include")
+    p_dse.add_argument("--checkpoint-counts", type=int, nargs="+",
+                       default=[0, 1, 2], metavar="N",
+                       help="uniform checkpoint counts applied to the "
+                            "recovering copies (0 keeps the design "
+                            "as synthesized)")
+    p_dse.add_argument("--transparency-samples", type=int, default=4,
+                       help="seeded random transparency vectors on "
+                            "top of the structured families")
+    p_dse.add_argument("--epsilon-length", type=float,
+                       default=DEFAULT_EPSILONS[0],
+                       help="epsilon-box edge for the schedule-length "
+                            "objective (time units)")
+    p_dse.add_argument("--epsilon-transparency", type=float,
+                       default=DEFAULT_EPSILONS[1],
+                       help="epsilon-box edge for the transparency "
+                            "objective (fraction)")
+    p_dse.add_argument("--epsilon-memory", type=float,
+                       default=DEFAULT_EPSILONS[2],
+                       help="epsilon-box edge for the FT memory "
+                            "objective (bytes)")
+    p_dse.add_argument("--iterations", type=int, default=8)
+    p_dse.add_argument("--neighborhood", type=int, default=8)
+    p_dse.add_argument("--chunks", type=int, default=4,
+                       help="candidate chunks fanned out as engine "
+                            "jobs; each chunk re-runs the "
+                            "per-(strategy, k) synthesis, so pick "
+                            "roughly --workers (the frontier is "
+                            "independent of the layout either way)")
+    p_dse.add_argument("--workers", type=int, default=4,
+                       help="worker processes (<=1 runs serially); "
+                            "serial and parallel frontiers are "
+                            "byte-identical")
+    p_dse.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="JSONL checkpoint of completed chunks "
+                            "(enables resume)")
+    p_dse.add_argument("--no-resume", action="store_true",
+                       help="ignore an existing checkpoint file")
+    p_dse.add_argument("--out", default=None, metavar="PATH",
+                       help="write the canonical JSON report "
+                            "(archive + frontier)")
+    p_dse.add_argument("--csv", default=None, metavar="PATH",
+                       help="write one CSV row per frontier point")
+    p_dse.set_defaults(func=_cmd_dse)
     return parser
 
 

@@ -1,0 +1,289 @@
+"""The design space the Pareto explorer walks (paper §3.3 + §6).
+
+A *candidate* is one complete design decision the paper discusses but
+never co-optimizes: the fault-tolerance policy strategy (the Fig. 7
+families MXR/MX/MR/SFX), the fault budget ``k``, a uniform checkpoint
+count for the recovering copies (Fig. 8's knob), and a per-process /
+per-message transparency vector (§3.3's frozen markings). The
+explorer evaluates every candidate exactly — synthesis for the
+(strategy, k) pair, then the exact conditional scheduler under the
+candidate's transparency — and keeps the epsilon-Pareto frontier over
+(worst-case length, transparency degree, FT memory overhead).
+
+Enumeration is deterministic: candidates are produced in a fixed
+row-major order (strategy, then k, then checkpoint count, then
+transparency vector) and numbered; chunk jobs slice that one list by
+stride, exactly like campaign plan chunks, so the candidate set is a
+pure function of ``(workload, SpaceConfig)``.
+
+Transparency vectors come from three deterministic families:
+
+* the *named levels* ``none`` / ``messages`` / ``full`` (the classic
+  corner points of the trade-off, as in
+  ``examples/transparency_tradeoff.py``);
+* a *priority ladder*: freeze the top ``25 % / 50 % / 75 %`` of
+  processes by partial-critical-path priority (the processes whose
+  jitter hurts debugging most are frozen first), plus every message
+  both of whose endpoints are frozen (fault containment inside the
+  frozen region);
+* ``samples`` seeded random vectors via
+  :func:`repro.utils.rng.derive_seed` — scenario diversity beyond the
+  structured families.
+
+Duplicate vectors (on small applications the ladder degenerates into
+the named levels) are dropped keeping the first label, so candidate
+ids stay unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+from repro.model.transparency import Transparency
+from repro.schedule.priorities import partial_critical_path_priorities
+from repro.utils.rng import DeterministicRng, derive_seed
+
+#: Strategies the explorer may search over (the Fig. 7 families; the
+#: checkpoint axis below covers Fig. 8's territory).
+DSE_STRATEGIES = ("MXR", "MX", "MR", "SFX")
+
+#: Frozen-process fractions of the priority-ladder family.
+LADDER_FRACTIONS = (0.25, 0.5, 0.75)
+
+
+@dataclass(frozen=True)
+class TransparencySpec:
+    """One JSON-able transparency vector.
+
+    Kept declarative (names, not :class:`Transparency` objects) so
+    candidates survive the engine's JSON checkpoint round-trip and
+    chunk workers can rebuild them without pickling model objects.
+    """
+
+    label: str
+    frozen_processes: tuple[str, ...]
+    frozen_messages: tuple[str, ...]
+
+    def build(self) -> Transparency:
+        """The model object this spec describes."""
+        return Transparency(frozen_processes=self.frozen_processes,
+                            frozen_messages=self.frozen_messages)
+
+    def to_jsonable(self) -> dict:
+        """Plain-dict form (stable ordering)."""
+        return {
+            "label": self.label,
+            "frozen_processes": list(self.frozen_processes),
+            "frozen_messages": list(self.frozen_messages),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "TransparencySpec":
+        """Rebuild a spec from its plain-dict form."""
+        return cls(label=str(data["label"]),
+                   frozen_processes=tuple(data["frozen_processes"]),
+                   frozen_messages=tuple(data["frozen_messages"]))
+
+    def _vector(self) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        return (self.frozen_processes, self.frozen_messages)
+
+
+@dataclass(frozen=True)
+class SpaceConfig:
+    """Which axes the explorer enumerates.
+
+    ``checkpoint_counts`` entries are uniform checkpoint counts applied
+    to every recovering copy of the synthesized design (``0`` keeps
+    the design as synthesized, i.e. pure re-execution for the Fig. 7
+    strategies); ``transparency_samples`` adds that many seeded random
+    transparency vectors to the structured families.
+    """
+
+    strategies: tuple[str, ...] = DSE_STRATEGIES
+    k_values: tuple[int, ...] = (2,)
+    checkpoint_counts: tuple[int, ...] = (0, 1, 2)
+    transparency_samples: int = 4
+    seed: int = 0
+    ladder: bool = field(default=True)
+
+    def __post_init__(self) -> None:
+        # Order-preserving dedup: repeated axis values (easy to type
+        # with nargs='+') would otherwise double the exact-scheduling
+        # work before the archive discards the exact duplicates.
+        for name in ("strategies", "k_values", "checkpoint_counts"):
+            values = getattr(self, name)
+            unique = tuple(dict.fromkeys(values))
+            if unique != tuple(values):
+                object.__setattr__(self, name, unique)
+        if not self.strategies:
+            raise ValueError("need at least one strategy")
+        unknown = [s for s in self.strategies if s not in DSE_STRATEGIES]
+        if unknown:
+            raise ValueError(
+                f"unknown DSE strategies {unknown}; choose from "
+                f"{DSE_STRATEGIES}")
+        if not self.k_values or any(k < 1 for k in self.k_values):
+            raise ValueError(
+                f"k_values must be >= 1, got {self.k_values}")
+        if not self.checkpoint_counts \
+                or any(c < 0 for c in self.checkpoint_counts):
+            raise ValueError(
+                f"checkpoint_counts must be >= 0, got "
+                f"{self.checkpoint_counts}")
+        if self.transparency_samples < 0:
+            raise ValueError(
+                f"transparency_samples must be >= 0, got "
+                f"{self.transparency_samples}")
+
+    def to_jsonable(self) -> dict:
+        """Plain-dict form for engine job params."""
+        return {
+            "strategies": list(self.strategies),
+            "k_values": list(self.k_values),
+            "checkpoint_counts": list(self.checkpoint_counts),
+            "transparency_samples": self.transparency_samples,
+            "seed": self.seed,
+            "ladder": self.ladder,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "SpaceConfig":
+        """Rebuild a space config from its plain-dict form."""
+        return cls(
+            strategies=tuple(data["strategies"]),
+            k_values=tuple(int(k) for k in data["k_values"]),
+            checkpoint_counts=tuple(
+                int(c) for c in data["checkpoint_counts"]),
+            transparency_samples=int(data["transparency_samples"]),
+            seed=int(data["seed"]),
+            ladder=bool(data["ladder"]),
+        )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One fully specified design decision, numbered for determinism.
+
+    ``index`` is the candidate's position in the global enumeration
+    order — the key the streaming archive merge sorts by, which makes
+    the merged frontier independent of how candidates were chunked.
+    """
+
+    index: int
+    strategy: str
+    k: int
+    checkpoints: int
+    transparency: TransparencySpec
+
+    @property
+    def candidate_id(self) -> str:
+        """Stable, readable id (used in reports and CSV rows)."""
+        return (f"{self.strategy}/k={self.k}/c={self.checkpoints}"
+                f"/t={self.transparency.label}")
+
+    def describe(self) -> dict:
+        """JSON-able descriptor carried by archive points."""
+        return {
+            "id": self.candidate_id,
+            "strategy": self.strategy,
+            "k": self.k,
+            "checkpoints": self.checkpoints,
+            "transparency": self.transparency.to_jsonable(),
+        }
+
+
+def _ladder_specs(app: Application, arch: Architecture,
+                  ) -> list[TransparencySpec]:
+    priorities = partial_critical_path_priorities(app, arch)
+    # Highest priority first; names break exact priority ties.
+    ranked = sorted(app.process_names,
+                    key=lambda name: (-priorities[name], name))
+    specs: list[TransparencySpec] = []
+    for fraction in LADDER_FRACTIONS:
+        count = max(1, round(len(ranked) * fraction))
+        frozen = frozenset(ranked[:count])
+        messages = tuple(m.name for m in app.messages
+                         if m.src in frozen and m.dst in frozen)
+        specs.append(TransparencySpec(
+            label=f"prio{int(fraction * 100)}",
+            frozen_processes=tuple(n for n in app.process_names
+                                   if n in frozen),
+            frozen_messages=messages,
+        ))
+    return specs
+
+
+def _sampled_specs(app: Application, samples: int,
+                   seed: int) -> list[TransparencySpec]:
+    specs: list[TransparencySpec] = []
+    for i in range(samples):
+        rng = DeterministicRng(derive_seed(seed, "dse-transparency", i))
+        density = rng.uniform(0.2, 0.8)
+        processes = tuple(n for n in app.process_names
+                          if rng.random() < density)
+        messages = tuple(n for n in app.message_names
+                         if rng.random() < density)
+        specs.append(TransparencySpec(
+            label=f"rand{i}",
+            frozen_processes=processes,
+            frozen_messages=messages,
+        ))
+    return specs
+
+
+def transparency_specs(app: Application, arch: Architecture,
+                       config: SpaceConfig) -> tuple[TransparencySpec, ...]:
+    """All transparency vectors of the space, deduplicated in order."""
+    specs: list[TransparencySpec] = [
+        TransparencySpec("none", (), ()),
+        TransparencySpec("messages", (), tuple(app.message_names)),
+        TransparencySpec("full", tuple(app.process_names),
+                         tuple(app.message_names)),
+    ]
+    if config.ladder:
+        specs.extend(_ladder_specs(app, arch))
+    specs.extend(_sampled_specs(app, config.transparency_samples,
+                                config.seed))
+    seen: set[tuple] = set()
+    unique: list[TransparencySpec] = []
+    for spec in specs:
+        vector = spec._vector()
+        if vector in seen:
+            continue
+        seen.add(vector)
+        unique.append(spec)
+    return tuple(unique)
+
+
+def enumerate_candidates(app: Application, arch: Architecture,
+                         config: SpaceConfig) -> tuple[Candidate, ...]:
+    """Expand the space into the global, numbered candidate list.
+
+    Row-major over (strategy, k, checkpoint count, transparency) in
+    configuration order — the one enumeration every chunk job re-derives
+    and slices by stride.
+    """
+    specs = transparency_specs(app, arch, config)
+    candidates: list[Candidate] = []
+    for strategy in config.strategies:
+        for k in config.k_values:
+            for checkpoints in config.checkpoint_counts:
+                for spec in specs:
+                    candidates.append(Candidate(
+                        index=len(candidates),
+                        strategy=strategy,
+                        k=k,
+                        checkpoints=checkpoints,
+                        transparency=spec,
+                    ))
+    return tuple(candidates)
+
+
+def space_size(app: Application, arch: Architecture,
+               config: SpaceConfig) -> int:
+    """Candidate count without materializing the list."""
+    specs = transparency_specs(app, arch, config)
+    return (len(config.strategies) * len(config.k_values)
+            * len(config.checkpoint_counts) * len(specs))

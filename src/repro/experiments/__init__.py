@@ -8,7 +8,10 @@
   optimization from the per-process [27] baseline (paper Fig. 8);
 * :mod:`repro.experiments.campaign` — beyond the paper: estimate vs
   exact tables vs Monte Carlo simulated execution across the workload
-  grid (the validation loop the paper leaves open).
+  grid (the validation loop the paper leaves open);
+* :mod:`repro.experiments.pareto` — beyond the paper: the
+  transparency/performance Pareto sweep, one epsilon-Pareto frontier
+  per workload via the design-space explorer (:mod:`repro.dse`).
 
 All are runnable as modules (``python -m repro.experiments.fig7``) and
 wrapped by the pytest-benchmark harnesses in ``benchmarks/``.
@@ -21,6 +24,10 @@ from repro.experiments.campaign import (
 )
 from repro.experiments.fig7 import Fig7Config, Fig7Row, run_fig7
 from repro.experiments.fig8 import Fig8Config, Fig8Row, run_fig8
+from repro.experiments.pareto import (
+    ParetoSweepConfig,
+    run_pareto_sweep,
+)
 
 __all__ = [
     "CampaignRow",
@@ -29,7 +36,9 @@ __all__ = [
     "Fig7Row",
     "Fig8Config",
     "Fig8Row",
+    "ParetoSweepConfig",
     "run_campaign_sweep",
     "run_fig7",
     "run_fig8",
+    "run_pareto_sweep",
 ]

@@ -1,0 +1,223 @@
+"""The transparency/performance Pareto sweep (``python -m
+repro.experiments.pareto``).
+
+Runs the design-space explorer (:mod:`repro.dse`) over a grid of
+workloads and reports one epsilon-Pareto frontier per workload — the
+multi-workload version of the paper's §3.3 trade-off discussion, and
+the scenario-diversity layer on top of the explorer. Every (workload,
+chunk) pair is one pure engine job, so the whole sweep shares one
+:class:`~repro.engine.runner.BatchEngine` run: one process pool, one
+resumable JSONL checkpoint, byte-identical serial vs parallel output.
+
+Profiles:
+
+* ``quick`` — one 8-process/2-node workload, a trimmed space; used by
+  the CI docs job, which uploads the JSON report as an artifact;
+* ``paper`` — three workload scales with the full strategy set.
+
+Run::
+
+    python -m repro.experiments.pareto --profile quick --workers 4 \\
+        --out pareto.json --csv pareto.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Mapping, Sequence
+
+from repro.dse.explorer import (
+    DEFAULT_EPSILONS,
+    DEFAULT_SETTINGS,
+    OBJECTIVE_NAMES,
+    DseConfig,
+    DseReport,
+    dse_jobs,
+    merge_dse_cells,
+)
+from repro.dse.space import SpaceConfig
+from repro.engine.jobs import BatchJob
+from repro.engine.runner import BatchEngine, EngineConfig, JobOutcome
+from repro.synthesis.tabu import TabuSettings
+
+
+@dataclass(frozen=True)
+class ParetoSweepConfig:
+    """Sweep configuration: workload specs sharing one space."""
+
+    workloads: tuple[Mapping[str, object], ...] = (
+        {"processes": 8, "nodes": 2, "seed": 1},
+    )
+    space: SpaceConfig = field(default_factory=SpaceConfig)
+    epsilons: tuple[float, float, float] = DEFAULT_EPSILONS
+    chunks: int = 4
+    seed: int = 0
+    settings: TabuSettings = field(
+        default_factory=lambda: DEFAULT_SETTINGS)
+    max_contexts: int = 200_000
+
+    @classmethod
+    def quick(cls) -> "ParetoSweepConfig":
+        """Small sweep for CI (the docs-job artifact)."""
+        return cls(
+            workloads=({"processes": 8, "nodes": 2, "seed": 1},),
+            space=SpaceConfig(
+                strategies=("MXR", "MR", "SFX"),
+                k_values=(1,),
+                checkpoint_counts=(0, 1),
+                transparency_samples=2,
+            ),
+        )
+
+    @classmethod
+    def paper(cls) -> "ParetoSweepConfig":
+        """The full sweep: three workload scales, full space."""
+        return cls(
+            workloads=(
+                {"processes": 8, "nodes": 2, "seed": 1},
+                {"processes": 10, "nodes": 2, "seed": 2},
+                {"processes": 12, "nodes": 3, "seed": 3},
+            ),
+            space=SpaceConfig(
+                k_values=(1, 2),
+                transparency_samples=4,
+            ),
+        )
+
+    def dse_configs(self) -> list[DseConfig]:
+        """One explorer config per workload, sharing every other knob."""
+        return [
+            DseConfig(
+                workload=dict(workload),
+                space=self.space,
+                epsilons=self.epsilons,
+                chunks=self.chunks,
+                seed=self.seed,
+                settings=self.settings,
+                max_contexts=self.max_contexts,
+            )
+            for workload in self.workloads
+        ]
+
+
+def pareto_jobs(config: ParetoSweepConfig) -> list[BatchJob]:
+    """All (workload, chunk) jobs of the sweep, in workload order."""
+    jobs: list[BatchJob] = []
+    for dse_config in config.dse_configs():
+        jobs.extend(dse_jobs(dse_config))
+    return jobs
+
+
+def run_pareto_sweep(config: ParetoSweepConfig, *, workers: int = 1,
+                     engine_config: EngineConfig | None = None,
+                     verbose: bool = False) -> list[DseReport]:
+    """Run the sweep; one merged report per workload, in order."""
+    engine = BatchEngine(engine_config or EngineConfig(workers=workers))
+
+    def _progress(outcome: JobOutcome) -> None:
+        cell = outcome.result
+        resumed = " (resumed)" if outcome.from_checkpoint else ""
+        print(f"  {outcome.job.job_id}: {cell['evaluated']} evaluated, "
+              f"{len(cell['archive']['points'])} archived{resumed}")
+
+    batch = engine.run(pareto_jobs(config),
+                       progress=_progress if verbose else None)
+    reports: list[DseReport] = []
+    offset = 0
+    for dse_config in config.dse_configs():
+        outcomes = batch.outcomes[offset:offset + config.chunks]
+        offset += config.chunks
+        reports.append(merge_dse_cells(
+            dse_config,
+            [outcome.result for outcome in outcomes],
+            executed=sum(1 for o in outcomes if not o.from_checkpoint),
+            resumed=sum(1 for o in outcomes if o.from_checkpoint)))
+    return reports
+
+
+# -- exports -------------------------------------------------------------
+
+
+def sweep_to_jsonable(reports: Sequence[DseReport]) -> dict:
+    """Canonical JSON payload: one entry per workload."""
+    return {
+        "objectives": list(OBJECTIVE_NAMES),
+        "workloads": [report.to_jsonable() for report in reports],
+    }
+
+
+def write_sweep_json(reports: Sequence[DseReport],
+                     path: str | Path) -> None:
+    """Write the canonical JSON sweep report."""
+    text = json.dumps(sweep_to_jsonable(reports), indent=2,
+                      sort_keys=True)
+    Path(path).write_text(text + "\n", encoding="utf-8")
+
+
+def write_sweep_csv(reports: Sequence[DseReport],
+                    path: str | Path) -> None:
+    """Write one CSV row per (workload, frontier point)."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["workload", "index", "id", "group",
+                         *OBJECTIVE_NAMES, "transparency_degree",
+                         "table_memory_bytes"])
+        for report in reports:
+            for point in report.frontier:
+                writer.writerow([
+                    report.config.label,
+                    point.index,
+                    point.candidate["id"],
+                    point.group,
+                    *point.objectives,
+                    point.extras.get("transparency_degree"),
+                    point.extras.get("table_memory_bytes"),
+                ])
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point for the sweep."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.pareto",
+        description="Pareto design-space sweep over a workload grid")
+    parser.add_argument("--profile", choices=("quick", "paper"),
+                        default="quick")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (<=1 runs serially)")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="JSONL checkpoint of completed chunks "
+                             "(enables resume)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the canonical JSON sweep report")
+    parser.add_argument("--csv", default=None, metavar="PATH",
+                        help="write one CSV row per frontier point")
+    args = parser.parse_args(argv)
+
+    config = (ParetoSweepConfig.paper() if args.profile == "paper"
+              else ParetoSweepConfig.quick())
+    engine_config = EngineConfig(workers=args.workers,
+                                 checkpoint_path=args.checkpoint)
+    reports = run_pareto_sweep(config, engine_config=engine_config,
+                               verbose=True)
+    for report in reports:
+        print()
+        for line in report.summary_lines():
+            print(line)
+        print()
+        print(report.frontier_table())
+    if args.out:
+        write_sweep_json(reports, args.out)
+        print(f"\nreport written to {args.out}")
+    if args.csv:
+        write_sweep_csv(reports, args.csv)
+        print(f"CSV written to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -11,6 +11,31 @@
   processes and messages.
 * :func:`merge_applications` — LCM hyperperiod merge of several
   periodic applications into one virtual application.
+
+Building a minimal system — two processes exchanging one message on a
+two-node TDMA cluster, tolerating up to two transient faults per
+cycle:
+
+>>> from repro.model import (Application, Architecture, FaultModel,
+...                          Message, Process)
+>>> sensor = Process("sensor", {"N1": 20.0, "N2": 30.0}, alpha=2.0)
+>>> control = Process("control", {"N1": 40.0, "N2": 40.0}, alpha=2.0)
+>>> app = Application(
+...     [sensor, control],
+...     [Message("m1", "sensor", "control", size_bytes=8)],
+...     deadline=200.0, name="demo")
+>>> len(app), app.process_names
+(2, ('sensor', 'control'))
+>>> arch = Architecture.homogeneous(2, slot_length=2.0,
+...                                 slot_payload_bytes=32)
+>>> arch.node_names
+('N1', 'N2')
+>>> FaultModel(k=2).k
+2
+
+The per-node WCET dict doubles as the mapping restriction: a process
+may only run on nodes it has a WCET for (paper Fig. 3's "X" entries
+are simply omitted keys).
 """
 
 from repro.model.application import Application

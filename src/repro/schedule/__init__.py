@@ -27,9 +27,13 @@ from repro.schedule.table import EntryKind, ScheduleSet, TableEntry
 from repro.schedule.render import render_node_table, render_schedule_set
 from repro.schedule.analysis import fault_tolerance_overhead
 from repro.schedule.metrics import (
+    FtMemoryOverhead,
     NodeTableSize,
     ScheduleMetrics,
+    ft_memory_overhead,
+    process_state_bytes,
     schedule_metrics,
+    transparency_degree,
 )
 from repro.schedule.serialization import (
     dump_schedule,
@@ -47,6 +51,7 @@ __all__ = [
     "CacheStats",
     "EstimationCache",
     "FtEstimate",
+    "FtMemoryOverhead",
     "solution_fingerprint",
     "NodeTableSize",
     "ScheduleMetrics",
@@ -61,6 +66,9 @@ __all__ = [
     "validate_schedule",
     "estimate_ft_schedule",
     "fault_tolerance_overhead",
+    "ft_memory_overhead",
+    "process_state_bytes",
+    "transparency_degree",
     "partial_critical_path_priorities",
     "render_node_table",
     "render_schedule_set",

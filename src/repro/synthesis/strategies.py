@@ -210,6 +210,22 @@ def synthesize(
     decision is taken based on the experience of the designer"); the
     search then only decides the remaining processes. Fixed policies
     must tolerate ``k`` faults and are honored by every strategy.
+
+    Everything is deterministic under a fixed
+    :class:`~repro.synthesis.tabu.TabuSettings` seed:
+
+    >>> from repro.model import FaultModel
+    >>> from repro.synthesis import TabuSettings, synthesize
+    >>> from repro.workloads import fig3_example
+    >>> app, arch = fig3_example()
+    >>> result = synthesize(
+    ...     app, arch, FaultModel(k=1), "MXR",
+    ...     settings=TabuSettings(iterations=4, neighborhood=6,
+    ...                           seed=1, bus_contention=False))
+    >>> print(f"{result.strategy}: length "
+    ...       f"{result.schedule_length:.1f} (NFT "
+    ...       f"{result.nft_length:.1f}, FTO {result.fto:.0f} %)")
+    MXR: length 260.0 (NFT 142.0, FTO 83 %)
     """
     if strategy not in STRATEGIES:
         raise SynthesisError(

@@ -1,0 +1,169 @@
+"""Documentation checks: links resolve, pages are reachable, and the
+CLI reference matches the actual argparse definitions.
+
+This is the markdown link-checker the CI docs job runs. Three
+invariants:
+
+* every relative link in ``README.md`` and ``docs/*.md`` resolves to
+  an existing file (and an existing heading, when it carries a
+  ``#fragment``);
+* every page in ``docs/`` is reachable from ``docs/index.md``;
+* ``docs/cli.md`` and the ``repro --help`` epilog agree with
+  ``repro.cli.build_parser()``: every subcommand and every flag is
+  documented, and nothing documented is stale.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _EPILOG, build_parser
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: Markdown inline links: [text](target)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: ATX headings, for fragment checking.
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _doc_files() -> list[Path]:
+    return [REPO_ROOT / "README.md", *sorted(DOCS_DIR.glob("*.md"))]
+
+
+def _links_of(path: Path) -> list[str]:
+    return _LINK.findall(path.read_text(encoding="utf-8"))
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors_of(path: Path) -> set[str]:
+    return {_github_slug(h)
+            for h in _HEADING.findall(path.read_text(encoding="utf-8"))}
+
+
+class TestMarkdownLinks:
+    @pytest.mark.parametrize("doc", _doc_files(),
+                             ids=lambda p: p.name)
+    def test_relative_links_resolve(self, doc):
+        for target in _links_of(doc):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                continue  # absolute URL (https:, mailto:, ...)
+            raw, _, fragment = target.partition("#")
+            if not raw:
+                resolved = doc  # same-page fragment
+            else:
+                resolved = (doc.parent / raw).resolve()
+                if REPO_ROOT not in resolved.parents \
+                        and resolved != REPO_ROOT:
+                    # GitHub-site-relative idiom (the CI badge's
+                    # ../../actions/... path); not a repo file.
+                    continue
+                assert resolved.exists(), (
+                    f"{doc.relative_to(REPO_ROOT)}: broken link "
+                    f"{target!r} (no such file)")
+            if fragment and resolved.suffix == ".md":
+                assert fragment in _anchors_of(resolved), (
+                    f"{doc.relative_to(REPO_ROOT)}: link {target!r} "
+                    f"references a missing heading")
+
+    def test_every_docs_page_reachable_from_index(self):
+        index = DOCS_DIR / "index.md"
+        seen: set[Path] = set()
+        frontier = [index]
+        while frontier:
+            page = frontier.pop()
+            if page in seen:
+                continue
+            seen.add(page)
+            for target in _links_of(page):
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                    continue
+                raw = target.partition("#")[0]
+                if not raw:
+                    continue
+                resolved = (page.parent / raw).resolve()
+                if (resolved.suffix == ".md" and resolved.exists()
+                        and resolved.parent == DOCS_DIR):
+                    frontier.append(resolved)
+        unreachable = {p.name for p in DOCS_DIR.glob("*.md")} \
+            - {p.name for p in seen}
+        assert not unreachable, (
+            f"docs pages not reachable from docs/index.md: "
+            f"{sorted(unreachable)}")
+
+
+def _subparsers():
+    parser = build_parser()
+    for action in parser._actions:
+        if hasattr(action, "choices") and isinstance(action.choices,
+                                                     dict):
+            return action.choices
+    raise AssertionError("no subparsers found on the repro parser")
+
+
+class TestCliDocsAudit:
+    def test_every_subcommand_documented(self):
+        cli_md = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
+        for name in _subparsers():
+            assert f"`repro {name}`" in cli_md, (
+                f"docs/cli.md misses a section for 'repro {name}'")
+            assert f"repro {name}" in _EPILOG, (
+                f"repro --help epilog misses an example for {name!r}")
+
+    def test_no_stale_subcommand_sections(self):
+        cli_md = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
+        documented = {
+            name
+            for line in cli_md.splitlines() if line.startswith("## ")
+            for name in re.findall(r"`repro (\w+)`", line)
+        }
+        actual = set(_subparsers())
+        assert documented <= actual, (
+            f"docs/cli.md documents removed commands: "
+            f"{sorted(documented - actual)}")
+        assert actual <= documented, (
+            f"docs/cli.md misses commands: "
+            f"{sorted(actual - documented)}")
+
+    def test_every_flag_documented(self):
+        cli_md = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
+        for name, sub in _subparsers().items():
+            for action in sub._actions:
+                for option in action.option_strings:
+                    if option in ("-h", "--help"):
+                        continue
+                    assert option in cli_md, (
+                        f"docs/cli.md misses flag {option!r} of "
+                        f"'repro {name}'")
+
+    def test_no_stale_flags_documented(self):
+        cli_md = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
+        known = {option
+                 for sub in _subparsers().values()
+                 for action in sub._actions
+                 for option in action.option_strings}
+        documented = set(re.findall(r"(--[a-z][\w-]*)", cli_md))
+        # Flags of the module entry points (not subcommands) that the
+        # page legitimately mentions.
+        module_flags = {"--profile", "--benchmark-only", "--workers",
+                        "--out", "--csv", "--checkpoint", "--help"}
+        stale = documented - known - module_flags
+        assert not stale, f"docs/cli.md mentions unknown flags: {sorted(stale)}"
+
+    def test_epilog_commands_exist(self):
+        named = set(re.findall(r"^  repro (\w+)", _EPILOG,
+                               re.MULTILINE))
+        actual = set(_subparsers())
+        assert named <= actual, (
+            f"repro --help epilog names removed commands: "
+            f"{sorted(named - actual)}")
