@@ -22,6 +22,7 @@ import time
 
 from repro.engine import BatchEngine, EngineConfig
 from repro.experiments.fig7 import Fig7Config, fig7_jobs
+from repro.experiments.reporting import cache_stats_from_cells
 from repro.synthesis.tabu import TabuSettings
 
 QUICK = os.environ.get("REPRO_BENCH_PROFILE", "quick") != "full"
@@ -53,8 +54,7 @@ def test_batch_engine_parallel_speedup(benchmark):
     assert report.to_json() == serial.to_json()
 
     cells = report.results()
-    hits = sum(c["cache_hits"] for c in cells)
-    misses = sum(c["cache_misses"] for c in cells)
+    stats = cache_stats_from_cells(cells)
     speedup = serial_time / parallel_time if parallel_time else 0.0
 
     benchmark.extra_info["cells"] = len(cells)
@@ -63,12 +63,11 @@ def test_batch_engine_parallel_speedup(benchmark):
     benchmark.extra_info["serial_seconds"] = round(serial_time, 2)
     benchmark.extra_info["parallel_seconds"] = round(parallel_time, 2)
     benchmark.extra_info["speedup"] = round(speedup, 2)
-    benchmark.extra_info["cache_hit_rate"] = round(
-        hits / (hits + misses), 3)
+    benchmark.extra_info["cache_hit_rate"] = round(stats.hit_rate, 3)
 
     # Caching pays: a meaningful share of estimator calls is served
     # from the per-cell cache even on small search budgets.
-    assert hits > 0
+    assert stats.hits > 0
     if (os.cpu_count() or 1) >= 4 and WORKERS >= 4:
         assert speedup >= 2.0, (
             f"expected >= 2x speedup with {WORKERS} workers, "

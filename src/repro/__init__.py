@@ -11,7 +11,8 @@ models with a TTP-style TDMA bus, the ``k``-transient-fault model,
 checkpointing/re-execution/replication policies, the fault-tolerant
 conditional process graph (FT-CPG), exact quasi-static conditional
 scheduling into per-node schedule tables with transparency (frozen)
-support, recovery-slack-sharing schedule length estimation, tabu-search
+support, recovery-slack-sharing schedule length estimation (with a
+unified incremental evaluation core, :mod:`repro.eval`), tabu-search
 mapping and policy assignment (MXR/MX/MR/SFX), global checkpoint-count
 optimization, a discrete-event distributed runtime simulator, and an
 exhaustive fault-scenario verifier. See DESIGN.md for the system map
@@ -89,7 +90,13 @@ from repro.synthesis import (
     synthesize,
 )
 
-__version__ = "1.0.0"
+from repro._version import __version__
+from repro.eval import (
+    DesignEvaluation,
+    Evaluator,
+    EvaluatorPool,
+    ScheduleProblem,
+)
 
 __all__ = [
     "Application",
@@ -102,6 +109,9 @@ __all__ = [
     "CopyMapping",
     "CopyPlan",
     "DeadlineMissError",
+    "DesignEvaluation",
+    "Evaluator",
+    "EvaluatorPool",
     "FaultModel",
     "FaultPlan",
     "FtEstimate",
@@ -117,6 +127,7 @@ __all__ = [
     "Process",
     "ProcessPolicy",
     "ReproError",
+    "ScheduleProblem",
     "ScheduleSet",
     "SchedulingError",
     "SimulationError",

@@ -1,0 +1,43 @@
+"""Single source of the package version.
+
+The truth lives in ``pyproject.toml``. An installed distribution
+carries it as importlib metadata; a plain source checkout (the
+``PYTHONPATH=src`` workflow) reads the pyproject file directly, so
+``repro --version`` and ``repro.__version__`` agree with the
+packaging metadata in both setups instead of drifting like a
+hand-maintained constant would.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: The distribution name in pyproject.toml ([project] name).
+DIST_NAME = "repro-ftes"
+
+#: Last resort when neither metadata nor pyproject.toml is reachable
+#: (e.g. a vendored source tree stripped of packaging files).
+FALLBACK_VERSION = "0.0.0+unknown"
+
+
+def detect_version() -> str:
+    """The installed metadata version, else pyproject.toml's, else a
+    sentinel."""
+    from importlib import metadata
+
+    try:
+        return metadata.version(DIST_NAME)
+    except metadata.PackageNotFoundError:
+        pass
+    import tomllib
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        with open(pyproject, "rb") as handle:
+            data = tomllib.load(handle)
+        return str(data["project"]["version"])
+    except (OSError, KeyError, TypeError, tomllib.TOMLDecodeError):
+        return FALLBACK_VERSION
+
+
+__version__ = detect_version()

@@ -49,12 +49,11 @@ from repro.engine.runner import (
     EngineConfig,
     ProgressCallback,
 )
+from repro.eval.core import EvaluatorPool
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.fault_model import FaultModel
 from repro.runtime.simulator import simulate
-from repro.schedule.conditional import synthesize_schedule
-from repro.schedule.estimation import estimate_ft_schedule
 from repro.synthesis.strategies import synthesize
 from repro.synthesis.tabu import TabuSettings
 from repro.utils.rng import derive_seed
@@ -175,19 +174,20 @@ def run_campaign_chunk(params: Mapping[str, object]) -> dict:
     base = TabuSettings(**params["settings"])
     settings = replace(base, seed=derive_seed(
         int(params["seed"]), "campaign-tabu", base.seed))
+    pool = EvaluatorPool()
     result = synthesize(app, arch, fault_model, str(params["strategy"]),
-                        settings=settings)
-    schedule = synthesize_schedule(
-        app, arch, result.mapping, result.policies, fault_model,
+                        settings=settings, cache=pool)
+    evaluator = pool.evaluator_for(app, arch, fault_model)
+    schedule = evaluator.exact_schedule(
+        result.policies, result.mapping,
         max_contexts=int(params["max_contexts"]))
     # The soundness seam: simulations are held against the *budgeted*
     # slack-sharing estimate (sound for the replication hybrids the
     # search may pick — the default "max" rule is not; see
     # :func:`repro.schedule.estimation.estimate_ft_schedule`) plus the
     # condition-broadcast allowance the estimation model skips.
-    certified = estimate_ft_schedule(
-        app, arch, result.mapping, result.policies, fault_model,
-        slack_sharing="budgeted")
+    certified = evaluator.estimate(
+        result.policies, result.mapping, slack_sharing="budgeted")
     bound = estimate_bound(app, arch, certified, k)
 
     plans = sample_campaign_plans(
@@ -206,10 +206,14 @@ def run_campaign_chunk(params: Mapping[str, object]) -> dict:
                       ff_length=result.estimate.ff_length,
                       deadline=app.deadline,
                       expected_processes=len(app.process_names))
+    cache_stats = pool.stats()
     return {
         "chunk": int(params["chunk"]),
         "plans_total": len(plans),
         "stats": stats.to_jsonable(),
+        "cache_hits": cache_stats.estimates.hits,
+        "cache_misses": cache_stats.estimates.misses,
+        "cache_entries": cache_stats.estimates.entries,
         "estimate": result.estimate.schedule_length,
         "certified_estimate": certified.schedule_length,
         "estimate_bound": bound,
@@ -246,6 +250,8 @@ class CampaignReport:
     processes: int
     nodes: int
     plans_total: int
+    cache_hits: int = 0
+    cache_misses: int = 0
     executed_chunks: int = 0
     resumed_chunks: int = 0
 
@@ -312,7 +318,9 @@ class CampaignReport:
             f"{stats.plans} plans simulated "
             f"({self.config.sampler} sampler, {self.config.chunks} "
             f"chunk(s); {self.executed_chunks} executed, "
-            f"{self.resumed_chunks} resumed)",
+            f"{self.resumed_chunks} resumed; per-chunk synthesis "
+            f"estimation cache: {self.cache_hits} hits / "
+            f"{self.cache_misses} misses)",
             f"finish: worst {stats.worst_makespan:.1f}, "
             f"mean {stats.mean_makespan:.1f}, "
             f"fault-free {_fmt_opt(stats.fault_free_makespan)} "
@@ -372,6 +380,9 @@ def run_campaign(config: CampaignConfig, *,
         processes=int(first["processes"]),
         nodes=int(first["nodes"]),
         plans_total=int(first["plans_total"]),
+        cache_hits=sum(int(c.get("cache_hits", 0)) for c in cells),
+        cache_misses=sum(int(c.get("cache_misses", 0))
+                         for c in cells),
         executed_chunks=batch.executed,
         resumed_chunks=batch.resumed,
     )

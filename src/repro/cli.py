@@ -71,11 +71,15 @@ from repro.dse import (
     run_dse,
 )
 from repro.engine import BatchEngine, EngineConfig
+from repro import __version__
 from repro.experiments import fig7 as fig7_mod
 from repro.experiments import fig8 as fig8_mod
 from repro.experiments.fig7 import COMPARED, Fig7Config, run_fig7
 from repro.experiments.fig8 import Fig8Config, run_fig8
-from repro.experiments.reporting import render_rows
+from repro.experiments.reporting import (
+    cache_stats_from_cells,
+    render_rows,
+)
 from repro.model import Application, Architecture, FaultModel, Transparency
 from repro.policies import PolicyAssignment, ProcessPolicy
 from repro.runtime import verify_tolerance
@@ -230,15 +234,19 @@ def _cmd_batch(args) -> int:
              "deviation %"],
             [row.as_cells() for row in rows]))
 
-    hits = sum(c["cache_hits"] for c in cells)
-    misses = sum(c["cache_misses"] for c in cells)
-    lookups = hits + misses
-    hit_rate = (hits / lookups * 100.0) if lookups else 0.0
+    stats = cache_stats_from_cells(cells)
     print()
     print(f"{len(cells)} cells ({report.executed} executed, "
           f"{report.resumed} resumed) in {report.wall_time:.1f}s "
           f"with {args.workers} worker(s); "
-          f"estimation cache hit rate {hit_rate:.1f}%")
+          f"estimation cache hit rate {stats.hit_rate * 100.0:.1f}% "
+          f"({stats.hits} hits / {stats.misses} misses)")
+    report.extra_info["estimation_cache"] = {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "entries": stats.entries,
+        "hit_rate": stats.hit_rate,
+    }
     if args.out:
         report.write_json(args.out)
         print(f"results written to {args.out}")
@@ -362,6 +370,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "(Eles et al., DATE 2008 reproduction)",
         epilog=_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the package version (from the installed "
+             "distribution metadata, falling back to pyproject.toml "
+             "in a source checkout) and exit")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_workload_args(p):

@@ -20,7 +20,9 @@ one pure :class:`~repro.engine.jobs.BatchJob` through the
 :class:`~repro.engine.runner.BatchEngine` (process-pool parallelism,
 resumable JSONL checkpoints). A chunk re-derives the workload and the
 full candidate list from the config, synthesizes each (strategy, k)
-design once behind one shared :class:`EstimationCache`, and streams
+design once behind one shared :class:`~repro.eval.EvaluatorPool`
+(whose deeper tiers also dedupe exact schedules and design metrics
+across candidates that collapse to the same design), and streams
 its slice into a local raw-Pareto archive. The parent merges chunk
 archives with :meth:`ParetoArchive.merged` — a set function, so the
 frontier is byte-identical across worker counts *and* chunk layouts.
@@ -41,7 +43,7 @@ from repro.dse.space import (
     SpaceConfig,
     enumerate_candidates,
 )
-from repro.engine.cache import EstimationCache
+from repro.engine.cache import Evaluator, EvaluatorPool
 from repro.engine.grid import grid_jobs
 from repro.engine.jobs import BatchJob
 from repro.engine.runner import (
@@ -54,13 +56,7 @@ from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.fault_model import FaultModel
 from repro.policies.types import PolicyAssignment
-from repro.schedule.conditional import synthesize_schedule
 from repro.schedule.mapping import CopyMapping
-from repro.schedule.metrics import (
-    ft_memory_overhead,
-    schedule_metrics,
-    transparency_degree,
-)
 from repro.synthesis.moves import PolicyMove
 from repro.synthesis.strategies import StrategyResult, synthesize
 from repro.synthesis.tabu import TabuSettings
@@ -183,24 +179,33 @@ def evaluate_candidate(
     design: StrategyResult,
     *,
     max_contexts: int,
+    evaluator: Evaluator | None = None,
 ) -> DesignPoint:
     """Evaluate one candidate exactly and package it as an archive point.
 
     Raises :class:`~repro.errors.ReproError` subclasses when the exact
     scheduler cannot handle the candidate (context explosion, frozen
     fixpoint divergence); the chunk runner records those as skipped.
+
+    ``evaluator`` (the per-``k`` :class:`~repro.eval.Evaluator` of the
+    chunk's pool) caches the exact schedule and metrics bundle, so
+    candidates that collapse to the same design — e.g. the synthesized
+    checkpoint count re-applied explicitly — are scheduled once.
     """
     policies, mapping = apply_checkpoint_counts(
         app, design.policies, design.mapping, candidate.checkpoints)
     transparency = candidate.transparency.build()
     transparency.validate(app)
-    fault_model = FaultModel(k=candidate.k)
-    schedule = synthesize_schedule(
-        app, arch, mapping, policies, fault_model, transparency,
-        max_contexts=max_contexts)
-    metrics = schedule_metrics(schedule)
-    degree = transparency_degree(app, transparency)
-    memory = ft_memory_overhead(app, policies)
+    if evaluator is None:
+        pool = EvaluatorPool()
+        evaluator = pool.evaluator_for(app, arch,
+                                       FaultModel(k=candidate.k))
+    evaluation = evaluator.evaluate_design(
+        policies, mapping, transparency, max_contexts=max_contexts)
+    schedule = evaluation.schedule
+    metrics = evaluation.metrics
+    memory = evaluation.memory
+    degree = evaluation.transparency_degree
     objectives = (
         float(schedule.worst_case_length),
         round(1.0 - degree, 12),
@@ -255,7 +260,7 @@ def run_dse_chunk(params: Mapping[str, object]) -> dict:
     slice_candidates = chunk_slice(candidates, int(params["chunk"]),
                                    int(params["chunks"]))
 
-    cache = EstimationCache()
+    pool = EvaluatorPool()
     designs: dict[tuple[str, int], StrategyResult] = {}
 
     def design_for(strategy: str, k: int) -> StrategyResult:
@@ -263,7 +268,7 @@ def run_dse_chunk(params: Mapping[str, object]) -> dict:
         if key not in designs:
             designs[key] = synthesize(
                 app, arch, FaultModel(k=k), strategy,
-                settings=settings, cache=cache)
+                settings=settings, cache=pool)
         return designs[key]
 
     def checkpoint_insensitive(design: StrategyResult) -> bool:
@@ -285,7 +290,9 @@ def run_dse_chunk(params: Mapping[str, object]) -> dict:
         try:
             point = evaluate_candidate(
                 app, arch, candidate, design,
-                max_contexts=max_contexts)
+                max_contexts=max_contexts,
+                evaluator=pool.evaluator_for(
+                    app, arch, FaultModel(k=candidate.k)))
         except ReproError as error:
             skipped.append({
                 "index": candidate.index,
@@ -296,7 +303,7 @@ def run_dse_chunk(params: Mapping[str, object]) -> dict:
         evaluated += 1
         archive.insert(point)
 
-    stats = cache.stats()
+    stats = pool.stats()
     return {
         "chunk": int(params["chunk"]),
         "candidates_total": len(candidates),
@@ -305,8 +312,11 @@ def run_dse_chunk(params: Mapping[str, object]) -> dict:
         "skipped": skipped,
         "archive": archive.to_jsonable(),
         "designs_synthesized": len(designs),
-        "cache_hits": stats.hits,
-        "cache_misses": stats.misses,
+        "cache_hits": stats.estimates.hits,
+        "cache_misses": stats.estimates.misses,
+        "cache_entries": stats.estimates.entries,
+        "schedule_cache_hits": stats.schedules.hits,
+        "schedule_cache_misses": stats.schedules.misses,
         "processes": len(app.process_names),
         "nodes": len(arch.node_names),
         "deadline": app.deadline,
@@ -334,6 +344,8 @@ class DseReport:
     deadline: float
     cache_hits: int = 0
     cache_misses: int = 0
+    schedule_cache_hits: int = 0
+    schedule_cache_misses: int = 0
     executed_chunks: int = 0
     resumed_chunks: int = 0
 
@@ -452,7 +464,9 @@ class DseReport:
             f"archive: {len(self.archive)} non-dominated designs, "
             f"frontier after epsilon sparsification: {len(frontier)}",
             f"estimation cache hit rate {self.cache_hit_rate:.1f} % "
-            f"({self.cache_hits} hits / {self.cache_misses} misses)",
+            f"({self.cache_hits} hits / {self.cache_misses} misses); "
+            f"exact-schedule cache {self.schedule_cache_hits} hits / "
+            f"{self.schedule_cache_misses} misses",
         ]
         if misses:
             lines.append(
@@ -496,6 +510,10 @@ def merge_dse_cells(config: DseConfig, cells: list[dict],
         deadline=float(first["deadline"]),
         cache_hits=sum(int(c["cache_hits"]) for c in cells),
         cache_misses=sum(int(c["cache_misses"]) for c in cells),
+        schedule_cache_hits=sum(
+            int(c.get("schedule_cache_hits", 0)) for c in cells),
+        schedule_cache_misses=sum(
+            int(c.get("schedule_cache_misses", 0)) for c in cells),
         executed_chunks=executed,
         resumed_chunks=resumed,
     )

@@ -12,10 +12,12 @@ runs:
 * :mod:`repro.engine.runner` — the :class:`~repro.engine.runner.
   BatchEngine`: serial or process-pool execution, JSONL checkpointing
   of completed cells, resume, and deterministic JSON/CSV reports;
-* :mod:`repro.engine.cache` — the
-  :class:`~repro.engine.cache.EstimationCache` memoizing the
-  slack-sharing schedule estimate behind a canonical solution
-  fingerprint (the dominant cost inside every sweep cell).
+* :mod:`repro.engine.cache` — the evaluation caches: every sweep cell
+  shares one :class:`~repro.eval.EvaluatorPool` (the unified
+  evaluation core of :mod:`repro.eval`) memoizing the slack-sharing
+  schedule estimate behind a canonical solution fingerprint — the
+  dominant cost inside every cell — plus exact schedules and design
+  metrics in deeper tiers.
 
 The Fig. 7 / Fig. 8 harnesses of :mod:`repro.experiments` route
 through this engine (``repro batch`` on the command line).
@@ -24,6 +26,9 @@ through this engine (``repro batch`` on the command line).
 from repro.engine.cache import (
     CacheStats,
     EstimationCache,
+    Evaluator,
+    EvaluatorPool,
+    EvaluatorStats,
     solution_fingerprint,
 )
 from repro.engine.grid import grid_jobs
@@ -43,6 +48,9 @@ __all__ = [
     "CacheStats",
     "EngineConfig",
     "EstimationCache",
+    "Evaluator",
+    "EvaluatorPool",
+    "EvaluatorStats",
     "JobOutcome",
     "grid_jobs",
     "resolve_runner",

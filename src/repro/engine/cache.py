@@ -1,22 +1,30 @@
-"""Estimation caching, re-exported as part of the engine API.
+"""Evaluation caching, re-exported as part of the engine API.
 
-The implementation lives in :mod:`repro.schedule.estimation_cache`
-(the cache wraps a schedule-level function and is consumed by the
-synthesis layer, which must not depend on the batch engine); the
-engine package re-exports it because per-cell estimation caching is
-one of the engine's pillars.
+Per-cell estimation caching is one of the engine's pillars; the
+implementation now lives in the unified evaluation core
+(:mod:`repro.eval` — fingerprinted problems behind a tiered,
+incremental :class:`~repro.eval.Evaluator`). Sweep cells share one
+:class:`~repro.eval.EvaluatorPool` per workload; the legacy
+:class:`~repro.schedule.estimation_cache.EstimationCache` is kept as
+a deprecated shim over the same core.
 """
 
-from repro.schedule.estimation_cache import (
+from repro.eval.core import (
     DEFAULT_MAX_ENTRIES,
     CacheStats,
-    EstimationCache,
-    solution_fingerprint,
+    Evaluator,
+    EvaluatorPool,
+    EvaluatorStats,
 )
+from repro.schedule.estimation import solution_fingerprint
+from repro.schedule.estimation_cache import EstimationCache
 
 __all__ = [
     "DEFAULT_MAX_ENTRIES",
     "CacheStats",
     "EstimationCache",
+    "Evaluator",
+    "EvaluatorPool",
+    "EvaluatorStats",
     "solution_fingerprint",
 ]

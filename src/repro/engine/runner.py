@@ -66,6 +66,10 @@ class BatchReport:
 
     outcomes: list[JobOutcome] = field(default_factory=list)
     wall_time: float = 0.0
+    #: Caller-attached summary payload (e.g. merged cache statistics)
+    #: included in the JSON export when non-empty. Must itself be
+    #: deterministic for the export to stay byte-stable.
+    extra_info: dict = field(default_factory=dict)
 
     @property
     def executed(self) -> int:
@@ -92,7 +96,7 @@ class BatchReport:
 
     def to_jsonable(self) -> dict:
         """Timing-free report payload (stable across runs)."""
-        return {
+        payload = {
             "jobs": [
                 {
                     "job_id": outcome.job.job_id,
@@ -103,6 +107,9 @@ class BatchReport:
                 for outcome in self.outcomes
             ],
         }
+        if self.extra_info:
+            payload["extra_info"] = dict(self.extra_info)
+        return payload
 
     def to_json(self) -> str:
         """Canonical JSON text of the report."""

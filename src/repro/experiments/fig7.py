@@ -18,7 +18,7 @@ regimes (MR worse by tens of percent, MX by double digits).
 The sweep is expressed as a grid of independent (size, seed) cells and
 executed by :mod:`repro.engine` — serially or across worker processes
 (``run_fig7(..., workers=N)`` / ``repro batch``), with one
-:class:`~repro.engine.cache.EstimationCache` per cell shared by the
+:class:`~repro.eval.EvaluatorPool` per cell shared by the
 NFT baseline and all four strategies.
 """
 
@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, replace
 from collections.abc import Mapping, Sequence
 
-from repro.engine.cache import EstimationCache
+from repro.engine.cache import EvaluatorPool
 from repro.engine.grid import grid_jobs
 from repro.engine.jobs import BatchJob
 from repro.engine.runner import BatchEngine, EngineConfig, JobOutcome
@@ -113,8 +113,8 @@ def run_fig7_cell(params: Mapping[str, object]) -> dict:
     Pure function of its params (the engine's worker contract): the
     tabu seed is derived from the sweep seed plus the grid coordinates
     with :func:`repro.utils.rng.derive_seed`, so cells are reproducible
-    in isolation and independent of execution order. One estimation
-    cache is shared by the NFT baseline and all four strategies.
+    in isolation and independent of execution order. One evaluator
+    pool is shared by the NFT baseline and all four strategies.
     """
     size = int(params["size"])
     seed = int(params["seed"])
@@ -124,19 +124,19 @@ def run_fig7_cell(params: Mapping[str, object]) -> dict:
     gen_config, k = paper_experiment_config(size, seed)
     app, arch = generate_workload(gen_config)
     fault_model = FaultModel(k=k)
-    cache = EstimationCache()
-    baseline = nft_baseline(app, arch, settings, cache=cache)
+    pool = EvaluatorPool()
+    baseline = nft_baseline(app, arch, settings, cache=pool)
     mxr = synthesize(app, arch, fault_model, "MXR", settings=settings,
-                     baseline=baseline, cache=cache)
+                     baseline=baseline, cache=pool)
     deviations: dict[str, float] = {}
     evaluations = mxr.evaluations
     for strategy in COMPARED:
         result = synthesize(app, arch, fault_model, strategy,
                             settings=settings, baseline=baseline,
-                            cache=cache)
+                            cache=pool)
         deviations[strategy] = percentage_deviation(result.fto, mxr.fto)
         evaluations += result.evaluations - baseline.evaluations
-    stats = cache.stats()
+    stats = pool.stats().estimates
     return {
         "size": size,
         "seed": seed,
@@ -147,6 +147,7 @@ def run_fig7_cell(params: Mapping[str, object]) -> dict:
         "evaluations": evaluations,
         "cache_hits": stats.hits,
         "cache_misses": stats.misses,
+        "cache_entries": stats.entries,
     }
 
 

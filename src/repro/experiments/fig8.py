@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, replace
 from collections.abc import Mapping, Sequence
 
-from repro.engine.cache import EstimationCache
+from repro.engine.cache import EvaluatorPool
 from repro.engine.grid import grid_jobs
 from repro.engine.jobs import BatchJob
 from repro.engine.runner import BatchEngine, EngineConfig, JobOutcome
@@ -130,21 +130,21 @@ def run_fig8_cell(params: Mapping[str, object]) -> dict:
     )
     app, arch = generate_workload(gen_config)
     fault_model = FaultModel(k=k)
-    cache = EstimationCache()
-    baseline = nft_baseline(app, arch, settings, cache=cache)
+    pool = EvaluatorPool()
+    baseline = nft_baseline(app, arch, settings, cache=pool)
     local = synthesize(app, arch, fault_model, "MC",
                        settings=settings, baseline=baseline,
-                       cache=cache)
+                       cache=pool)
     optimized = synthesize(app, arch, fault_model, "MC_GLOBAL",
                            settings=settings, baseline=baseline,
-                           cache=cache)
+                           cache=pool)
     fto_baseline = local.fto
     fto_optimized = optimized.fto
     if fto_baseline > 0:
         deviation = (fto_baseline - fto_optimized) / fto_baseline * 100.0
     else:
         deviation = 0.0
-    stats = cache.stats()
+    stats = pool.stats().estimates
     return {
         "size": size,
         "seed": seed,
@@ -157,6 +157,7 @@ def run_fig8_cell(params: Mapping[str, object]) -> dict:
                         - baseline.evaluations),
         "cache_hits": stats.hits,
         "cache_misses": stats.misses,
+        "cache_entries": stats.entries,
     }
 
 

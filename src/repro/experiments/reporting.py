@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+from repro.schedule.estimation_cache import CacheStats
 from repro.utils.textgrid import TextGrid
 
 
@@ -19,6 +20,25 @@ def render_rows(header: Sequence[str], rows: Sequence[Sequence[object]],
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean of a non-empty sequence."""
     return sum(values) / len(values)
+
+
+def cache_stats_from_cells(cells: Sequence[Mapping]) -> CacheStats:
+    """Merge the per-cell estimation-cache counters of a sweep.
+
+    Every engine-executed cell (fig7/fig8/dse/campaign chunks) reports
+    its evaluator pool's estimate-tier ``cache_hits`` /
+    ``cache_misses`` (and, since the unified evaluation core,
+    ``cache_entries``); this folds them into one
+    :class:`~repro.schedule.estimation_cache.CacheStats` so reports
+    and benchmarks stop recomputing hit rates by hand. Cells restored
+    from pre-existing checkpoints may lack the keys; they count as
+    zero.
+    """
+    return CacheStats(
+        hits=sum(int(c.get("cache_hits", 0)) for c in cells),
+        misses=sum(int(c.get("cache_misses", 0)) for c in cells),
+        entries=sum(int(c.get("cache_entries", 0)) for c in cells),
+    )
 
 
 def group_cells_by_size(

@@ -16,12 +16,13 @@ Three schedulers share the same models:
 from repro.schedule.mapping import CopyMapping
 from repro.schedule.priorities import partial_critical_path_priorities
 from repro.schedule.list_scheduler import FaultFreeSchedule, schedule_fault_free
-from repro.schedule.estimation import FtEstimate, estimate_ft_schedule
-from repro.schedule.estimation_cache import (
-    CacheStats,
-    EstimationCache,
+from repro.schedule.estimation import (
+    EstimatorState,
+    FtEstimate,
+    estimate_ft_schedule,
     solution_fingerprint,
 )
+from repro.schedule.estimation_cache import CacheStats, EstimationCache
 from repro.schedule.conditional import ConditionalScheduler, synthesize_schedule
 from repro.schedule.table import EntryKind, ScheduleSet, TableEntry
 from repro.schedule.render import render_node_table, render_schedule_set
@@ -50,6 +51,7 @@ __all__ = [
     "FaultFreeSchedule",
     "CacheStats",
     "EstimationCache",
+    "EstimatorState",
     "FtEstimate",
     "FtMemoryOverhead",
     "solution_fingerprint",

@@ -34,6 +34,25 @@ TDMA round per observed fault and per cross-node dependency), which
 the estimate does not model. Final designs should be validated with
 :func:`repro.schedule.conditional.synthesize_schedule` plus
 :func:`repro.runtime.verify.verify_tolerance` where feasible.
+
+Incremental re-evaluation
+-------------------------
+
+Design optimization evaluates thousands of candidates that differ
+from their parent by a *single* move (one copy remapped, one policy
+replaced). :class:`EstimatorState` therefore keeps, alongside the
+:class:`FtEstimate`, a replayable trace of the run — the pop order of
+the list scheduler, the shared-slack value after every pop, and the
+bus transmissions issued at every process completion. Re-evaluating a
+moved solution (:meth:`EstimatorState.reevaluate`) replays the trace
+prefix that provably cannot have changed and re-runs the scheduler
+only from the first position the move can influence. The replay is
+**exact**: prefix timings and bus frames are reused verbatim (no
+float is recomputed), and the suffix runs the identical algorithm
+from identical intermediate state, so the incremental estimate is
+bit-identical to a full :func:`estimate_ft_schedule` — the full
+recompute stays available as the oracle the tests and benchmarks
+compare against.
 """
 
 from __future__ import annotations
@@ -43,7 +62,7 @@ from dataclasses import dataclass
 from collections.abc import Mapping
 
 from repro.comm.reservations import BusReservations
-from repro.comm.tdma import TdmaBus
+from repro.comm.tdma import TdmaBus, Transmission
 from repro.errors import SchedulingError
 from repro.model.application import Application
 from repro.model.architecture import Architecture
@@ -54,6 +73,31 @@ from repro.schedule.mapping import CopyMapping
 from repro.schedule.priorities import partial_critical_path_priorities
 
 CopyKey = tuple[str, int]
+
+#: One recorded transmission: (message name, producer copy index,
+#: scheduled frames). Replay re-reserves the frames verbatim.
+SendRecord = tuple[str, int, Transmission]
+
+Fingerprint = tuple
+
+
+def solution_fingerprint(policies: PolicyAssignment,
+                         mapping: CopyMapping) -> Fingerprint:
+    """Canonical, hashable identity of one (policies, mapping) solution.
+
+    Sorted by process name so two solutions built in different orders
+    fingerprint identically; per process it captures every copy's
+    recovery plan and placement — exactly the inputs the estimator
+    reads from the solution.
+    """
+    parts = []
+    for name, policy in sorted(policies.items()):
+        plans = tuple((plan.recoveries, plan.checkpoints)
+                      for plan in policy.copies)
+        nodes = tuple(mapping.node_of(name, copy)
+                      for copy in range(len(policy.copies)))
+        parts.append((name, plans, nodes))
+    return tuple(parts)
 
 
 @dataclass(frozen=True)
@@ -96,17 +140,49 @@ class FtEstimate:
 SLACK_SHARING_MODES = ("max", "budgeted")
 
 
+class _CopyCost:
+    """Per-copy constants of one run chain, computed once per copy.
+
+    The estimator reads only three numbers per scheduled copy: its
+    execution calculator (for the budgeted DP), its fault-free
+    duration, and its recovery slack at the run's fault budget. All
+    three are pure functions of the immutable
+    :class:`~repro.policies.recovery.CopyExecution`, so they are
+    precomputed at copy expansion and shared across incremental
+    re-evaluations instead of being recomputed at every pop.
+    """
+
+    __slots__ = ("execution", "duration", "slack")
+
+    def __init__(self, execution: CopyExecution, k: int) -> None:
+        self.execution = execution
+        self.duration = (execution.fault_free_duration() if k > 0
+                         else execution.worst_case_duration(0))
+        self.slack = execution.recovery_slack(k)
+
+
 class _MaxSlackPool:
     """The paper's shared-slack rule: running max of per-copy slacks."""
 
+    __slots__ = ("_slack",)
+
     def __init__(self, k: int) -> None:
-        self._k = k
         self._slack = 0.0
 
-    def add(self, execution: CopyExecution) -> float:
+    def add(self, cost: _CopyCost) -> float:
         """Fold one scheduled copy; return the shared slack so far."""
-        self._slack = max(self._slack, execution.recovery_slack(self._k))
+        if cost.slack > self._slack:
+            self._slack = cost.slack
         return self._slack
+
+    def resume(self, slack: float) -> None:
+        """Restore the pool to a recorded running-max value.
+
+        Used by trace replay: the value returned by :meth:`add` *is*
+        the complete pool state for this rule, so replay restores it
+        directly instead of re-folding the prefix copies.
+        """
+        self._slack = slack
 
 
 class _BudgetedSlackPool:
@@ -135,21 +211,22 @@ class _BudgetedSlackPool:
         #: the copy taking the final, budget-exhausting fault.
         self._discounted = [self._NEG] * (k + 1)
 
-    def add(self, execution: CopyExecution) -> float:
+    def add(self, cost: _CopyCost) -> float:
         """Fold one scheduled copy; return the shared slack so far."""
         k = self._k
         if k == 0:
             return 0.0
+        execution = cost.execution
         cap = min(execution.plan.recoveries, k)
         if cap > 0:
-            cost = (execution.segment_time + execution.mu
-                    + execution.alpha)
+            per_fault = (execution.segment_time + execution.mu
+                         + execution.alpha)
             best, discounted = self._best, self._discounted
             new_best = list(best)
             new_discounted = list(discounted)
             for b in range(1, k + 1):
                 for f in range(1, min(cap, b) + 1):
-                    gain = f * cost
+                    gain = f * per_fault
                     if best[b - f] > self._NEG:
                         new_best[b] = max(new_best[b],
                                           best[b - f] + gain)
@@ -164,6 +241,562 @@ class _BudgetedSlackPool:
         # Distributions short of the full budget keep detection on
         # every retry (no discount); a full distribution discounts one.
         return max(0.0, max(self._best[:k]), self._discounted[k])
+
+
+class _AppStructure:
+    """Static per-application lookup tables shared across runs.
+
+    The application accessors (``predecessors``, ``successors``,
+    ``inputs_of``, ``outputs_of``) rebuild tuples on every call; one
+    estimation chain asks for them thousands of times with identical
+    answers, so they are materialized once and shared by every run of
+    the chain.
+    """
+
+    __slots__ = ("blockers", "successors", "inputs", "outputs")
+
+    def __init__(self, app: Application) -> None:
+        names = app.process_names
+        self.blockers = {name: len(app.predecessors(name))
+                         for name in names}
+        self.successors = {name: app.successors(name) for name in names}
+        self.inputs = {name: app.inputs_of(name) for name in names}
+        self.outputs = {name: app.outputs_of(name) for name in names}
+
+
+class EstimatorState:
+    """One completed estimation run plus its replayable trace.
+
+    The state binds the evaluated solution and settings to the
+    resulting :class:`FtEstimate` and keeps what the incremental path
+    needs: the scheduler's pop order, the per-pop shared-slack value,
+    the recorded bus transmissions, and each process's first-pop and
+    completion positions. :meth:`reevaluate` produces the state of a
+    single-process move in (empirically) a fraction of a full run —
+    bit-identically, with the full run kept as the oracle.
+
+    States are immutable in practice (nothing mutates them after
+    construction) and safely shareable between cache entries: prefix
+    traces of child states alias the parent's records.
+    """
+
+    __slots__ = (
+        "app", "arch", "mapping", "policies", "k", "priorities",
+        "bus_contention", "slack_sharing", "estimate",
+        "_copies", "_keys_of", "_pops", "_post_slack", "_sends",
+        "_first_pop", "_completion", "_non_delay",
+        "_structure", "_bus", "_send_memo",
+    )
+
+    def __init__(self, *, app: Application, arch: Architecture,
+                 mapping: CopyMapping, policies: PolicyAssignment,
+                 k: int, priorities: dict[str, float],
+                 bus_contention: bool, slack_sharing: str,
+                 estimate: FtEstimate,
+                 copies: dict[CopyKey, _CopyCost],
+                 keys_of: dict[str, tuple[CopyKey, ...]],
+                 pops: tuple[CopyKey, ...],
+                 post_slack: tuple[float, ...],
+                 sends: dict[str, tuple[SendRecord, ...]],
+                 first_pop: dict[str, int],
+                 completion: dict[str, int],
+                 non_delay: bool,
+                 structure: "_AppStructure",
+                 bus: TdmaBus,
+                 send_memo: dict) -> None:
+        self.app = app
+        self.arch = arch
+        self.mapping = mapping
+        self.policies = policies
+        self.k = k
+        self.priorities = priorities
+        self.bus_contention = bus_contention
+        self.slack_sharing = slack_sharing
+        self.estimate = estimate
+        self._copies = copies
+        self._keys_of = keys_of
+        self._pops = pops
+        self._post_slack = post_slack
+        self._sends = sends
+        self._first_pop = first_pop
+        self._completion = completion
+        self._non_delay = non_delay
+        self._structure = structure
+        self._bus = bus
+        self._send_memo = send_memo
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def compute(
+        cls,
+        app: Application,
+        arch: Architecture,
+        mapping: CopyMapping,
+        policies: PolicyAssignment,
+        fault_model: FaultModel,
+        *,
+        priorities: Mapping[str, float] | None = None,
+        bus_contention: bool = True,
+        slack_sharing: str = "max",
+    ) -> "EstimatorState":
+        """Full evaluation — the oracle the incremental path must match."""
+        if slack_sharing not in SLACK_SHARING_MODES:
+            raise ValueError(
+                f"unknown slack_sharing {slack_sharing!r}, expected one "
+                f"of {SLACK_SHARING_MODES}")
+        if priorities is None:
+            priorities = partial_critical_path_priorities(app, arch)
+        run = _EstimationRun(app, arch, mapping, policies,
+                             fault_model.k, dict(priorities),
+                             bus_contention, slack_sharing)
+        return run.execute()
+
+    # -- incremental path -----------------------------------------------------
+
+    @property
+    def supports_delta(self) -> bool:
+        """False when release times forced timing-dependent selection.
+
+        With non-zero release times the list scheduler selects by
+        earliest start, so the pop order depends on timing and the
+        prefix-replay argument breaks; :meth:`reevaluate` then falls
+        back to a full recompute.
+        """
+        return not self._non_delay
+
+    def reevaluate(self, policies: PolicyAssignment,
+                   mapping: CopyMapping,
+                   changed: str) -> "EstimatorState":
+        """Evaluate a solution differing from this one only at ``changed``.
+
+        ``changed`` names the single process whose policy and/or copy
+        placement differs (the ``process`` of a
+        :class:`~repro.synthesis.moves.RemapMove` /
+        :class:`~repro.synthesis.moves.PolicyMove`); every other
+        process must be untouched. Returns a fresh state whose
+        estimate is bit-identical to
+        :meth:`compute` on the new solution: the scheduler trace is
+        replayed up to the first position the change can influence and
+        re-run from there.
+        """
+        if self._non_delay:
+            return self._full(policies, mapping)
+        divergence = self._divergence_position(policies, mapping, changed)
+        if divergence <= 0:
+            return self._full(policies, mapping)
+        run = _EstimationRun(self.app, self.arch, mapping, policies,
+                             self.k, self.priorities,
+                             self.bus_contention, self.slack_sharing,
+                             reuse_from=self, changed=changed)
+        return run.execute(parent=self, divergence=divergence)
+
+    def _full(self, policies: PolicyAssignment,
+              mapping: CopyMapping) -> "EstimatorState":
+        run = _EstimationRun(self.app, self.arch, mapping, policies,
+                             self.k, self.priorities,
+                             self.bus_contention, self.slack_sharing,
+                             reuse_from=self)
+        return run.execute()
+
+    def _divergence_position(self, policies: PolicyAssignment,
+                             mapping: CopyMapping, changed: str) -> int:
+        """First trace position the move can influence.
+
+        That is the first pop of ``changed`` itself — everything
+        earlier is structurally and numerically independent of the
+        moved process — unless a message *into* ``changed`` changes
+        its on-bus decision: a producer skips the bus when all
+        consumer copies share its node, so moving the consumer can
+        add or remove a prefix transmission. In that case divergence
+        starts at that producer's completion.
+        """
+        try:
+            position = self._first_pop[changed]
+        except KeyError:
+            raise SchedulingError(
+                f"unknown process {changed!r} in delta "
+                "re-evaluation") from None
+        old_policy = self.policies.of(changed)
+        new_policy = policies.of(changed)
+        old_nodes = {self.mapping.node_of(changed, c)
+                     for c in range(len(old_policy.copies))}
+        new_nodes = {mapping.node_of(changed, c)
+                     for c in range(len(new_policy.copies))}
+        if old_nodes == new_nodes:
+            return position
+        for message in self.app.inputs_of(changed):
+            producer = message.src
+            done_at = self._completion.get(producer)
+            if done_at is None or done_at >= position:
+                continue
+            for src_key in self._keys_of[producer]:
+                src_node = self.mapping.node_of(*src_key)
+                if ((old_nodes <= {src_node})
+                        != (new_nodes <= {src_node})):
+                    position = min(position, done_at)
+                    break
+        return position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EstimatorState({len(self._pops)} copies, "
+                f"k={self.k}, {self.slack_sharing!r}, "
+                f"length={self.estimate.schedule_length})")
+
+
+class _EstimationRun:
+    """One execution of the slack-sharing list scheduler.
+
+    Covers both entry points: a full run records the trace from
+    position zero; an incremental run first replays a parent trace
+    prefix (reusing its timings, slack values and bus frames verbatim)
+    and then falls into the identical main loop.
+    """
+
+    def __init__(self, app: Application, arch: Architecture,
+                 mapping: CopyMapping, policies: PolicyAssignment,
+                 k: int, priorities: dict[str, float],
+                 bus_contention: bool, slack_sharing: str, *,
+                 reuse_from: EstimatorState | None = None,
+                 changed: str | None = None) -> None:
+        self.app = app
+        self.arch = arch
+        self.mapping = mapping
+        self.policies = policies
+        self.k = k
+        self.priorities = priorities
+        self.bus_contention = bus_contention
+        self.slack_sharing = slack_sharing
+        self.reservations = BusReservations() if bus_contention else None
+
+        # -- shared run-chain context -----------------------------------------
+        if reuse_from is not None:
+            self.structure = reuse_from._structure
+            self.bus = reuse_from._bus
+            self.send_memo = reuse_from._send_memo
+        else:
+            self.structure = _AppStructure(app)
+            self.bus = TdmaBus(arch.bus)
+            self.send_memo = {}
+
+        # -- expand copies ----------------------------------------------------
+        if reuse_from is not None and changed is not None:
+            # Only the changed process's executions can differ; every
+            # other copy cost is immutable and shared verbatim.
+            self.copies = dict(reuse_from._copies)
+            self.keys_of = dict(reuse_from._keys_of)
+            for copy_index in range(
+                    len(reuse_from.policies.of(changed).copies)):
+                del self.copies[(changed, copy_index)]
+            self._expand_process(changed)
+        else:
+            self.copies = {}
+            self.keys_of = {}
+            for process_name, _policy in policies.items():
+                self._expand_process(process_name)
+
+        # -- scheduler state --------------------------------------------------
+        self.node_free: dict[str, float] = {
+            n: 0.0 for n in arch.node_names}
+        pool_type = (_MaxSlackPool if slack_sharing == "max"
+                     else _BudgetedSlackPool)
+        self.node_slack: dict[str, _MaxSlackPool | _BudgetedSlackPool]
+        self.node_slack = {n: pool_type(k) for n in arch.node_names}
+        self.timings: dict[CopyKey, CopyTiming] = {}
+        #: (message name, producer copy index) -> bus arrival time
+        self.arrival: dict[tuple[str, int], float] = {}
+        self.remaining: dict[str, int] = {
+            name: len(keys) for name, keys in self.keys_of.items()}
+        self.blockers: dict[str, int] = dict(self.structure.blockers)
+
+        # -- trace ------------------------------------------------------------
+        self.pops: list[CopyKey] = []
+        self.post_slack: list[float] = []
+        self.sends: dict[str, tuple[SendRecord, ...]] = {}
+        self.first_pop: dict[str, int] = {}
+        self.completion: dict[str, int] = {}
+
+        # Priority-first selection is cheap and fine when all releases
+        # are zero; with release times it can idle a processor on a
+        # future job while a ready one waits, so a non-delay
+        # (earliest-start-first, priority tie-break) selection is used
+        # instead.
+        self.non_delay = any(p.release > 0 for p in app.processes)
+        self.ready_heap: list[tuple[float, CopyKey]] = []
+        self.ready_pool: dict[CopyKey, None] = {}
+
+    def _expand_process(self, process_name: str) -> None:
+        process = self.app.process(process_name)
+        keys: list[CopyKey] = []
+        for copy_index, plan in enumerate(
+                self.policies.of(process_name).copies):
+            key = (process_name, copy_index)
+            node = self.mapping.node_of(process_name, copy_index)
+            execution = CopyExecution(
+                wcet=process.wcet_on(node), plan=plan,
+                alpha=process.alpha, mu=process.mu, chi=process.chi,
+            )
+            self.copies[key] = _CopyCost(execution, self.k)
+            keys.append(key)
+        self.keys_of[process_name] = tuple(keys)
+
+    # -- ready-set plumbing ---------------------------------------------------
+
+    def _release_copies(self, name: str) -> None:
+        for key in self.keys_of[name]:
+            if self.non_delay:
+                self.ready_pool[key] = None
+            else:
+                heapq.heappush(self.ready_heap,
+                               (-self.priorities[name], key))
+
+    def _pop_next(self) -> CopyKey:
+        if not self.non_delay:
+            if not self.ready_heap:
+                raise SchedulingError("estimation deadlock (cycle?)")
+            return heapq.heappop(self.ready_heap)[1]
+        if not self.ready_pool:
+            raise SchedulingError("estimation deadlock (cycle?)")
+        best = None
+        for key in self.ready_pool:
+            start = max(self._fixed_ready(key),
+                        self.node_free[self.mapping.node_of(*key)])
+            candidate = (start, -self.priorities[key[0]], key)
+            if best is None or candidate < best:
+                best = candidate
+        self.ready_pool.pop(best[2])
+        return best[2]
+
+    def _fixed_ready(self, key: CopyKey) -> float:
+        process = self.app.process(key[0])
+        node = self.mapping.node_of(*key)
+        ready = process.release
+        for message in self.structure.inputs[key[0]]:
+            for src_key in self.keys_of[message.src]:
+                if self.mapping.node_of(*src_key) == node:
+                    ready = max(ready, self.timings[src_key].ff_finish)
+                else:
+                    ready = max(ready,
+                                self.arrival[(message.name, src_key[1])])
+        return ready
+
+    # -- replay ---------------------------------------------------------------
+
+    def _replay(self, parent: EstimatorState, divergence: int) -> None:
+        """Restore the scheduler state at trace position ``divergence``.
+
+        Everything strictly before the divergence position is
+        position-for-position identical between the parent run and a
+        full run of the moved solution (see
+        :meth:`EstimatorState._divergence_position`). Timings, bus
+        transmissions and (in ``"max"`` mode) slack-pool values are
+        adopted verbatim; the ``"budgeted"`` DP pool has internal
+        state beyond its returned value, so it is re-folded over the
+        same executions in the same order — deterministic identical
+        arithmetic, hence still bit-identical to the oracle.
+        """
+        refold = self.slack_sharing != "max"
+        prefix_pops = parent._pops[:divergence]
+        prefix_slack = parent._post_slack[:divergence]
+        self.pops.extend(prefix_pops)
+        self.post_slack.extend(prefix_slack)
+        # The timings dict of any state is insertion-ordered by pop
+        # position, so the prefix items come straight off the front.
+        timings = self.timings
+        node_free = self.node_free
+        node_slack = self.node_slack
+        remaining = self.remaining
+        first_pop = self.first_pop
+        successors_of = self.structure.successors
+        popped: dict[str, int] = {}
+        parent_items = iter(parent.estimate.timings.items())
+        for position in range(divergence):
+            key, timing = next(parent_items)
+            name = key[0]
+            timings[key] = timing
+            node_free[timing.node] = timing.ff_finish
+            if refold:
+                node_slack[timing.node].add(self.copies[key])
+            else:
+                node_slack[timing.node].resume(prefix_slack[position])
+            if name not in first_pop:
+                first_pop[name] = position
+            popped[name] = popped.get(name, 0) + 1
+            remaining[name] -= 1
+            if remaining[name] == 0:
+                self.completion[name] = position
+                records = parent._sends[name]
+                self.sends[name] = records
+                for message_name, copy_index, transmission in records:
+                    self.arrival[(message_name, copy_index)] = \
+                        transmission.arrival
+                    if self.reservations is not None:
+                        for frame in transmission.frames:
+                            self.reservations.reserve(
+                                (frame.round_index, frame.slot_index))
+                for successor in successors_of[name]:
+                    self.blockers[successor] -= 1
+        # Rebuild the ready heap: every copy of a released process that
+        # was not popped in the prefix. Copies of one process pop in
+        # index order (equal priority, tuple tie-break), so the popped
+        # ones are exactly the leading slice of its key list. heapq
+        # results depend only on contents, never on insertion history.
+        entries = []
+        for name, keys in self.keys_of.items():
+            if self.blockers[name] != 0:
+                continue
+            for key in keys[popped.get(name, 0):]:
+                entries.append((-self.priorities[name], key))
+        heapq.heapify(entries)
+        self.ready_heap = entries
+
+    # -- main loop ------------------------------------------------------------
+
+    def execute(self, *, parent: EstimatorState | None = None,
+                divergence: int = 0) -> EstimatorState:
+        if parent is not None:
+            self._replay(parent, divergence)
+        else:
+            for name in self.app.process_names:
+                if self.blockers[name] == 0:
+                    self._release_copies(name)
+
+        structure = self.structure
+        scheduled = len(self.pops)
+        total_copies = len(self.copies)
+        while scheduled < total_copies:
+            key = self._pop_next()
+            process_name, copy_index = key
+            process = self.app.process(process_name)
+            node = self.mapping.node_of(process_name, copy_index)
+            cost = self.copies[key]
+            position = len(self.pops)
+            self.pops.append(key)
+            if process_name not in self.first_pop:
+                self.first_pop[process_name] = position
+
+            earliest = max(process.release, self.node_free[node])
+            for message in structure.inputs[process_name]:
+                for src_key in self.keys_of[message.src]:
+                    src_node = self.mapping.node_of(*src_key)
+                    if src_node == node:
+                        # Same node: slack is shared, the fault-free
+                        # finish is the dependency.
+                        earliest = max(earliest,
+                                       self.timings[src_key].ff_finish)
+                    else:
+                        earliest = max(
+                            earliest,
+                            self.arrival[(message.name, src_key[1])])
+
+            ff_finish = earliest + cost.duration
+            self.node_free[node] = ff_finish
+            shared_slack = self.node_slack[node].add(cost)
+            self.post_slack.append(shared_slack)
+            wc_finish = ff_finish + shared_slack
+            self.timings[key] = CopyTiming(
+                node=node, start=earliest,
+                ff_finish=ff_finish, wc_finish=wc_finish)
+            scheduled += 1
+            self.remaining[process_name] -= 1
+
+            if self.remaining[process_name] == 0:
+                self.completion[process_name] = position
+                # Transmit every cross-node output of every copy; the
+                # message is budgeted at the producer's worst-case
+                # finish (node-level transparency).
+                records: list[SendRecord] = []
+                for message in structure.outputs[process_name]:
+                    consumer_nodes = {
+                        self.mapping.node_of(message.dst, c)
+                        for c in range(
+                            len(self.policies.of(message.dst).copies))
+                    }
+                    for src_key in self.keys_of[process_name]:
+                        src_node = self.mapping.node_of(*src_key)
+                        if consumer_nodes <= {src_node}:
+                            continue
+                        send_time = self.timings[src_key].wc_finish
+                        if self.reservations is not None:
+                            transmission = \
+                                self.bus.schedule_transmission(
+                                    src_node, send_time,
+                                    message.size_bytes,
+                                    self.reservations)
+                        else:
+                            transmission = self._uncontended_cached(
+                                src_node, send_time,
+                                message.size_bytes)
+                        self.arrival[(message.name, src_key[1])] = \
+                            transmission.arrival
+                        records.append(
+                            (message.name, src_key[1], transmission))
+                self.sends[process_name] = tuple(records)
+                # Release successors whose predecessors are all
+                # complete.
+                for successor in structure.successors[process_name]:
+                    self.blockers[successor] -= 1
+                    if self.blockers[successor] == 0:
+                        self._release_copies(successor)
+
+        return self._finish()
+
+    def _uncontended_cached(self, node: str, ready: float,
+                            size_bytes: int) -> Transmission:
+        """Uncontended transmissions memoized across the run chain.
+
+        Without reservations a transmission is a pure function of
+        (sender, ready time, payload size); incremental walks re-issue
+        the same sends constantly, so the slot search is shared via
+        the chain's memo. Bounded defensively — one chain sees a few
+        thousand distinct sends in practice.
+        """
+        memo_key = (node, ready, size_bytes)
+        transmission = self.send_memo.get(memo_key)
+        if transmission is None:
+            transmission = _uncontended(self.bus, node, ready,
+                                        size_bytes)
+            if len(self.send_memo) >= 200_000:
+                self.send_memo.clear()
+            self.send_memo[memo_key] = transmission
+        return transmission
+
+    def _finish(self) -> EstimatorState:
+        schedule_length = max(t.wc_finish for t in self.timings.values())
+        ff_length = max(t.ff_finish for t in self.timings.values())
+        violations = []
+        for process in self.app.processes:
+            if process.deadline is None:
+                continue
+            bound = max(self.timings[key].wc_finish
+                        for key in self.keys_of[process.name])
+            if bound > process.deadline + 1e-9:
+                violations.append(process.name)
+        estimate = FtEstimate(
+            schedule_length=schedule_length,
+            ff_length=ff_length,
+            timings=self.timings,
+            deadline=self.app.deadline,
+            local_deadline_violations=tuple(violations),
+        )
+        return EstimatorState(
+            app=self.app, arch=self.arch, mapping=self.mapping,
+            policies=self.policies, k=self.k,
+            priorities=self.priorities,
+            bus_contention=self.bus_contention,
+            slack_sharing=self.slack_sharing,
+            estimate=estimate,
+            copies=self.copies, keys_of=self.keys_of,
+            pops=tuple(self.pops),
+            post_slack=tuple(self.post_slack),
+            sends=self.sends,
+            first_pop=self.first_pop,
+            completion=self.completion,
+            non_delay=self.non_delay,
+            structure=self.structure,
+            bus=self.bus,
+            send_memo=self.send_memo,
+        )
 
 
 def estimate_ft_schedule(
@@ -185,9 +818,10 @@ def estimate_ft_schedule(
     optimizer treats them as penalized costs.
 
     The estimate is what the tabu search minimizes — thousands of
-    calls per synthesis, which is why :class:`~repro.schedule.
-    estimation_cache.EstimationCache` memoizes it behind a solution
-    fingerprint:
+    calls per synthesis, which is why the
+    :class:`~repro.eval.Evaluator` core memoizes it behind a solution
+    fingerprint and re-evaluates single-move neighbors incrementally
+    (:class:`EstimatorState`):
 
     >>> from repro.model import FaultModel
     >>> from repro.policies import PolicyAssignment, ProcessPolicy
@@ -226,182 +860,13 @@ def estimate_ft_schedule(
       (:mod:`repro.campaigns`) as their certified bound, where this
       optimism was first observed empirically.
     """
-    k = fault_model.k
-    if slack_sharing not in SLACK_SHARING_MODES:
-        raise ValueError(
-            f"unknown slack_sharing {slack_sharing!r}, expected one "
-            f"of {SLACK_SHARING_MODES}")
-    if priorities is None:
-        priorities = partial_critical_path_priorities(app, arch)
-    bus = TdmaBus(arch.bus)
-    reservations = BusReservations() if bus_contention else None
-
-    # -- expand copies -------------------------------------------------------
-    copies: dict[CopyKey, CopyExecution] = {}
-    nodes_of_process: dict[str, list[CopyKey]] = {}
-    for process_name, policy in policies.items():
-        process = app.process(process_name)
-        keys: list[CopyKey] = []
-        for copy_index, plan in enumerate(policy.copies):
-            key = (process_name, copy_index)
-            node = mapping.node_of(process_name, copy_index)
-            copies[key] = CopyExecution(
-                wcet=process.wcet_on(node), plan=plan,
-                alpha=process.alpha, mu=process.mu, chi=process.chi,
-            )
-            keys.append(key)
-        nodes_of_process[process_name] = keys
-
-    # -- list schedule -------------------------------------------------------
-    node_free: dict[str, float] = {n: 0.0 for n in arch.node_names}
-    pool_type = (_MaxSlackPool if slack_sharing == "max"
-                 else _BudgetedSlackPool)
-    node_slack: dict[str, _MaxSlackPool | _BudgetedSlackPool] = {
-        n: pool_type(k) for n in arch.node_names
-    }
-    timings: dict[CopyKey, CopyTiming] = {}
-    #: (message name, producer copy index) -> bus arrival time
-    arrival: dict[tuple[str, int], float] = {}
-
-    done_processes: set[str] = set()
-    remaining_copies: dict[str, int] = {
-        name: len(keys) for name, keys in nodes_of_process.items()
-    }
-    blockers: dict[str, int] = {
-        name: len(app.predecessors(name)) for name in app.process_names
-    }
-    # Priority-first selection is cheap and fine when all releases are
-    # zero; with release times it can idle a processor on a future job
-    # while a ready one waits, so a non-delay (earliest-start-first,
-    # priority tie-break) selection is used instead.
-    non_delay = any(p.release > 0 for p in app.processes)
-    ready_heap: list[tuple[float, CopyKey]] = []
-    ready_pool: dict[CopyKey, None] = {}
-
-    def release_copies(name: str) -> None:
-        for key in nodes_of_process[name]:
-            if non_delay:
-                ready_pool[key] = None
-            else:
-                heapq.heappush(ready_heap, (-priorities[name], key))
-
-    for name in app.process_names:
-        if blockers[name] == 0:
-            release_copies(name)
-
-    def pop_next() -> CopyKey:
-        if not non_delay:
-            if not ready_heap:
-                raise SchedulingError("estimation deadlock (cycle?)")
-            return heapq.heappop(ready_heap)[1]
-        if not ready_pool:
-            raise SchedulingError("estimation deadlock (cycle?)")
-        best = None
-        for key in ready_pool:
-            start = max(_fixed_ready(key), node_free[mapping.node_of(*key)])
-            candidate = (start, -priorities[key[0]], key)
-            if best is None or candidate < best:
-                best = candidate
-        ready_pool.pop(best[2])
-        return best[2]
-
-    def _fixed_ready(key: CopyKey) -> float:
-        process = app.process(key[0])
-        node = mapping.node_of(*key)
-        ready = process.release
-        for message in app.inputs_of(key[0]):
-            for src_key in nodes_of_process[message.src]:
-                if mapping.node_of(*src_key) == node:
-                    ready = max(ready, timings[src_key].ff_finish)
-                else:
-                    ready = max(ready,
-                                arrival[(message.name, src_key[1])])
-        return ready
-
-    scheduled = 0
-    total_copies = len(copies)
-    while scheduled < total_copies:
-        key = pop_next()
-        process_name, copy_index = key
-        process = app.process(process_name)
-        node = mapping.node_of(process_name, copy_index)
-        execution = copies[key]
-
-        earliest = max(process.release, node_free[node])
-        for message in app.inputs_of(process_name):
-            for src_key in nodes_of_process[message.src]:
-                src_node = mapping.node_of(*src_key)
-                if src_node == node:
-                    # Same node: slack is shared, the fault-free finish
-                    # is the dependency.
-                    earliest = max(earliest, timings[src_key].ff_finish)
-                else:
-                    earliest = max(
-                        earliest, arrival[(message.name, src_key[1])])
-
-        duration = (execution.fault_free_duration() if k > 0
-                    else execution.worst_case_duration(0))
-        ff_finish = earliest + duration
-        node_free[node] = ff_finish
-        wc_finish = ff_finish + node_slack[node].add(execution)
-        timings[key] = CopyTiming(node=node, start=earliest,
-                                  ff_finish=ff_finish, wc_finish=wc_finish)
-        scheduled += 1
-        remaining_copies[process_name] -= 1
-
-        if remaining_copies[process_name] == 0:
-            done_processes.add(process_name)
-            # Transmit every cross-node output of every copy; the
-            # message is budgeted at the producer's worst-case finish
-            # (node-level transparency).
-            for message in app.outputs_of(process_name):
-                consumer_nodes = {
-                    mapping.node_of(message.dst, c)
-                    for c in range(len(policies.of(message.dst).copies))
-                }
-                for src_key in nodes_of_process[process_name]:
-                    src_node = mapping.node_of(*src_key)
-                    if consumer_nodes <= {src_node}:
-                        continue
-                    send_time = timings[src_key].wc_finish
-                    if reservations is not None:
-                        transmission = bus.schedule_transmission(
-                            src_node, send_time, message.size_bytes,
-                            reservations)
-                    else:
-                        transmission = _uncontended(
-                            bus, src_node, send_time, message.size_bytes)
-                    arrival[(message.name, src_key[1])] = \
-                        transmission.arrival
-            # Release successors whose predecessors are all complete.
-            for successor in app.successors(process_name):
-                blockers[successor] -= 1
-                if blockers[successor] == 0:
-                    release_copies(successor)
-
-    # -- results -------------------------------------------------------------
-    schedule_length = max(t.wc_finish for t in timings.values())
-    ff_length = max(t.ff_finish for t in timings.values())
-    violations = []
-    for process in app.processes:
-        if process.deadline is None:
-            continue
-        bound = max(timings[key].wc_finish
-                    for key in nodes_of_process[process.name])
-        if bound > process.deadline + 1e-9:
-            violations.append(process.name)
-    return FtEstimate(
-        schedule_length=schedule_length,
-        ff_length=ff_length,
-        timings=timings,
-        deadline=app.deadline,
-        local_deadline_violations=tuple(violations),
-    )
+    return EstimatorState.compute(
+        app, arch, mapping, policies, fault_model,
+        priorities=priorities, bus_contention=bus_contention,
+        slack_sharing=slack_sharing).estimate
 
 
 def _uncontended(bus: TdmaBus, node: str, ready: float, size_bytes: int):
-    from repro.comm.tdma import Transmission
-
     frames = []
     needed = bus.frames_needed(size_bytes)
     for window in bus.owner_slot_occurrences(node, ready):

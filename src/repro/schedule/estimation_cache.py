@@ -1,33 +1,28 @@
-"""Keyed memoization of the slack-sharing schedule estimate.
+"""Deprecated estimation cache — a thin shim over :mod:`repro.eval`.
 
-:func:`repro.schedule.estimation.estimate_ft_schedule` is the dominant
-cost of design-space exploration: the tabu engine calls it for every
-neighborhood candidate, and neighborhoods revisit solutions constantly
-(a remap move followed by its reverse, two strategies exploring the
-same subspace, the refinement sweep re-proposing the incumbent).  The
-estimate is a pure function of
+Historically this module owned the keyed memoization of
+:func:`repro.schedule.estimation.estimate_ft_schedule`: one
+:class:`EstimationCache` per workload, bound ad hoc to the first
+``(application, architecture, priorities)`` it served. That role has
+moved to the unified evaluation core — fingerprinted
+:class:`~repro.eval.ScheduleProblem` contexts behind a tiered,
+incremental :class:`~repro.eval.Evaluator` — and new code should use
+:class:`repro.eval.EvaluatorPool` directly.
 
-    (fault budget k, bus-contention flag, slack-sharing mode,
-     policy assignment, mapping)
+:class:`EstimationCache` remains as a compatibility shim: the same
+constructor, the same ``estimate()`` signature, the same identity
+reuse of repeated results, and the same binding errors when one cache
+is fed a second workload or priority map. Internally every call is
+delegated to a private pool of evaluators (one per fault budget), so
+a shim cache still benefits from the incremental core.
 
-for a fixed application/architecture/priority context, so one
-:class:`EstimationCache` per workload makes every repeated evaluation
-free.  The cache returns the *same* :class:`FtEstimate` object for a
-repeated key — callers never mutate estimates, and identity reuse is
-what makes cached searches bit-identical to uncached ones.
-
-The key is a :func:`solution_fingerprint`: a canonical tuple of every
-process's copy plans and copy placements, independent of dict insertion
-order and stable across processes (no ``hash()`` randomization).
-
-The cache lives in the schedule layer (it wraps a schedule-level
-function and is used by :mod:`repro.synthesis`); the batch engine
-re-exports it as part of its public API.
+:class:`CacheStats` (the hit/miss counter value object shared by all
+cache tiers) is still defined here because this module sits below
+:mod:`repro.eval` in the import graph.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from collections.abc import Mapping
 
@@ -35,37 +30,26 @@ from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.fault_model import FaultModel
 from repro.policies.types import PolicyAssignment
-from repro.schedule.estimation import FtEstimate, estimate_ft_schedule
+from repro.schedule.estimation import FtEstimate, solution_fingerprint
 from repro.schedule.mapping import CopyMapping
 
 #: Default bound on retained estimates (LRU eviction beyond this).
-DEFAULT_MAX_ENTRIES = 100_000
+#: Matches the evaluation core's default: cached entries carry the
+#: incremental-replay trace, so the bound is tighter than the old
+#: estimate-only 100k.
+DEFAULT_MAX_ENTRIES = 50_000
 
-Fingerprint = tuple
-
-
-def solution_fingerprint(policies: PolicyAssignment,
-                         mapping: CopyMapping) -> Fingerprint:
-    """Canonical, hashable identity of one (policies, mapping) solution.
-
-    Sorted by process name so two solutions built in different orders
-    fingerprint identically; per process it captures every copy's
-    recovery plan and placement — exactly the inputs the estimator
-    reads from the solution.
-    """
-    parts = []
-    for name, policy in sorted(policies.items()):
-        plans = tuple((plan.recoveries, plan.checkpoints)
-                      for plan in policy.copies)
-        nodes = tuple(mapping.node_of(name, copy)
-                      for copy in range(len(policy.copies)))
-        parts.append((name, plans, nodes))
-    return tuple(parts)
+__all__ = [
+    "DEFAULT_MAX_ENTRIES",
+    "CacheStats",
+    "EstimationCache",
+    "solution_fingerprint",
+]
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of one cache."""
+    """Hit/miss counters of one cache (or one cache tier)."""
 
     hits: int
     misses: int
@@ -83,26 +67,71 @@ class CacheStats:
             return 0.0
         return self.hits / self.lookups
 
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        """Counter-wise sum (for aggregating tiers or sweeps)."""
+        return CacheStats(hits=self.hits + other.hits,
+                          misses=self.misses + other.misses,
+                          entries=self.entries + other.entries)
+
 
 class EstimationCache:
-    """LRU-bounded memo of :func:`estimate_ft_schedule` results.
+    """Deprecated shim over the :mod:`repro.eval` core.
 
     One cache serves one (application, architecture, priorities)
-    context — the workload of one sweep cell.  The first call binds the
-    cache to its application/architecture; mixing workloads through one
-    cache raises, because the fingerprint does not (and need not)
-    encode them.
+    context — the workload of one sweep cell. The first call binds the
+    cache; mixing workloads or priority maps through one cache raises,
+    exactly as the historical implementation did. Prefer
+    :class:`repro.eval.EvaluatorPool`, which distinguishes problems by
+    fingerprint and needs no binding at all.
     """
 
     def __init__(self, max_entries: int | None = DEFAULT_MAX_ENTRIES,
                  ) -> None:
-        self._entries: OrderedDict[tuple, FtEstimate] = OrderedDict()
-        self._max_entries = max_entries
+        # Imported lazily: repro.eval sits above this module in the
+        # import graph (repro.schedule's __init__ imports this file).
+        from repro.eval.core import EvaluatorPool
+        self._pool = EvaluatorPool(max_entries=max_entries)
         self._app: Application | None = None
         self._arch: Architecture | None = None
         self._priorities: dict[str, float] | None = None
-        self.hits = 0
-        self.misses = 0
+        self._workload_fp: tuple | None = None
+
+    # -- binding --------------------------------------------------------------
+
+    def _check_binding(self, app: Application, arch: Architecture,
+                       priorities: Mapping[str, float] | None) -> None:
+        from repro.eval.problem import workload_fingerprint
+        normalized = None if priorities is None else dict(priorities)
+        if self._workload_fp is None:
+            self._app, self._arch = app, arch
+            self._priorities = normalized
+            self._workload_fp = workload_fingerprint(app, arch)
+            return
+        if app is not self._app or arch is not self._arch:
+            if workload_fingerprint(app, arch) != self._workload_fp:
+                raise ValueError(
+                    "EstimationCache is bound to one workload; create "
+                    "a fresh cache per (application, architecture)")
+        if normalized != self._priorities:
+            # The solution fingerprint deliberately omits priorities
+            # (they are fixed per workload), so serving a different
+            # priority map from this cache would silently return
+            # wrong estimates.
+            raise ValueError(
+                "EstimationCache is bound to one priority assignment; "
+                "create a fresh cache per (application, architecture, "
+                "priorities)")
+
+    def evaluator_for(self, app: Application, arch: Architecture,
+                      fault_model: FaultModel, *,
+                      priorities: Mapping[str, float] | None = None):
+        """The underlying :class:`~repro.eval.Evaluator` for one
+        fault budget (after the legacy binding check)."""
+        self._check_binding(app, arch, priorities)
+        return self._pool.evaluator_for(app, arch, fault_model,
+                                        priorities=priorities)
+
+    # -- legacy API -----------------------------------------------------------
 
     def estimate(
         self,
@@ -116,57 +145,44 @@ class EstimationCache:
         bus_contention: bool = True,
         slack_sharing: str = "max",
     ) -> FtEstimate:
-        """Drop-in replacement for :func:`estimate_ft_schedule`."""
-        normalized = None if priorities is None else dict(priorities)
-        if self._app is None:
-            self._app, self._arch = app, arch
-            self._priorities = normalized
-        elif app is not self._app or arch is not self._arch:
-            raise ValueError(
-                "EstimationCache is bound to one workload; create a "
-                "fresh cache per (application, architecture)")
-        elif normalized != self._priorities:
-            # The fingerprint deliberately omits priorities (they are
-            # fixed per workload), so serving a different priority map
-            # from this cache would silently return wrong estimates.
-            raise ValueError(
-                "EstimationCache is bound to one priority assignment; "
-                "create a fresh cache per (application, architecture, "
-                "priorities)")
-        key = (fault_model.k, bus_contention, slack_sharing,
-               solution_fingerprint(policies, mapping))
-        cached = self._entries.get(key)
-        if cached is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return cached
-        self.misses += 1
-        estimate = estimate_ft_schedule(
-            app, arch, mapping, policies, fault_model,
-            priorities=priorities, bus_contention=bus_contention,
-            slack_sharing=slack_sharing)
-        self._entries[key] = estimate
-        if (self._max_entries is not None
-                and len(self._entries) > self._max_entries):
-            self._entries.popitem(last=False)
-        return estimate
+        """Drop-in replacement for :func:`estimate_ft_schedule`.
+
+        Repeated keys return the *same* :class:`FtEstimate` object —
+        callers never mutate estimates, and identity reuse is what
+        makes cached searches bit-identical to uncached ones.
+        """
+        evaluator = self.evaluator_for(app, arch, fault_model,
+                                       priorities=priorities)
+        return evaluator.estimate(policies, mapping,
+                                  bus_contention=bus_contention,
+                                  slack_sharing=slack_sharing)
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Estimate-tier cache hits."""
+        return self._pool.stats().estimates.hits
+
+    @property
+    def misses(self) -> int:
+        """Estimate-tier cache misses."""
+        return self._pool.stats().estimates.misses
 
     def stats(self) -> CacheStats:
-        """Snapshot of the hit/miss counters."""
-        return CacheStats(hits=self.hits, misses=self.misses,
-                          entries=len(self._entries))
+        """Snapshot of the estimate-tier hit/miss counters."""
+        return self._pool.stats().estimates
 
     def clear(self) -> None:
-        """Drop all entries and counters."""
-        self._entries.clear()
+        """Drop all entries, counters and the workload binding."""
+        self._pool.clear()
         self._app = None
         self._arch = None
         self._priorities = None
-        self.hits = 0
-        self.misses = 0
+        self._workload_fp = None
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self.stats().entries
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         stats = self.stats()

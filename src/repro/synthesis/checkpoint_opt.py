@@ -20,13 +20,14 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
+from repro.eval.core import Evaluator, EvaluatorPool
 from repro.schedule.estimation_cache import EstimationCache
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.fault_model import FaultModel
 from repro.policies.checkpoints import local_optimal_checkpoints
 from repro.policies.types import PolicyAssignment
-from repro.schedule.estimation import FtEstimate, estimate_ft_schedule
+from repro.schedule.estimation import FtEstimate
 from repro.schedule.mapping import CopyMapping
 
 #: Safety bound on descent rounds (each round applies one move).
@@ -77,7 +78,8 @@ def optimize_checkpoints_globally(
     priorities: Mapping[str, float] | None = None,
     bus_contention: bool = True,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
-    cache: EstimationCache | None = None,
+    cache: "EstimationCache | EvaluatorPool | None" = None,
+    evaluator: Evaluator | None = None,
 ) -> tuple[PolicyAssignment, FtEstimate, int]:
     """Steepest-descent over per-copy checkpoint counts.
 
@@ -85,24 +87,24 @@ def optimize_checkpoints_globally(
     fixed (checkpoint tuning happens inside the mapping search's inner
     loop in [15]; here it is exposed as its own pass so the Fig. 8
     comparison isolates exactly the checkpointing decision).
-    ``evaluations`` counts logical estimator calls whether or not a
-    ``cache`` serves them.
+    ``evaluations`` counts logical estimator calls whether or not the
+    evaluation core serves them from its cache. Every ``X(P) ± 1``
+    candidate differs from the incumbent by one process, so cache
+    misses take the incremental re-evaluation path.
     """
-    estimator = cache.estimate if cache is not None \
-        else estimate_ft_schedule
-
-    def evaluate(candidate: PolicyAssignment) -> FtEstimate:
-        return estimator(
-            app, arch, mapping, candidate, fault_model,
-            priorities=priorities, bus_contention=bus_contention)
+    if evaluator is None:
+        source = cache if cache is not None else EvaluatorPool()
+        evaluator = source.evaluator_for(app, arch, fault_model,
+                                         priorities=priorities)
 
     evaluations = 1
     current = policies
-    current_estimate = evaluate(current)
+    current_state = evaluator.estimate_state(
+        current, mapping, bus_contention=bus_contention)
 
     for _ in range(max_rounds):
         best_move: PolicyAssignment | None = None
-        best_estimate = current_estimate
+        best_state = current_state
         for process_name, policy in current.items():
             for copy_index, plan in enumerate(policy.copies):
                 if plan.recoveries == 0 or plan.checkpoints == 0:
@@ -116,14 +118,16 @@ def optimize_checkpoints_globally(
                         policy.with_copy(
                             copy_index,
                             plan.with_checkpoints(checkpoints)))
-                    estimate = evaluate(candidate)
+                    state = evaluator.estimate_move(
+                        current_state, candidate, mapping,
+                        process_name)
                     evaluations += 1
-                    if estimate.schedule_length \
-                            < best_estimate.schedule_length - 1e-9:
+                    if state.estimate.schedule_length \
+                            < best_state.estimate.schedule_length - 1e-9:
                         best_move = candidate
-                        best_estimate = estimate
+                        best_state = state
         if best_move is None:
             break
         current = best_move
-        current_estimate = best_estimate
-    return current, current_estimate, evaluations
+        current_state = best_state
+    return current, current_state.estimate, evaluations

@@ -52,6 +52,10 @@ class RemapMove:
         old = mapping.node_of(self.process, self.copy)
         return ("map", self.process, self.copy, old)
 
+    def dedup_key(self) -> tuple:
+        """Value identity of the move (neighborhood deduplication)."""
+        return ("map", self.process, self.copy, self.node)
+
 
 @dataclass(frozen=True)
 class PolicyMove:
@@ -101,3 +105,11 @@ class PolicyMove:
         policies, _ = solution
         return ("pol", self.process,
                 _policy_signature(policies.of(self.process)))
+
+    def dedup_key(self) -> tuple:
+        """Value identity of the move (neighborhood deduplication).
+
+        Two policies with the same copy-plan signature are the same
+        move for the search — they produce identical solutions.
+        """
+        return ("pol", self.process, _policy_signature(self.policy))

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Mapping
 
+from repro.eval.core import EvaluatorPool
 from repro.schedule.estimation_cache import EstimationCache
 from repro.errors import SynthesisError
 from repro.model.application import Application
@@ -34,7 +35,7 @@ from repro.model.fault_model import FaultModel
 from repro.policies.checkpoints import local_optimal_checkpoints
 from repro.policies.types import PolicyAssignment, ProcessPolicy
 from repro.schedule.analysis import fault_tolerance_overhead
-from repro.schedule.estimation import FtEstimate, estimate_ft_schedule
+from repro.schedule.estimation import FtEstimate
 from repro.schedule.mapping import CopyMapping
 from repro.schedule.priorities import partial_critical_path_priorities
 from repro.synthesis.checkpoint_opt import (
@@ -82,24 +83,19 @@ class NftBaseline:
 
 
 def _policy_refinement(app, arch, fault_model, space, policies, mapping,
-                       priorities, settings, cache=None):
+                       priorities, settings, evaluator):
     """Greedy per-process policy improvement at a fixed mapping.
 
     Iterates the processes in PCP-priority order; each one adopts the
     candidate policy (new replicas placed greedily) that minimizes the
-    estimated schedule length. Repeats until a fixpoint (bounded)."""
+    estimated schedule length. Repeats until a fixpoint (bounded).
+    Every candidate is a single-process :class:`PolicyMove` away from
+    the incumbent, so cache misses re-evaluate incrementally."""
     from repro.synthesis.moves import PolicyMove
 
-    estimator = cache.estimate if cache is not None \
-        else estimate_ft_schedule
-
-    def evaluate(candidate_policies, candidate_mapping):
-        return estimator(
-            app, arch, candidate_mapping, candidate_policies,
-            fault_model, priorities=priorities,
-            bus_contention=settings.bus_contention)
-
-    estimate = evaluate(policies, mapping)
+    state = evaluator.estimate_state(
+        policies, mapping, bus_contention=settings.bus_contention)
+    estimate = state.estimate
     evaluations = 1
     order = sorted(app.process_names,
                    key=lambda name: -priorities[name])
@@ -109,20 +105,22 @@ def _policy_refinement(app, arch, fault_model, space, policies, mapping,
             candidates = space(name)
             if len(candidates) <= 1:
                 continue
-            best = (policies, mapping, estimate)
+            best = (policies, mapping, estimate, state)
             for candidate in candidates:
                 move = PolicyMove(name, candidate)
                 if not move.applies_to((policies, mapping)):
                     continue
                 new_policies, new_mapping = move.apply(
                     (policies, mapping), app)
-                new_estimate = evaluate(new_policies, new_mapping)
+                new_state = evaluator.estimate_move(
+                    state, new_policies, new_mapping, name)
                 evaluations += 1
-                if new_estimate.schedule_length \
+                if new_state.estimate.schedule_length \
                         < best[2].schedule_length - 1e-9:
-                    best = (new_policies, new_mapping, new_estimate)
+                    best = (new_policies, new_mapping,
+                            new_state.estimate, new_state)
             if best[2].schedule_length < estimate.schedule_length - 1e-9:
-                policies, mapping, estimate = best
+                policies, mapping, estimate, state = best
                 improved = True
         if not improved:
             break
@@ -156,7 +154,7 @@ def _extend_process_map(app: Application,
 def nft_baseline(app: Application, arch: Architecture,
                  settings: TabuSettings | None = None,
                  priorities: Mapping[str, float] | None = None,
-                 cache: EstimationCache | None = None,
+                 cache: "EstimationCache | EvaluatorPool | None" = None,
                  ) -> NftBaseline:
     """Optimize the mapping ignoring fault tolerance.
 
@@ -189,7 +187,7 @@ def synthesize(
     settings: TabuSettings | None = None,
     baseline: NftBaseline | None = None,
     fixed_policies: Mapping[str, ProcessPolicy] | None = None,
-    cache: EstimationCache | None = None,
+    cache: "EstimationCache | EvaluatorPool | None" = None,
 ) -> StrategyResult:
     """Run one synthesis strategy and report its FTO.
 
@@ -197,13 +195,17 @@ def synthesize(
     optimization when several strategies are compared on one workload
     (as the Fig. 7 experiment does).
 
-    ``cache`` memoizes the schedule-length estimate across the whole
-    run (tabu neighborhoods, refinement sweeps, checkpoint descent).
-    When ``None`` a private per-call cache is used; passing one cache
-    to several strategy runs on the same workload (as the batch engine
-    does per sweep cell) additionally shares estimates *between*
-    strategies. Caching never changes results — the estimate is a pure
-    function of the solution — only how often it is recomputed.
+    ``cache`` is an :class:`~repro.eval.EvaluatorPool` (or the
+    deprecated :class:`EstimationCache` shim) memoizing the
+    schedule-length estimate across the whole run (tabu neighborhoods,
+    refinement sweeps, checkpoint descent). When ``None`` a private
+    per-call pool is used; passing one pool to several strategy runs
+    on the same workload (as the batch engine does per sweep cell)
+    additionally shares estimates *between* strategies. Caching never
+    changes results — the estimate is a pure function of the solution
+    — only how often it is recomputed, and uncached one-move
+    neighbors are re-evaluated incrementally (bit-identically) from
+    their parent.
 
     ``fixed_policies`` pins the fault-tolerance policy of selected
     processes (paper §6: "there are cases when the policy assignment
@@ -241,8 +243,10 @@ def synthesize(
             raise SynthesisError(
                 f"fixed policy of {name!r} does not tolerate k={k}")
     if cache is None:
-        cache = EstimationCache()
+        cache = EvaluatorPool()
     priorities = partial_critical_path_priorities(app, arch)
+    evaluator = cache.evaluator_for(app, arch, fault_model,
+                                    priorities=priorities)
     if baseline is None:
         baseline = nft_baseline(app, arch, settings, priorities, cache)
 
@@ -252,9 +256,8 @@ def synthesize(
             app, ProcessPolicy.re_execution(k), fixed_policies)
         mapping = _extend_process_map(app, baseline.process_map,
                                       policies)
-        estimate = cache.estimate(
-            app, arch, mapping, policies, fault_model,
-            priorities=priorities,
+        estimate = evaluator.estimate(
+            policies, mapping,
             bus_contention=settings.bus_contention)
         return StrategyResult(
             strategy=strategy, policies=policies, mapping=mapping,
@@ -311,7 +314,7 @@ def synthesize(
         search = TabuSearch(app, arch, fault_model,
                             policy_space=tabu_space if k > 0 else None,
                             settings=settings, priorities=priorities,
-                            cache=cache)
+                            evaluator=evaluator)
         result = search.optimize(
             (start, initial_mapping(app, arch, start)))
         passes = [(result.policies, result.mapping, result.estimate)]
@@ -323,7 +326,7 @@ def synthesize(
             # policy candidate until a fixpoint.
             refined = _policy_refinement(
                 app, arch, fault_model, sweep_space, result.policies,
-                result.mapping, priorities, settings, cache)
+                result.mapping, priorities, settings, evaluator)
             passes.append(refined[:3])
             evals += refined[3]
         best = min(passes, key=lambda p: p[2].schedule_length)
@@ -363,7 +366,8 @@ def synthesize(
         policies, estimate, extra = optimize_checkpoints_globally(
             app, arch, mapping, policies, fault_model,
             priorities=priorities,
-            bus_contention=settings.bus_contention, cache=cache)
+            bus_contention=settings.bus_contention,
+            evaluator=evaluator)
         evaluations += extra
 
     return StrategyResult(

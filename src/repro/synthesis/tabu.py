@@ -7,8 +7,12 @@ slack-sharing length estimate as its cost function:
   unit of global/local deadline overrun (infeasible solutions may be
   traversed but never win);
 * each iteration samples a bounded random neighborhood (remap and
-  policy moves), evaluates all candidates, and takes the best
-  *admissible* one — not tabu, or better than everything seen
+  policy moves, deduplicated by move value), evaluates all candidates
+  through the :class:`~repro.eval.Evaluator` core — cached solutions
+  are free, uncached one-move neighbors are re-evaluated
+  *incrementally* from the current solution's
+  :class:`~repro.schedule.estimation.EstimatorState` — and takes the
+  best *admissible* one: not tabu, or better than everything seen
   (aspiration);
 * reversing a move is tabu for ``tenure`` iterations;
 * after ``no_improve_restart`` stagnant iterations the search restarts
@@ -24,12 +28,13 @@ import math
 from dataclasses import dataclass, field
 from collections.abc import Callable, Mapping, Sequence
 
+from repro.eval.core import Evaluator, EvaluatorPool
 from repro.schedule.estimation_cache import EstimationCache
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.fault_model import FaultModel
 from repro.policies.types import PolicyAssignment, ProcessPolicy
-from repro.schedule.estimation import FtEstimate, estimate_ft_schedule
+from repro.schedule.estimation import EstimatorState, FtEstimate
 from repro.schedule.mapping import CopyMapping
 from repro.schedule.priorities import partial_critical_path_priorities
 from repro.synthesis.moves import PolicyMove, RemapMove, Solution
@@ -94,7 +99,8 @@ class TabuSearch:
         policy_space: PolicySpace | None = None,
         settings: TabuSettings | None = None,
         priorities: Mapping[str, float] | None = None,
-        cache: EstimationCache | None = None,
+        cache: "EstimationCache | EvaluatorPool | None" = None,
+        evaluator: Evaluator | None = None,
     ) -> None:
         self._app = app
         self._arch = arch
@@ -104,26 +110,16 @@ class TabuSearch:
         self._priorities = dict(
             priorities if priorities is not None
             else partial_critical_path_priorities(app, arch))
-        self._estimator = cache.estimate if cache is not None \
-            else estimate_ft_schedule
+        if evaluator is None:
+            source = cache if cache is not None else EvaluatorPool()
+            evaluator = source.evaluator_for(
+                app, arch, fault_model, priorities=self._priorities)
+        self._evaluator = evaluator
         self._evaluations = 0
 
     # -- cost ------------------------------------------------------------------
 
-    def evaluate(self, solution: Solution) -> tuple[float, FtEstimate]:
-        """Penalized cost of one solution.
-
-        ``evaluations`` counts logical evaluations — with an
-        :class:`EstimationCache` attached, repeated solutions are
-        served from the cache but still counted, so cached and
-        uncached searches report identical telemetry.
-        """
-        policies, mapping = solution
-        estimate = self._estimator(
-            self._app, self._arch, mapping, policies, self._fault_model,
-            priorities=self._priorities,
-            bus_contention=self._settings.bus_contention)
-        self._evaluations += 1
+    def _cost(self, estimate: FtEstimate) -> float:
         penalty = 0.0
         overrun = estimate.schedule_length - self._app.deadline
         if overrun > 0:
@@ -132,15 +128,57 @@ class TabuSearch:
             local = self._app.process(name).deadline
             penalty += (estimate.completion_bound(name) - local) \
                 * self._settings.penalty_weight
-        return estimate.schedule_length + penalty, estimate
+        return estimate.schedule_length + penalty
+
+    def _evaluate_state(self, solution: Solution,
+                        ) -> tuple[float, EstimatorState]:
+        policies, mapping = solution
+        state = self._evaluator.estimate_state(
+            policies, mapping,
+            bus_contention=self._settings.bus_contention)
+        self._evaluations += 1
+        return self._cost(state.estimate), state
+
+    def _evaluate_move(self, parent: EstimatorState, solution: Solution,
+                       changed: str) -> tuple[float, EstimatorState]:
+        """Evaluate a one-move neighbor, incrementally when possible."""
+        policies, mapping = solution
+        state = self._evaluator.estimate_move(parent, policies,
+                                              mapping, changed)
+        self._evaluations += 1
+        return self._cost(state.estimate), state
+
+    def evaluate(self, solution: Solution) -> tuple[float, FtEstimate]:
+        """Penalized cost of one solution.
+
+        ``evaluations`` counts logical evaluations — repeated
+        solutions are served from the evaluator's cache but still
+        counted, so cached and uncached searches report identical
+        telemetry.
+        """
+        cost, state = self._evaluate_state(solution)
+        return cost, state.estimate
 
     # -- neighborhood ------------------------------------------------------------
 
     def _sample_moves(self, solution: Solution, rng: DeterministicRng,
                       ) -> list[RemapMove | PolicyMove]:
+        """Sample a neighborhood of distinct applicable moves.
+
+        The same move can be drawn several times in one neighborhood;
+        duplicates are filtered by :meth:`~repro.synthesis.moves.
+        RemapMove.dedup_key` so they neither waste an evaluation nor
+        crowd out distinct candidates. The RNG stream is untouched by
+        the filter — every draw consumes the same random values as
+        before, only the acceptance differs (a duplicate no longer
+        counts toward the neighborhood size). The resulting
+        trajectories are pinned by
+        ``tests/test_tabu_determinism.py``.
+        """
         policies, mapping = solution
         names = self._app.process_names
         moves: list[RemapMove | PolicyMove] = []
+        seen: set[tuple] = set()
         attempts = 0
         limit = self._settings.neighborhood
         while len(moves) < limit and attempts < limit * 8:
@@ -166,8 +204,13 @@ class TabuSearch:
                     continue
                 move = RemapMove(process_name, copy_index,
                                  rng.choice(options))
-            if move.applies_to(solution):
-                moves.append(move)
+            if not move.applies_to(solution):
+                continue
+            key = move.dedup_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            moves.append(move)
         return moves
 
     # -- main loop ----------------------------------------------------------------
@@ -179,10 +222,10 @@ class TabuSearch:
         tenure = settings.effective_tenure(len(self._app))
 
         current = initial
-        current_cost, current_estimate = self.evaluate(current)
+        current_cost, current_state = self._evaluate_state(current)
         best = current
         best_cost = current_cost
-        best_estimate = current_estimate
+        best_estimate = current_state.estimate
         tabu: dict[tuple, int] = {}
         history = [best_cost]
         stagnant = 0
@@ -191,27 +234,28 @@ class TabuSearch:
             moves = self._sample_moves(current, rng)
             chosen = None
             chosen_cost = None
-            chosen_estimate = None
+            chosen_state = None
             chosen_attr = None
             for move in moves:
                 attr = move.attribute(current)
                 candidate = move.apply(current, self._app)
-                cost, estimate = self.evaluate(candidate)
+                cost, state = self._evaluate_move(
+                    current_state, candidate, move.process)
                 is_tabu = tabu.get(attr, -1) >= iteration
                 if is_tabu and cost >= best_cost:
                     continue  # tabu and no aspiration
                 if chosen_cost is None or cost < chosen_cost:
                     chosen, chosen_cost = candidate, cost
-                    chosen_estimate, chosen_attr = estimate, attr
+                    chosen_state, chosen_attr = state, attr
             if chosen is None:
                 stagnant += 1
             else:
                 tabu[chosen_attr] = iteration + tenure
                 current, current_cost = chosen, chosen_cost
-                current_estimate = chosen_estimate
+                current_state = chosen_state
                 if current_cost < best_cost - 1e-9:
                     best, best_cost = current, current_cost
-                    best_estimate = current_estimate
+                    best_estimate = current_state.estimate
                     stagnant = 0
                 else:
                     stagnant += 1
@@ -219,7 +263,8 @@ class TabuSearch:
 
             if stagnant >= settings.no_improve_restart:
                 current = self._perturb(best, rng)
-                current_cost, current_estimate = self.evaluate(current)
+                current_cost, current_state = \
+                    self._evaluate_state(current)
                 tabu.clear()
                 stagnant = 0
 

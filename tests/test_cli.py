@@ -42,6 +42,16 @@ class TestParser:
         args = build_parser().parse_args(["fig7", "--workers", "3"])
         assert args.workers == 3
 
+    def test_version_flag(self, capsys):
+        import repro
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out.strip()
+        assert out == f"repro {repro.__version__}"
+        # Sourced from package metadata, not a drifting constant.
+        assert repro.__version__[0].isdigit()
+
 
 class TestCommands:
     def test_synth_synthetic(self, capsys):

@@ -146,12 +146,25 @@ class TestCliDocsAudit:
                         f"docs/cli.md misses flag {option!r} of "
                         f"'repro {name}'")
 
+    def test_top_level_flags_documented(self):
+        """Top-level parser flags (e.g. --version) appear in cli.md."""
+        cli_md = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
+        for action in build_parser()._actions:
+            for option in action.option_strings:
+                if option in ("-h", "--help"):
+                    continue
+                assert option in cli_md, (
+                    f"docs/cli.md misses top-level flag {option!r}")
+
     def test_no_stale_flags_documented(self):
         cli_md = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
         known = {option
                  for sub in _subparsers().values()
                  for action in sub._actions
                  for option in action.option_strings}
+        known |= {option
+                  for action in build_parser()._actions
+                  for option in action.option_strings}
         documented = set(re.findall(r"(--[a-z][\w-]*)", cli_md))
         # Flags of the module entry points (not subcommands) that the
         # page legitimately mentions.

@@ -1,0 +1,236 @@
+"""Property tests: incremental estimator state equals the full oracle.
+
+Random sequences of ``RemapMove``/``PolicyMove`` are walked through
+:meth:`repro.schedule.estimation.EstimatorState.reevaluate` and every
+intermediate result is compared — field by field, with exact float
+equality — against a from-scratch
+:func:`~repro.schedule.estimation.estimate_ft_schedule`. Both
+slack-sharing modes and the full policy zoo (re-execution,
+checkpointing, replication, hybrids) are exercised, plus the
+structural corner cases the replay argument leans on: divergence at
+position zero, producer bus-decision flips, and the non-delay
+fallback for release times.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import (
+    Application,
+    Architecture,
+    BusSpec,
+    FaultModel,
+    Message,
+    Node,
+    Process,
+)
+from repro.policies import PolicyAssignment, ProcessPolicy
+from repro.schedule.estimation import (
+    EstimatorState,
+    estimate_ft_schedule,
+)
+from repro.synthesis import initial_mapping
+from repro.synthesis.moves import PolicyMove, RemapMove
+from repro.synthesis.tabu import policy_candidates
+from repro.workloads import GeneratorConfig, generate_workload
+
+
+def assert_estimates_equal(incremental, oracle):
+    """Exact (bit-level) equality of two FtEstimates."""
+    assert incremental.schedule_length == oracle.schedule_length
+    assert incremental.ff_length == oracle.ff_length
+    assert incremental.deadline == oracle.deadline
+    assert incremental.local_deadline_violations == \
+        oracle.local_deadline_violations
+    assert incremental.timings == oracle.timings
+
+
+def draw_move(draw, app, arch, policies, mapping, space):
+    """One applicable random move, or None when the draw fizzles."""
+    name = draw(st.sampled_from(app.process_names))
+    process = app.process(name)
+    if draw(st.booleans()):
+        move = PolicyMove(name, draw(st.sampled_from(list(space(name)))))
+    else:
+        policy = policies.of(name)
+        copy_index = draw(st.integers(0, len(policy.copies) - 1))
+        if copy_index == 0 and process.fixed_node is not None:
+            return None
+        options = [n for n in process.allowed_nodes
+                   if n in arch.node_names
+                   and n != mapping.node_of(name, copy_index)]
+        if not options:
+            return None
+        move = RemapMove(name, copy_index,
+                         draw(st.sampled_from(options)))
+    if not move.applies_to((policies, mapping)):
+        return None
+    return move
+
+
+@st.composite
+def move_walks(draw):
+    """A workload plus a random move sequence over it."""
+    seed = draw(st.integers(1, 50))
+    processes = draw(st.integers(4, 10))
+    nodes = draw(st.integers(2, 4))
+    k = draw(st.integers(1, 3))
+    app, arch = generate_workload(GeneratorConfig(
+        processes=processes, nodes=nodes, seed=seed))
+    # The policy space includes replication, checkpointing and (for
+    # k >= 2) replication+checkpointing hybrids.
+    space = policy_candidates(
+        app, k, allow_combined=k >= 2,
+        checkpoints_for=(lambda _name: draw(st.integers(0, 3))))
+    start = draw(st.sampled_from([
+        ProcessPolicy.re_execution(k),
+        ProcessPolicy.replication(k),
+        ProcessPolicy.checkpointing(k, 2),
+    ]))
+    policies = PolicyAssignment.uniform(app, start)
+    mapping = initial_mapping(app, arch, policies)
+    moves = []
+    for _ in range(draw(st.integers(1, 6))):
+        move = draw_move(draw, app, arch, policies, mapping, space)
+        if move is None:
+            continue
+        policies, mapping = move.apply((policies, mapping), app)
+        moves.append(move)
+    return app, arch, k, start, moves
+
+
+class TestIncrementalProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(walk=move_walks(),
+           slack_sharing=st.sampled_from(["max", "budgeted"]),
+           bus_contention=st.booleans())
+    def test_random_walk_matches_oracle(self, walk, slack_sharing,
+                                        bus_contention):
+        app, arch, k, start, moves = walk
+        fm = FaultModel(k=k)
+        # Rebuild the walk from its recorded start and moves.
+        policies = PolicyAssignment.uniform(app, start)
+        mapping = initial_mapping(app, arch, policies)
+        state = EstimatorState.compute(
+            app, arch, mapping, policies, fm,
+            bus_contention=bus_contention,
+            slack_sharing=slack_sharing)
+        assert_estimates_equal(
+            state.estimate,
+            estimate_ft_schedule(app, arch, mapping, policies, fm,
+                                 bus_contention=bus_contention,
+                                 slack_sharing=slack_sharing))
+        for move in moves:
+            if not move.applies_to((policies, mapping)):
+                continue
+            policies, mapping = move.apply((policies, mapping), app)
+            state = state.reevaluate(policies, mapping, move.process)
+            oracle = estimate_ft_schedule(
+                app, arch, mapping, policies, fm,
+                bus_contention=bus_contention,
+                slack_sharing=slack_sharing)
+            assert_estimates_equal(state.estimate, oracle)
+
+
+def tiny_chain(release=0.0):
+    """A -> B chain over two nodes (bus-decision corner cases)."""
+    processes = [
+        Process("A", {"N1": 10.0, "N2": 11.0}, alpha=1.0, mu=1.0,
+                release=release),
+        Process("B", {"N1": 20.0, "N2": 18.0}, alpha=1.0, mu=1.0),
+    ]
+    messages = [Message("m1", "A", "B", size_bytes=4)]
+    app = Application(processes, messages, deadline=200.0)
+    arch = Architecture([Node("N1"), Node("N2")],
+                        BusSpec(slot_order=("N1", "N2"),
+                                slot_length=2.0))
+    return app, arch
+
+
+class TestIncrementalEdgeCases:
+    def _solution(self, app, arch, k=1):
+        policies = PolicyAssignment.uniform(
+            app, ProcessPolicy.re_execution(k))
+        return policies, initial_mapping(app, arch, policies)
+
+    def test_moving_first_process_falls_back_to_full(self):
+        """Divergence at position 0 — nothing to replay."""
+        app, arch = tiny_chain()
+        policies, mapping = self._solution(app, arch)
+        fm = FaultModel(k=1)
+        state = EstimatorState.compute(app, arch, mapping, policies,
+                                       fm)
+        other = "N2" if mapping.node_of("A", 0) == "N1" else "N1"
+        move = RemapMove("A", 0, other)
+        new_p, new_m = move.apply((policies, mapping), app)
+        incremental = state.reevaluate(new_p, new_m, "A")
+        assert_estimates_equal(
+            incremental.estimate,
+            estimate_ft_schedule(app, arch, new_m, new_p, fm))
+
+    def test_consumer_move_flips_producer_bus_decision(self):
+        """Moving B onto A's node removes A's transmission — the
+        divergence computation must rewind to A's completion even
+        though B itself pops later."""
+        app, arch = tiny_chain()
+        policies, mapping = self._solution(app, arch)
+        fm = FaultModel(k=1)
+        for target in ("N1", "N2"):
+            if mapping.node_of("B", 0) == target:
+                continue
+            state = EstimatorState.compute(app, arch, mapping,
+                                           policies, fm)
+            move = RemapMove("B", 0, target)
+            new_p, new_m = move.apply((policies, mapping), app)
+            incremental = state.reevaluate(new_p, new_m, "B")
+            assert_estimates_equal(
+                incremental.estimate,
+                estimate_ft_schedule(app, arch, new_m, new_p, fm))
+            policies, mapping = new_p, new_m
+
+    def test_policy_move_changing_copy_count(self):
+        app, arch = tiny_chain()
+        policies, mapping = self._solution(app, arch, k=2)
+        fm = FaultModel(k=2)
+        state = EstimatorState.compute(app, arch, mapping, policies,
+                                       fm)
+        for policy in (ProcessPolicy.replication(2),
+                       ProcessPolicy.replication_and_checkpointing(
+                           2, 1, checkpoints=2),
+                       ProcessPolicy.checkpointing(2, 3)):
+            move = PolicyMove("B", policy)
+            if not move.applies_to((policies, mapping)):
+                continue
+            policies, mapping = move.apply((policies, mapping), app)
+            state = state.reevaluate(policies, mapping, "B")
+            assert_estimates_equal(
+                state.estimate,
+                estimate_ft_schedule(app, arch, mapping, policies,
+                                     fm))
+
+    def test_release_times_disable_delta_support(self):
+        app, arch = tiny_chain(release=5.0)
+        policies, mapping = self._solution(app, arch)
+        fm = FaultModel(k=1)
+        state = EstimatorState.compute(app, arch, mapping, policies,
+                                       fm)
+        assert state.supports_delta is False
+        other = "N2" if mapping.node_of("B", 0) == "N1" else "N1"
+        move = RemapMove("B", 0, other)
+        new_p, new_m = move.apply((policies, mapping), app)
+        # Fallback still produces the oracle result.
+        incremental = state.reevaluate(new_p, new_m, "B")
+        assert_estimates_equal(
+            incremental.estimate,
+            estimate_ft_schedule(app, arch, new_m, new_p, fm))
+
+    def test_unknown_process_rejected(self):
+        from repro.errors import SchedulingError
+        app, arch = tiny_chain()
+        policies, mapping = self._solution(app, arch)
+        state = EstimatorState.compute(app, arch, mapping, policies,
+                                       FaultModel(k=1))
+        with pytest.raises(SchedulingError, match="unknown process"):
+            state.reevaluate(policies, mapping, "nope")

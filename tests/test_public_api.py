@@ -8,6 +8,7 @@ import pytest
 import repro
 import repro.comm
 import repro.engine
+import repro.eval
 import repro.experiments
 import repro.ftcpg
 import repro.model
@@ -22,6 +23,7 @@ PACKAGES = [
     repro,
     repro.comm,
     repro.engine,
+    repro.eval,
     repro.experiments,
     repro.ftcpg,
     repro.model,
@@ -49,8 +51,17 @@ def test_all_is_sorted_unique(package):
     assert len(exported) == len(set(exported))
 
 
-def test_version():
-    assert repro.__version__ == "1.0.0"
+def test_version_matches_packaging_metadata():
+    """__version__ is sourced from pyproject.toml (directly, or via
+    the installed distribution metadata built from it)."""
+    import tomllib
+    from pathlib import Path
+
+    pyproject = Path(repro.__file__).resolve().parents[2] \
+        / "pyproject.toml"
+    with open(pyproject, "rb") as handle:
+        declared = tomllib.load(handle)["project"]["version"]
+    assert repro.__version__ == declared
 
 
 def test_top_level_reexports_are_canonical():
