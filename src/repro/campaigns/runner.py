@@ -49,12 +49,15 @@ from repro.engine.runner import (
     EngineConfig,
     ProgressCallback,
 )
+from repro.errors import ToleranceViolationError
 from repro.eval.core import EvaluatorPool
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.fault_model import FaultModel
 from repro.runtime.simulator import simulate
-from repro.synthesis.strategies import synthesize
+from repro.schedule.estimation import FtEstimate
+from repro.schedule.table import ScheduleSet
+from repro.synthesis.strategies import StrategyResult, synthesize
 from repro.synthesis.tabu import TabuSettings
 from repro.utils.rng import derive_seed
 from repro.workloads.generator import GeneratorConfig, generate_workload
@@ -91,6 +94,12 @@ class CampaignConfig:
         default_factory=lambda: TabuSettings(
             iterations=8, neighborhood=8, bus_contention=False))
     max_contexts: int = 200_000
+    #: Certified mode: additionally run the exhaustive sharded
+    #: verifier (:mod:`repro.verify`) on the very design the sampled
+    #: plans stressed — same seed derivation, same chunk count — and
+    #: fold the certificate into the report.
+    certify: bool = False
+    certify_max_scenarios: int = 200_000
 
     def __post_init__(self) -> None:
         if self.k < 0:
@@ -138,6 +147,26 @@ def load_campaign_workload(spec: Mapping[str, object],
     ))
 
 
+def synthesize_campaign_design(app, arch, k: int, strategy: str,
+                               settings: TabuSettings, seed: int, *,
+                               pool: EvaluatorPool):
+    """The design a campaign (or verification) seed produces.
+
+    One shared derivation — tabu seed via
+    ``derive_seed(seed, "campaign-tabu", settings.seed)`` — used by
+    campaign chunks *and* the verification chunks of
+    :mod:`repro.verify.runner`, so a certified campaign provably
+    verifies the very design its sampled plans stressed: equal
+    ``(workload, k, strategy, settings, seed)`` yields the identical
+    synthesis on both sides.
+    """
+    fault_model = FaultModel(k=k)
+    settings = replace(settings, seed=derive_seed(
+        seed, "campaign-tabu", settings.seed))
+    return synthesize(app, arch, fault_model, strategy,
+                      settings=settings, cache=pool)
+
+
 def campaign_jobs(config: CampaignConfig) -> list[BatchJob]:
     """One engine job per plan chunk."""
     return grid_jobs(
@@ -159,24 +188,40 @@ def campaign_jobs(config: CampaignConfig) -> list[BatchJob]:
     )
 
 
-def run_campaign_chunk(params: Mapping[str, object]) -> dict:
-    """One chunk: synthesize, build exact tables, simulate a slice.
+@dataclass
+class CampaignDesign:
+    """One fully evaluated campaign design context.
 
-    Pure function of its params (the engine's worker contract). The
-    synthesis seed and the sampling seed are both derived from the
-    campaign seed — *not* from the chunk index — so every chunk
-    reproduces the identical design and plan list and only its stride
-    slice differs.
+    Everything :func:`run_campaign_chunk` derives from the seed before
+    it starts simulating: the instance, the synthesized design, the
+    exact tables and the certified estimate bound. Exposed so
+    in-process callers that need both the sampled campaign *and* an
+    exhaustive verification of the same design (the certified sweep
+    cells of :mod:`repro.experiments.campaign`) build it once instead
+    of re-running the synthesis per phase.
     """
+
+    app: Application
+    arch: Architecture
+    fault_model: FaultModel
+    result: StrategyResult
+    schedule: ScheduleSet
+    certified: FtEstimate
+    bound: float
+    pool: EvaluatorPool
+
+
+def build_campaign_design(params: Mapping[str, object],
+                          ) -> CampaignDesign:
+    """Derive the chunk's design context from its params (pure)."""
     app, arch = load_campaign_workload(params["workload"])
     k = int(params["k"])
     fault_model = FaultModel(k=k)
-    base = TabuSettings(**params["settings"])
-    settings = replace(base, seed=derive_seed(
-        int(params["seed"]), "campaign-tabu", base.seed))
     pool = EvaluatorPool()
-    result = synthesize(app, arch, fault_model, str(params["strategy"]),
-                        settings=settings, cache=pool)
+    result = synthesize_campaign_design(
+        app, arch, k, str(params["strategy"]),
+        TabuSettings(**params["settings"]), int(params["seed"]),
+        pool=pool)
     evaluator = pool.evaluator_for(app, arch, fault_model)
     schedule = evaluator.exact_schedule(
         result.policies, result.mapping,
@@ -189,6 +234,29 @@ def run_campaign_chunk(params: Mapping[str, object]) -> dict:
     certified = evaluator.estimate(
         result.policies, result.mapping, slack_sharing="budgeted")
     bound = estimate_bound(app, arch, certified, k)
+    return CampaignDesign(app=app, arch=arch, fault_model=fault_model,
+                          result=result, schedule=schedule,
+                          certified=certified, bound=bound, pool=pool)
+
+
+def run_campaign_chunk(params: Mapping[str, object],
+                       design: CampaignDesign | None = None) -> dict:
+    """One chunk: synthesize, build exact tables, simulate a slice.
+
+    Pure function of its params (the engine's worker contract). The
+    synthesis seed and the sampling seed are both derived from the
+    campaign seed — *not* from the chunk index — so every chunk
+    reproduces the identical design and plan list and only its stride
+    slice differs. ``design`` lets an in-process caller hand in the
+    :func:`build_campaign_design` context it already built (engine
+    workers always rebuild from the params).
+    """
+    if design is None:
+        design = build_campaign_design(params)
+    app, arch = design.app, design.arch
+    fault_model = design.fault_model
+    result, schedule = design.result, design.schedule
+    k = fault_model.k
 
     plans = sample_campaign_plans(
         app, result.policies, k,
@@ -202,11 +270,11 @@ def run_campaign_chunk(params: Mapping[str, object]) -> dict:
     for plan in slice_plans:
         outcome = simulate(app, arch, result.mapping, result.policies,
                            fault_model, schedule, plan)
-        stats.observe(outcome, bound=bound,
+        stats.observe(outcome, bound=design.bound,
                       ff_length=result.estimate.ff_length,
                       deadline=app.deadline,
                       expected_processes=len(app.process_names))
-    cache_stats = pool.stats()
+    cache_stats = design.pool.stats()
     return {
         "chunk": int(params["chunk"]),
         "plans_total": len(plans),
@@ -215,8 +283,8 @@ def run_campaign_chunk(params: Mapping[str, object]) -> dict:
         "cache_misses": cache_stats.estimates.misses,
         "cache_entries": cache_stats.estimates.entries,
         "estimate": result.estimate.schedule_length,
-        "certified_estimate": certified.schedule_length,
-        "estimate_bound": bound,
+        "certified_estimate": design.certified.schedule_length,
+        "estimate_bound": design.bound,
         "exact_worst_case": schedule.worst_case_length,
         "fault_free_length": result.estimate.ff_length,
         "nft_length": result.nft_length,
@@ -254,14 +322,26 @@ class CampaignReport:
     cache_misses: int = 0
     executed_chunks: int = 0
     resumed_chunks: int = 0
+    #: The exhaustive certificate of certified-mode campaigns
+    #: (:class:`repro.verify.VerifyReport`), None otherwise.
+    verification: object | None = None
+    #: Why a requested certificate was skipped (scenario count beyond
+    #: ``certify_max_scenarios``), None when it ran or was not asked.
+    certify_skipped: str | None = None
 
     @property
     def ok(self) -> bool:
         """True when no plan violated an invariant, missed a deadline,
-        or finished beyond the estimate bound."""
+        or finished beyond the estimate bound — and, in certified
+        mode, the exhaustive verification passed as well (a *skipped*
+        certificate leaves the sampled verdict untouched, like a
+        frontier design beyond the DSE scenario budget)."""
+        certified = (self.verification is None
+                     or self.verification.ok)
         return (self.stats.violations == 0
                 and self.stats.deadline_misses == 0
-                and self.stats.exceeded == 0)
+                and self.stats.exceeded == 0
+                and certified)
 
     # -- deterministic export -------------------------------------------------
 
@@ -272,7 +352,7 @@ class CampaignReport:
         stats["mean_slack_utilization"] = \
             self.stats.mean_slack_utilization
         stats["deadline_miss_rate"] = self.stats.deadline_miss_rate
-        return {
+        payload = {
             "campaign": {
                 "workload": self.config.label,
                 "k": self.config.k,
@@ -299,6 +379,11 @@ class CampaignReport:
             "gap_hist_bin_pct": HIST_BIN_PCT,
             "stats": stats,
         }
+        if self.verification is not None:
+            payload["verification"] = self.verification.to_jsonable()
+        elif self.certify_skipped is not None:
+            payload["verification"] = {"skipped": self.certify_skipped}
+        return payload
 
     def to_json(self) -> str:
         """Canonical JSON text of the report."""
@@ -338,6 +423,19 @@ class CampaignReport:
             f"bound {stats.exceeded} (min gap "
             f"{0.0 if stats.min_gap is None else stats.min_gap:.1f})",
         ]
+        if self.verification is not None:
+            verify = self.verification
+            verdict = ("CERTIFIED" if verify.ok
+                       else "NOT certified")
+            lines.append(
+                f"certificate: {verify.stats.scenarios} scenarios "
+                f"verified exhaustively, worst "
+                f"{verify.stats.worst_makespan:.1f}, "
+                f"{verify.stats.failures} failure(s) -> {verdict} "
+                f"for k = {self.config.k}")
+        elif self.certify_skipped is not None:
+            lines.append(f"certificate: SKIPPED — "
+                         f"{self.certify_skipped}")
         return lines
 
 
@@ -350,7 +448,14 @@ def run_campaign(config: CampaignConfig, *,
                  engine_config: EngineConfig | None = None,
                  progress: ProgressCallback | None = None,
                  ) -> CampaignReport:
-    """Run (or resume) one campaign through the batch engine."""
+    """Run (or resume) one campaign through the batch engine.
+
+    In certified mode (``config.certify``) the sampled stress test is
+    followed by an exhaustive sharded verification of the same design
+    (same seed derivation, same engine configuration — distinct job
+    ids, so a shared checkpoint file serves both phases) and the
+    certificate lands in :attr:`CampaignReport.verification`.
+    """
     engine = BatchEngine(engine_config or EngineConfig())
     batch = engine.run(campaign_jobs(config), progress=progress)
     cells = batch.results()
@@ -363,6 +468,42 @@ def run_campaign(config: CampaignConfig, *,
                     f"campaign chunks disagree on {key!r}: "
                     f"{cell[key]!r} != {first[key]!r} — a chunk "
                     "runner is not a pure function of the seed")
+
+    verification = None
+    certify_skipped = None
+    if config.certify:
+        # Imported lazily: repro.verify.runner imports this module
+        # for the shared design derivation.
+        from repro.verify.runner import (
+            VerifyConfig,
+            run_verification,
+        )
+        try:
+            verification = run_verification(
+                VerifyConfig(
+                    workload=config.workload,
+                    k=config.k,
+                    strategy=config.strategy,
+                    chunks=config.chunks,
+                    seed=config.seed,
+                    settings=config.settings,
+                    max_contexts=config.max_contexts,
+                    max_scenarios=config.certify_max_scenarios,
+                ),
+                engine_config=engine_config, progress=progress)
+        except ToleranceViolationError as error:
+            # Scenario count beyond the certify ceiling: keep the
+            # sampled report, record why the certificate is missing
+            # (same degrade-not-crash shape as the DSE frontier).
+            certify_skipped = str(error)
+        else:
+            if verification.exact_worst_case != float(
+                    cells[0]["exact_worst_case"]):
+                raise RuntimeError(
+                    "certified campaign verified a different design "
+                    "than it sampled — the shared seed derivation "
+                    f"broke ({verification.exact_worst_case!r} != "
+                    f"{cells[0]['exact_worst_case']!r})")
 
     merged = CampaignStats()
     for cell in cells:
@@ -385,4 +526,6 @@ def run_campaign(config: CampaignConfig, *,
                          for c in cells),
         executed_chunks=batch.executed,
         resumed_chunks=batch.resumed,
+        verification=verification,
+        certify_skipped=certify_skipped,
     )

@@ -11,7 +11,10 @@ Commands
     Print the conditional schedule tables for a preset with a naive
     mapping — a quick way to *see* paper Fig. 6-style output.
 ``verify``
-    Synthesize and exhaustively fault-inject a small instance.
+    Synthesize a design and *prove* its tolerance claim: simulate
+    every fault scenario within the budget, sharded through the batch
+    engine with trace-prefix reuse (parallel workers, resumable
+    checkpoints, byte-identical reports).
 ``fig7`` / ``fig8``
     Run the paper's evaluation sweeps (quick or paper profile).
 ``batch``
@@ -36,7 +39,7 @@ Examples
     repro synth --processes 20 --nodes 3 --k 2 --strategy MXR
     repro synth --preset cruise --k 2 --strategy MXR --tables
     repro tables --preset fig5
-    repro verify --processes 5 --nodes 2 --k 2
+    repro verify --processes 8 --nodes 2 --k 2 --chunks 4 --workers 4
     repro fig7 --profile quick
     repro batch --experiment fig7 --profile paper --workers 4 \
         --checkpoint fig7.ckpt.jsonl --out fig7.json --csv fig7.csv
@@ -82,16 +85,17 @@ from repro.experiments.reporting import (
 )
 from repro.model import Application, Architecture, FaultModel, Transparency
 from repro.policies import PolicyAssignment, ProcessPolicy
-from repro.runtime import verify_tolerance
 from repro.schedule import (
     render_schedule_set,
     schedule_metrics,
     synthesize_schedule,
 )
 from repro.synthesis import TabuSettings, initial_mapping, synthesize
+from repro.verify import VerifyConfig, run_verification
 from repro.workloads import (
     SIMPLE_PRESETS,
     GeneratorConfig,
+    brake_by_wire,
     fig5_example,
     generate_workload,
 )
@@ -102,6 +106,8 @@ def _load_workload(args) -> tuple[Application, Architecture,
     if args.preset == "fig5":
         app, arch, __, transparency, ___ = fig5_example()
         return app, arch, transparency
+    if args.preset == "bbw":
+        return brake_by_wire()
     if args.preset in SIMPLE_PRESETS:
         app, arch = SIMPLE_PRESETS[args.preset]()
         return app, arch, None
@@ -158,24 +164,39 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    app, arch, transparency = _load_workload(args)
-    fault_model = FaultModel(k=args.k)
-    result = synthesize(app, arch, fault_model, args.strategy,
-                        settings=_settings(args))
-    schedule = synthesize_schedule(app, arch, result.mapping,
-                                   result.policies, fault_model,
-                                   transparency)
-    report = verify_tolerance(app, arch, result.mapping, result.policies,
-                              fault_model, schedule, transparency)
-    print(f"{report.scenarios} fault scenarios simulated; "
-          f"worst makespan {report.worst_makespan:.1f} "
-          f"(deadline {app.deadline:.1f})")
+    if args.preset is not None:
+        workload: dict = {"preset": args.preset}
+    else:
+        workload = {"processes": args.processes, "nodes": args.nodes,
+                    "seed": args.seed}
+    config = VerifyConfig(
+        workload=workload,
+        k=args.k,
+        strategy=args.strategy,
+        chunks=args.chunks,
+        seed=args.seed,
+        settings=TabuSettings(iterations=args.iterations,
+                              neighborhood=args.neighborhood,
+                              bus_contention=False),
+        max_scenarios=args.max_scenarios,
+    )
+    engine_config = EngineConfig(
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=not args.no_resume,
+    )
+    report = run_verification(config, engine_config=engine_config)
+    for line in report.summary_lines():
+        print(line)
+    if args.out:
+        report.write_json(args.out)
+        print(f"report written to {args.out}")
     if report.ok:
         print("all scenarios tolerated")
         return 0
-    for failure in report.failures[:5]:
-        print(f"FAILED {failure.plan.describe()}: "
-              f"{failure.errors[0]}")
+    for record in report.stats.failure_records[:5]:
+        errors = record["errors"] or ["(no detail recorded)"]
+        print(f"FAILED {record['plan']}: {errors[0]}")
     for violation in report.frozen_violations[:5]:
         print(f"TRANSPARENCY {violation}")
     return 1
@@ -273,6 +294,8 @@ def _cmd_campaign(args) -> int:
         settings=TabuSettings(iterations=args.iterations,
                               neighborhood=args.neighborhood,
                               bus_contention=False),
+        certify=args.certify,
+        certify_max_scenarios=args.certify_max_scenarios,
     )
     engine_config = EngineConfig(
         workers=args.workers,
@@ -321,6 +344,8 @@ def _cmd_dse(args) -> int:
         settings=TabuSettings(iterations=args.iterations,
                               neighborhood=args.neighborhood,
                               bus_contention=False),
+        verify_frontier=args.verify_frontier,
+        verify_max_scenarios=args.verify_max_scenarios,
     )
     engine_config = EngineConfig(
         workers=args.workers,
@@ -348,7 +373,7 @@ _EPILOG = """\
 examples:
   repro synth --preset cruise --k 2 --strategy MXR --tables
   repro tables --preset fig5
-  repro verify --processes 5 --nodes 2 --k 2
+  repro verify --processes 8 --nodes 2 --k 2 --chunks 4 --workers 4
   repro fig7 --profile quick --workers 4
   repro fig8 --profile quick --workers 4
   repro batch --experiment fig7 --profile paper --workers 4 \\
@@ -380,10 +405,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_workload_args(p):
         p.add_argument("--preset",
-                       choices=("fig5", *SIMPLE_PRESETS),
+                       choices=("fig5", "bbw", *SIMPLE_PRESETS),
                        default=None,
                        help="use a built-in workload instead of a "
-                            "synthetic one")
+                            "synthetic one (fig5 and bbw carry "
+                            "transparency requirements)")
         p.add_argument("--processes", type=int, default=12)
         p.add_argument("--nodes", type=int, default=3)
         p.add_argument("--seed", type=int, default=1)
@@ -410,9 +436,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.set_defaults(func=_cmd_tables)
 
     p_verify = sub.add_parser(
-        "verify", help="synthesize and exhaustively fault-inject")
+        "verify",
+        help="synthesize and exhaustively verify: every fault "
+             "scenario simulated, sharded through the batch engine "
+             "with trace-prefix reuse")
     add_workload_args(p_verify)
     add_search_args(p_verify)
+    p_verify.add_argument("--chunks", type=int, default=4,
+                          help="contiguous scenario windows fanned "
+                               "out as engine jobs; each chunk "
+                               "re-runs the synthesis, so pick "
+                               "roughly --workers (the report is "
+                               "byte-identical either way)")
+    p_verify.add_argument("--workers", type=int, default=4,
+                          help="worker processes (<=1 runs serially); "
+                               "serial and parallel reports are "
+                               "byte-identical")
+    p_verify.add_argument("--max-scenarios", type=int,
+                          default=VerifyConfig().max_scenarios,
+                          help="refuse instances beyond this many "
+                               "fault scenarios instead of running "
+                               "forever")
+    p_verify.add_argument("--checkpoint", default=None, metavar="PATH",
+                          help="JSONL checkpoint of completed "
+                               "scenario windows (enables resume)")
+    p_verify.add_argument("--no-resume", action="store_true",
+                          help="ignore an existing checkpoint file")
+    p_verify.add_argument("--out", default=None, metavar="PATH",
+                          help="write the canonical JSON "
+                               "verification report")
     p_verify.set_defaults(func=_cmd_verify)
 
     for name, handler in (("fig7", _cmd_fig7), ("fig8", _cmd_fig8)):
@@ -488,6 +540,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ignore an existing checkpoint file")
     p_camp.add_argument("--out", default=None, metavar="PATH",
                         help="write the canonical JSON campaign report")
+    p_camp.add_argument("--certify", action="store_true",
+                        help="follow the sampled campaign with an "
+                             "exhaustive sharded verification of the "
+                             "same design and fold the certificate "
+                             "into the report (exit code includes it)")
+    p_camp.add_argument("--certify-max-scenarios", type=int,
+                        default=CampaignConfig().certify_max_scenarios,
+                        help="skip the certificate (keeping the "
+                             "sampled report) when the design has "
+                             "more fault scenarios than this")
     p_camp.set_defaults(func=_cmd_campaign)
 
     p_dse = sub.add_parser(
@@ -554,6 +616,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(archive + frontier)")
     p_dse.add_argument("--csv", default=None, metavar="PATH",
                        help="write one CSV row per frontier point")
+    p_dse.add_argument("--verify-frontier", action="store_true",
+                       help="exhaustively verify every frontier "
+                            "design and flag it certified/failed in "
+                            "the table, JSON and CSV")
+    p_dse.add_argument("--verify-max-scenarios", type=int,
+                       default=DseConfig().verify_max_scenarios,
+                       help="skip certifying frontier designs with "
+                            "more fault scenarios than this (flagged "
+                            "as '-' instead)")
     p_dse.set_defaults(func=_cmd_dse)
     return parser
 

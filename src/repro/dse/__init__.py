@@ -35,6 +35,7 @@ from repro.dse.explorer import (
     DseConfig,
     DseReport,
     apply_checkpoint_counts,
+    certify_frontier,
     dse_jobs,
     evaluate_candidate,
     merge_dse_cells,
@@ -64,6 +65,7 @@ __all__ = [
     "SpaceConfig",
     "TransparencySpec",
     "apply_checkpoint_counts",
+    "certify_frontier",
     "dominates",
     "dse_jobs",
     "enumerate_candidates",

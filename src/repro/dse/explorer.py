@@ -41,6 +41,7 @@ from repro.dse.archive import DesignPoint, ParetoArchive
 from repro.dse.space import (
     Candidate,
     SpaceConfig,
+    TransparencySpec,
     enumerate_candidates,
 )
 from repro.engine.cache import Evaluator, EvaluatorPool
@@ -98,10 +99,20 @@ class DseConfig:
     settings: TabuSettings = field(
         default_factory=lambda: DEFAULT_SETTINGS)
     max_contexts: int = 200_000
+    #: Certify the merged frontier: every frontier design is
+    #: exhaustively verified (:mod:`repro.verify`) and flagged
+    #: ``certified`` true/false in JSON/CSV — or ``None`` when its
+    #: scenario count exceeds ``verify_max_scenarios``.
+    verify_frontier: bool = False
+    verify_max_scenarios: int = 20_000
 
     def __post_init__(self) -> None:
         if self.chunks < 1:
             raise ValueError(f"chunks must be >= 1, got {self.chunks}")
+        if self.verify_max_scenarios < 1:
+            raise ValueError(
+                f"verify_max_scenarios must be >= 1, got "
+                f"{self.verify_max_scenarios}")
         if len(self.epsilons) != len(OBJECTIVE_NAMES):
             raise ValueError(
                 f"need {len(OBJECTIVE_NAMES)} epsilons "
@@ -371,6 +382,7 @@ class DseReport:
                 "epsilons": list(self.config.epsilons),
                 "chunks": self.config.chunks,
                 "seed": self.config.seed,
+                "verify_frontier": self.config.verify_frontier,
             },
             "instance": {
                 "processes": self.processes,
@@ -403,7 +415,8 @@ class DseReport:
                 ["index", "id", "group", *OBJECTIVE_NAMES,
                  "transparency_degree", "checkpoint_bytes",
                  "replication_bytes", "table_memory_bytes",
-                 "meets_deadline"])
+                 "meets_deadline", "certified",
+                 "verified_scenarios"])
             for point in self.frontier:
                 extras = point.extras
                 writer.writerow([
@@ -416,6 +429,8 @@ class DseReport:
                     extras.get("replication_bytes"),
                     extras.get("table_memory_bytes"),
                     extras.get("meets_deadline"),
+                    extras.get("certified"),
+                    extras.get("verified_scenarios"),
                 ])
 
     def frontier_table(self) -> str:
@@ -429,9 +444,10 @@ class DseReport:
         """
         grid = TextGrid(["group", "design", "worst case",
                          "transparency %", "FT mem B", "table mem B",
-                         "deadline"])
+                         "deadline", "cert"])
         for point in self.frontier:
             extras = point.extras
+            certified = extras.get("certified")
             grid.add_row([
                 point.group,
                 point.candidate["id"],
@@ -440,6 +456,8 @@ class DseReport:
                 f"{int(point.objectives[2])}",
                 f"{extras.get('table_memory_bytes', 0)}",
                 "ok" if extras.get("meets_deadline", True) else "MISS",
+                ("-" if certified is None
+                 else "yes" if certified else "FAIL"),
             ])
         return grid.render()
 
@@ -472,6 +490,22 @@ class DseReport:
             lines.append(
                 f"WARNING: {misses} frontier design(s) miss the "
                 f"deadline (flagged in the table)")
+        if self.config.verify_frontier:
+            certified = sum(
+                1 for p in frontier
+                if p.extras.get("certified") is True)
+            failed = sum(1 for p in frontier
+                         if p.extras.get("certified") is False)
+            skipped = sum(1 for p in frontier
+                          if p.extras.get("certified") is None)
+            lines.append(
+                f"frontier certification: {certified} certified, "
+                f"{failed} failed, {skipped} beyond the scenario "
+                f"budget")
+            if failed:
+                lines.append(
+                    f"WARNING: {failed} frontier design(s) FAILED "
+                    f"exhaustive verification")
         return lines
 
 
@@ -519,12 +553,79 @@ def merge_dse_cells(config: DseConfig, cells: list[dict],
     )
 
 
+def certify_frontier(config: DseConfig, report: DseReport) -> None:
+    """Exhaustively verify every frontier design (``--verify-frontier``).
+
+    Re-derives each frontier candidate's design exactly as the chunk
+    runners did (same tabu seed derivation, same checkpoint-count
+    transform, same transparency vector), sweeps **all** its fault
+    scenarios through the prefix-reuse verifier and annotates the
+    point in place:
+
+    * ``extras["certified"]`` — True/False, or None when the
+      scenario count exceeds ``config.verify_max_scenarios`` (the
+      design stays on the frontier, explicitly un-certified);
+    * ``extras["verified_scenarios"]`` — scenarios simulated.
+
+    Frontier points are shared with the archive, so the flags appear
+    in both the ``frontier`` and ``archive`` report sections.
+    """
+    from repro.ftcpg.scenarios import count_fault_plans
+    from repro.verify.core import ScenarioSweep
+    from repro.verify.stats import VerificationStats
+
+    app, arch = load_campaign_workload(config.workload)
+    settings = replace(config.settings, seed=derive_seed(
+        config.seed, "dse-tabu", config.settings.seed))
+    pool = EvaluatorPool()
+    designs: dict[tuple[str, int], StrategyResult] = {}
+    for point in report.frontier:
+        candidate = point.candidate
+        strategy = str(candidate["strategy"])
+        k = int(candidate["k"])
+        key = (strategy, k)
+        if key not in designs:
+            designs[key] = synthesize(
+                app, arch, FaultModel(k=k), strategy,
+                settings=settings, cache=pool)
+        design = designs[key]
+        policies, mapping = apply_checkpoint_counts(
+            app, design.policies, design.mapping,
+            int(candidate["checkpoints"]))
+        transparency = TransparencySpec.from_jsonable(
+            candidate["transparency"]).build()
+        total = count_fault_plans(app, policies, k)
+        if total > config.verify_max_scenarios:
+            point.extras["certified"] = None
+            point.extras["verified_scenarios"] = 0
+            continue
+        fault_model = FaultModel(k=k)
+        evaluator = pool.evaluator_for(app, arch, fault_model)
+        schedule = evaluator.exact_schedule(
+            policies, mapping, transparency,
+            max_contexts=config.max_contexts)
+        sweep = ScenarioSweep(app, arch, mapping, policies,
+                              fault_model, schedule)
+        stats = VerificationStats()
+        for outcome in sweep.results():
+            stats.observe(outcome, transparency)
+        point.extras["certified"] = stats.ok
+        point.extras["verified_scenarios"] = stats.scenarios
+
+
 def run_dse(config: DseConfig, *,
             engine_config: EngineConfig | None = None,
             progress: ProgressCallback | None = None) -> DseReport:
-    """Run (or resume) one exploration through the batch engine."""
+    """Run (or resume) one exploration through the batch engine.
+
+    With ``config.verify_frontier`` the merged frontier additionally
+    passes through :func:`certify_frontier`.
+    """
     engine = BatchEngine(engine_config or EngineConfig())
     batch = engine.run(dse_jobs(config), progress=progress)
-    return merge_dse_cells(config, batch.results(),
-                           executed=batch.executed,
-                           resumed=batch.resumed)
+    report = merge_dse_cells(config, batch.results(),
+                             executed=batch.executed,
+                             resumed=batch.resumed)
+    if config.verify_frontier:
+        certify_frontier(config, report)
+    return report

@@ -28,11 +28,15 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from collections.abc import Mapping, Sequence
 
-from repro.campaigns.runner import run_campaign_chunk
+from repro.campaigns.runner import (
+    build_campaign_design,
+    run_campaign_chunk,
+)
 from repro.campaigns.stats import CampaignStats
 from repro.engine.grid import grid_jobs
 from repro.engine.jobs import BatchJob
 from repro.engine.runner import BatchEngine, EngineConfig, JobOutcome
+from repro.ftcpg.scenarios import count_fault_plans
 from repro.experiments.reporting import (
     group_cells_by_size,
     mean,
@@ -62,6 +66,11 @@ class CampaignSweepConfig:
         default_factory=lambda: TabuSettings(
             iterations=8, neighborhood=8, bus_contention=False))
     max_contexts: int = 200_000
+    #: Also certify each cell's design exhaustively (the sweep sizes
+    #: are small enough that the prefix-reuse verifier covers the
+    #: whole scenario set); cells beyond the ceiling report ``None``.
+    certify: bool = True
+    certify_max_scenarios: int = 50_000
 
     @classmethod
     def quick(cls) -> "CampaignSweepConfig":
@@ -86,17 +95,22 @@ class CampaignRow:
     sim_coverage: float
     exceeded: int
     violations: int
+    #: Cells whose design passed exhaustive verification / cells
+    #: certification was attempted on (0/0 with ``certify`` off).
+    certified: int = 0
+    certifiable: int = 0
 
     def as_cells(self) -> list:
         return [self.processes, self.cells, self.plans,
                 f"{self.est_dev:.1f}", f"{self.cert_dev:.1f}",
                 f"{self.sim_coverage:.1f}", self.exceeded,
-                self.violations]
+                self.violations,
+                f"{self.certified}/{self.certifiable}"]
 
 
 #: Table header matching :meth:`CampaignRow.as_cells`.
 ROW_HEADER = ["processes", "cells", "plans", "est dev %", "cert dev %",
-              "sim/exact %", "exceed", "violations"]
+              "sim/exact %", "exceed", "violations", "certified"]
 
 
 def campaign_sweep_jobs(config: CampaignSweepConfig | None = None,
@@ -116,15 +130,25 @@ def campaign_sweep_jobs(config: CampaignSweepConfig | None = None,
             "sweep_seed": config.sweep_seed,
             "settings": asdict(config.settings),
             "max_contexts": config.max_contexts,
+            "certify": config.certify,
+            "certify_max_scenarios": config.certify_max_scenarios,
         },
     )
 
 
 def run_campaign_sweep_cell(params: Mapping[str, object]) -> dict:
-    """One sweep cell: a single-chunk campaign on one workload."""
+    """One sweep cell: a single-chunk campaign on one workload.
+
+    With ``certify`` the cell additionally sweeps **all** fault
+    scenarios of the *same* design context the campaign sampled (one
+    shared :func:`~repro.campaigns.runner.build_campaign_design` —
+    synthesis and exact tables are built once, not per phase) and
+    reports ``verify_ok`` / ``verified_scenarios`` — ``None`` / 0
+    when the scenario count exceeds ``certify_max_scenarios``.
+    """
     size = int(params["size"])
     seed = int(params["seed"])
-    cell = run_campaign_chunk({
+    chunk_params = {
         "workload": {"processes": size, "nodes": int(params["nodes"]),
                      "seed": seed},
         "k": params["k"],
@@ -137,9 +161,29 @@ def run_campaign_sweep_cell(params: Mapping[str, object]) -> dict:
                             "campaign-sweep", size, seed),
         "settings": params["settings"],
         "max_contexts": params["max_contexts"],
-    })
+    }
+    design = build_campaign_design(chunk_params)
+    cell = run_campaign_chunk(chunk_params, design=design)
     cell["size"] = size
     cell["seed"] = seed
+    if bool(params.get("certify", False)):
+        from repro.verify.core import ScenarioSweep
+        from repro.verify.stats import VerificationStats
+        total = count_fault_plans(design.app, design.result.policies,
+                                  design.fault_model.k)
+        if total > int(params["certify_max_scenarios"]):
+            cell["verify_ok"] = None
+            cell["verified_scenarios"] = 0
+        else:
+            sweep = ScenarioSweep(
+                design.app, design.arch, design.result.mapping,
+                design.result.policies, design.fault_model,
+                design.schedule)
+            stats = VerificationStats()
+            for outcome in sweep.results():
+                stats.observe(outcome)
+            cell["verify_ok"] = stats.ok
+            cell["verified_scenarios"] = stats.scenarios
     return cell
 
 
@@ -165,6 +209,10 @@ def rows_from_cells(cells: Sequence[Mapping], *,
                 for c, s in zip(group, stats)]),
             exceeded=sum(s.exceeded for s in stats),
             violations=sum(s.violations for s in stats),
+            certified=sum(1 for c in group
+                          if c.get("verify_ok") is True),
+            certifiable=sum(1 for c in group
+                            if c.get("verify_ok") is not None),
         ))
     return rows
 

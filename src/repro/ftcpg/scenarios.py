@@ -97,6 +97,79 @@ def _copy_distributions(segments: int, max_total: int,
     return distributions
 
 
+@dataclass(frozen=True)
+class PlanEnumeration:
+    """The shared tables behind the fault-plan enumeration order.
+
+    ``copies[d]`` is the d-th copy in enumeration order (process
+    declaration order, then copy index), ``copy_plans[d]`` its
+    recovery plan, and ``options[d]`` its admissible per-segment fault
+    distributions, ordered by total then lexicographically. Both
+    :func:`iter_fault_plans` and the scenario-sweep verifier
+    (:mod:`repro.verify.core`) walk exactly this tree — sharing the
+    tables is what makes the sweep's emission order *structurally*
+    identical to the iterator's, rather than identical by parallel
+    reimplementation.
+    """
+
+    k: int
+    copies: tuple[CopyKey, ...]
+    copy_plans: tuple
+    options: tuple[tuple[tuple[int, ...], ...], ...]
+
+    def subtree_leaves(self) -> list[list[int]]:
+        """DP table: ``leaves[d][b]`` = plans completable from copy
+        ``d`` with ``b`` faults of budget left.
+
+        ``leaves[0][k]`` is the total plan count; the verifier uses
+        the full table to *skip* whole subtrees whose leaf range falls
+        outside a shard's contiguous scenario window, so a shard pays
+        only for the scenarios it simulates (plus the shared spine).
+        """
+        depth = len(self.copies)
+        table = [[0] * (self.k + 1) for _ in range(depth + 1)]
+        table[depth] = [1] * (self.k + 1)
+        for d in range(depth - 1, -1, -1):
+            per_total: dict[int, int] = {}
+            for counts in self.options[d]:
+                total = sum(counts)
+                per_total[total] = per_total.get(total, 0) + 1
+            row = table[d]
+            below = table[d + 1]
+            for budget in range(self.k + 1):
+                row[budget] = sum(
+                    count * below[budget - total]
+                    for total, count in per_total.items()
+                    if total <= budget)
+        return table
+
+    @property
+    def total(self) -> int:
+        """Number of plans the enumeration yields."""
+        return self.subtree_leaves()[0][self.k]
+
+
+def plan_enumeration(app: Application, policies: PolicyAssignment,
+                     k: int) -> PlanEnumeration:
+    """Build the enumeration tables for one instance."""
+    if k < 0:
+        raise PolicyError(f"k must be >= 0, got {k}")
+    copies: list[CopyKey] = []
+    copy_plans: list = []
+    options: list[tuple[tuple[int, ...], ...]] = []
+    for process in app.process_names:
+        policy = policies.of(process)
+        for copy_index, plan in enumerate(policy.copies):
+            copies.append((process, copy_index))
+            copy_plans.append(plan)
+            cap = min(plan.recoveries + 1, k)
+            options.append(tuple(_copy_distributions(plan.segments,
+                                                     cap)))
+    return PlanEnumeration(k=k, copies=tuple(copies),
+                           copy_plans=tuple(copy_plans),
+                           options=tuple(options))
+
+
 def iter_fault_plans(app: Application, policies: PolicyAssignment,
                      k: int, *, include_fault_free: bool = True,
                      ) -> Iterator[FaultPlan]:
@@ -106,16 +179,9 @@ def iter_fault_plans(app: Application, policies: PolicyAssignment,
     not globally sorted by total; the fault-free plan comes first when
     ``include_fault_free`` is set.
     """
-    if k < 0:
-        raise PolicyError(f"k must be >= 0, got {k}")
-    copies: list[CopyKey] = []
-    options: list[list[tuple[int, ...]]] = []
-    for process in app.process_names:
-        policy = policies.of(process)
-        for copy_index, plan in enumerate(policy.copies):
-            copies.append((process, copy_index))
-            cap = min(plan.recoveries + 1, k)
-            options.append(_copy_distributions(plan.segments, cap))
+    enumeration = plan_enumeration(app, policies, k)
+    copies = enumeration.copies
+    options = enumeration.options
 
     # Budget-pruned recursion rather than product-then-filter: the
     # naive cartesian product walks |options|^copies combinations even
@@ -150,28 +216,10 @@ def count_fault_plans(app: Application, policies: PolicyAssignment,
                       k: int) -> int:
     """Number of plans :func:`iter_fault_plans` would yield.
 
-    Counted by dynamic programming over copies (no enumeration), so it
-    is safe to call on large instances before deciding whether
-    exhaustive verification is feasible.
+    Counted by dynamic programming over copies (no plan
+    materialization), so it is safe to call on large instances before
+    deciding whether exhaustive verification is feasible. Exactly
+    ``plan_enumeration(...).total`` — the same DP the scenario-sweep
+    verifier uses to skip out-of-shard subtrees.
     """
-    if k < 0:
-        raise PolicyError(f"k must be >= 0, got {k}")
-    # ways[b] = number of combined distributions using exactly b faults.
-    ways = [0] * (k + 1)
-    ways[0] = 1
-    for process in app.process_names:
-        policy = policies.of(process)
-        for plan in policy.copies:
-            cap = min(plan.recoveries + 1, k)
-            per_total = [0] * (cap + 1)
-            for distribution in _copy_distributions(plan.segments, cap):
-                per_total[sum(distribution)] += 1
-            updated = [0] * (k + 1)
-            for used, count in enumerate(ways):
-                if count == 0:
-                    continue
-                for extra, extra_count in enumerate(per_total):
-                    if used + extra <= k:
-                        updated[used + extra] += count * extra_count
-            ways = updated
-    return sum(ways)
+    return plan_enumeration(app, policies, k).total

@@ -28,6 +28,7 @@ exhaustive driver in :mod:`repro.runtime.verify` turns them into
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from collections.abc import Mapping
 
 from repro.ftcpg.conditions import AttemptId
 from repro.ftcpg.scenarios import FaultPlan
@@ -37,7 +38,7 @@ from repro.model.fault_model import FaultModel
 from repro.policies.types import PolicyAssignment
 from repro.schedule.mapping import CopyMapping
 from repro.schedule.table import EntryKind, ScheduleSet, TableEntry
-from repro.utils.mathutils import TIME_EPS, fgt, flt
+from repro.utils.mathutils import eps_cluster_ids, fgt, flt
 
 CopyKey = tuple[str, int]
 
@@ -51,6 +52,41 @@ class _GroundTruth:
     copy_segments_done: dict[CopyKey, int]
 
 
+def _copy_ground_truth(process_name: str, copy_index: int, copy_plan,
+                       counts: tuple[int, ...],
+                       ) -> tuple[dict[AttemptId, bool], bool, int]:
+    """Ground truth of one copy under a per-segment fault distribution.
+
+    Returns ``(executed, success, segments_done)``. Shared between the
+    whole-plan derivation below and the scenario-sweep verifier
+    (:mod:`repro.verify.core`), which rebuilds truth copy-by-copy
+    along the fault-plan enumeration tree — a copy's truth depends on
+    nothing but its own distribution, which is what makes that fork
+    legal.
+    """
+    executed: dict[AttemptId, bool] = {}
+    local_faults = 0
+    alive = True
+    done = 0
+    for segment in range(1, copy_plan.segments + 1):
+        if not alive:
+            break
+        faults_here = counts[segment - 1] if segment <= len(counts) else 0
+        for attempt in range(1, faults_here + 1):
+            executed[AttemptId(process_name, copy_index, segment,
+                               attempt)] = True
+            local_faults += 1
+            if local_faults > copy_plan.recoveries:
+                alive = False
+                break
+        if not alive:
+            break
+        executed[AttemptId(process_name, copy_index, segment,
+                           faults_here + 1)] = False
+        done = segment
+    return executed, alive and done == copy_plan.segments, done
+
+
 def _derive_ground_truth(app: Application, policies: PolicyAssignment,
                          plan: FaultPlan) -> _GroundTruth:
     executed: dict[AttemptId, bool] = {}
@@ -59,30 +95,24 @@ def _derive_ground_truth(app: Application, policies: PolicyAssignment,
     for process_name, policy in policies.items():
         for copy_index, copy_plan in enumerate(policy.copies):
             key = (process_name, copy_index)
-            local_faults = 0
-            alive = True
-            done = 0
-            for segment in range(1, copy_plan.segments + 1):
-                if not alive:
-                    break
-                faults_here = plan.faults_in(process_name, copy_index,
-                                             segment)
-                for attempt in range(1, faults_here + 1):
-                    executed[AttemptId(process_name, copy_index, segment,
-                                       attempt)] = True
-                    local_faults += 1
-                    if local_faults > copy_plan.recoveries:
-                        alive = False
-                        break
-                if not alive:
-                    break
-                executed[AttemptId(process_name, copy_index, segment,
-                                   faults_here + 1)] = False
-                done = segment
-            copy_success[key] = alive and done == copy_plan.segments
+            counts = plan.faults.get(key) or ()
+            copy_executed, success, done = _copy_ground_truth(
+                process_name, copy_index, copy_plan, tuple(counts))
+            executed.update(copy_executed)
+            copy_success[key] = success
             segments_done[key] = done
     return _GroundTruth(executed=executed, copy_success=copy_success,
                         copy_segments_done=segments_done)
+
+
+def _guard_fires(entry: TableEntry,
+                 executed: Mapping[AttemptId, bool]) -> bool:
+    """Whether an entry's guard is satisfied by the executed attempts."""
+    for literal in entry.guard.literals:
+        actual = executed.get(literal.attempt)
+        if actual is None or actual != literal.faulty:
+            return False
+    return True
 
 
 @dataclass
@@ -118,22 +148,38 @@ def simulate(
     plan: FaultPlan,
 ) -> SimulationResult:
     """Execute the schedule tables under one fault scenario."""
+    truth = _derive_ground_truth(app, policies, plan)
+    fired = [e for e in schedule.entries
+             if _guard_fires(e, truth.executed)]
+    return _finish_simulation(app, arch, mapping, policies, fault_model,
+                              plan, truth, fired)
+
+
+def _finish_simulation(
+    app: Application,
+    arch: Architecture,
+    mapping: CopyMapping,
+    policies: PolicyAssignment,
+    fault_model: FaultModel,
+    plan: FaultPlan,
+    truth: _GroundTruth,
+    fired: list[TableEntry],
+) -> SimulationResult:
+    """Replay the already guard-filtered entries of one scenario.
+
+    ``fired`` must hold exactly the entries whose guards the plan's
+    ground truth satisfies, **in schedule-entry order** — the scenario
+    sweep of :mod:`repro.verify.core` derives that list incrementally
+    along shared fault-plan prefixes and re-enters here, so everything
+    from the replay ordering on is one shared implementation and the
+    two paths are bit-identical by construction.
+    """
     errors: list[str] = []
     if plan.total_faults > fault_model.k:
         errors.append(
             f"plan injects {plan.total_faults} faults, budget is "
             f"{fault_model.k}")
-    truth = _derive_ground_truth(app, policies, plan)
-
-    def guard_fires(entry: TableEntry) -> bool:
-        for literal in entry.guard.literals:
-            actual = truth.executed.get(literal.attempt)
-            if actual is None or actual != literal.faulty:
-                return False
-        return True
-
-    fired = _replay_order([e for e in schedule.entries
-                           if guard_fires(e)])
+    fired = _replay_order(fired)
 
     # Knowledge of condition values per node: produced locally at the
     # detection point, remotely at the broadcast arrival.
@@ -241,21 +287,15 @@ def _replay_order(entries: list[TableEntry]) -> list[TableEntry]:
     overlap error on one platform but not another. Starts are grouped
     by clustering *runs* closer than ``TIME_EPS`` (not by rounding to
     a fixed grid, which would still split a near-tie straddling a grid
-    boundary); within a group, bus effects come before attempts.
+    boundary); within a group, bus effects come before attempts. The
+    anchored-run clustering itself lives in
+    :func:`repro.utils.mathutils.eps_cluster_ids`, shared with the
+    verifier's frozen-start bucketing.
     """
     ordered = sorted(entries, key=lambda e: (e.start, _kind_rank(e)))
-    group = 0
-    anchor: float | None = None
-    keyed = []
-    for entry in ordered:
-        # Anchored, not chained: a group holds entries within TIME_EPS
-        # of its *first* member, so no group ever spans more than eps —
-        # transitive chaining could merge a run of N eps-spaced entries
-        # and reorder genuinely-later messages before earlier attempts.
-        if anchor is None or entry.start - anchor > TIME_EPS:
-            group += 1
-            anchor = entry.start
-        keyed.append((group, _kind_rank(entry), entry.start, entry))
+    groups = eps_cluster_ids([entry.start for entry in ordered])
+    keyed = [(group, _kind_rank(entry), entry.start, entry)
+             for group, entry in zip(groups, ordered)]
     keyed.sort(key=lambda item: item[:3])
     return [item[3] for item in keyed]
 

@@ -1,15 +1,22 @@
-"""Exhaustive tolerance verification.
+"""Exhaustive tolerance verification (thin serial shim).
 
-The synthesized schedule tables claim to tolerate *any* ``k`` transient
-faults. This module proves it for a concrete instance by simulating
-**every** fault scenario within the budget (enumerated by
-:func:`repro.ftcpg.scenarios.iter_fault_plans`) and additionally
-checking the transparency contract: a frozen process/message must start
-at the same time in every scenario in which it fires.
+The verification engine proper lives in :mod:`repro.verify`: a
+streaming, exactly-mergeable :class:`~repro.verify.stats.
+VerificationStats`, a scenario sweep with trace-prefix reuse
+(:class:`~repro.verify.core.ScenarioSweep`), and a sharded runner
+fanning scenario windows through the batch engine
+(:func:`~repro.verify.runner.run_verification`). This module keeps
+the original small-instance API — synchronous, single-process, a
+:class:`VerificationReport` with the full failing
+:class:`SimulationResult` objects — on top of that core; the results
+are bit-identical to the legacy serial loop (and to
+``REPRO_VERIFY_INCREMENTAL=0``), just no longer re-simulated from
+``t = 0`` per scenario.
 
 Exhaustive enumeration is exponential; callers should consult
 :func:`repro.ftcpg.scenarios.count_fault_plans` first (the
-``max_scenarios`` guard below raises instead of running forever).
+``max_scenarios`` guard below raises instead of running forever; the
+sharded runner raises its own, higher ceiling).
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ToleranceViolationError
-from repro.ftcpg.scenarios import count_fault_plans, iter_fault_plans
+from repro.ftcpg.scenarios import count_fault_plans
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.fault_model import FaultModel
@@ -25,8 +32,7 @@ from repro.model.transparency import Transparency
 from repro.policies.types import PolicyAssignment
 from repro.runtime.simulator import SimulationResult, simulate
 from repro.schedule.mapping import CopyMapping
-from repro.schedule.table import EntryKind, ScheduleSet
-from repro.utils.mathutils import TIME_EPS
+from repro.schedule.table import ScheduleSet
 
 
 @dataclass
@@ -69,6 +75,9 @@ def verify_tolerance(
     max_scenarios: int = 100_000,
 ) -> VerificationReport:
     """Simulate every fault scenario with at most ``k`` faults."""
+    from repro.verify.core import ScenarioSweep
+    from repro.verify.stats import VerificationStats
+
     total = count_fault_plans(app, policies, fault_model.k)
     if total > max_scenarios:
         raise ToleranceViolationError(
@@ -76,60 +85,21 @@ def verify_tolerance(
             f"{max_scenarios}; verify a smaller instance")
     transparency = transparency or Transparency.none()
 
+    sweep = ScenarioSweep(app, arch, mapping, policies, fault_model,
+                          schedule)
+    stats = VerificationStats()
     failures: list[SimulationResult] = []
-    worst = 0.0
-    fault_free = 0.0
-    frozen_process_starts: dict[tuple[str, int], set[float]] = {}
-    frozen_message_starts: dict[tuple[str, int], set[float]] = {}
-    scenarios = 0
-    for plan in iter_fault_plans(app, policies, fault_model.k):
-        scenarios += 1
-        result = simulate(app, arch, mapping, policies, fault_model,
-                          schedule, plan)
+    for result in sweep.results():
+        stats.observe(result, transparency)
         if not result.ok:
             failures.append(result)
-            continue
-        worst = max(worst, result.makespan)
-        if plan.is_fault_free():
-            fault_free = result.makespan
-        for entry in result.fired_entries:
-            if entry.kind is EntryKind.ATTEMPT \
-                    and entry.attempt.segment == 1 \
-                    and entry.attempt.attempt == 1 \
-                    and transparency.is_frozen_process(
-                        entry.attempt.process):
-                key = (entry.attempt.process, entry.attempt.copy)
-                frozen_process_starts.setdefault(key, set()).add(
-                    round(entry.start, 6))
-            if entry.kind is EntryKind.MESSAGE \
-                    and transparency.is_frozen_message(entry.message):
-                key = (entry.message, entry.producer_copy or 0)
-                frozen_message_starts.setdefault(key, set()).add(
-                    round(entry.start, 6))
-
-    frozen_violations = []
-    for (process, copy), starts in sorted(frozen_process_starts.items()):
-        if _spread(starts) > TIME_EPS:
-            frozen_violations.append(
-                f"frozen process {process!r} (copy {copy}) started at "
-                f"{sorted(starts)} across scenarios")
-    for (message, copy), starts in sorted(frozen_message_starts.items()):
-        if _spread(starts) > TIME_EPS:
-            frozen_violations.append(
-                f"frozen message {message!r} (copy {copy}) transmitted at "
-                f"{sorted(starts)} across scenarios")
-
     return VerificationReport(
-        scenarios=scenarios,
-        worst_makespan=worst,
-        fault_free_makespan=fault_free,
+        scenarios=stats.scenarios,
+        worst_makespan=stats.worst_makespan,
+        fault_free_makespan=stats.fault_free_makespan or 0.0,
         failures=failures,
-        frozen_violations=frozen_violations,
+        frozen_violations=stats.frozen_violations(),
     )
-
-
-def _spread(values: set[float]) -> float:
-    return max(values) - min(values) if values else 0.0
 
 
 def verify_tolerance_sampled(
@@ -150,7 +120,8 @@ def verify_tolerance_sampled(
 
     Simulates the fault-free scenario plus ``samples`` random fault
     plans within the budget. A passing report is *evidence*, not a
-    proof — use :func:`verify_tolerance` whenever feasible.
+    proof — use :func:`verify_tolerance` (or the sharded
+    :func:`repro.verify.runner.run_verification`) whenever feasible.
     """
     from repro.runtime.faults import sample_fault_plans
 

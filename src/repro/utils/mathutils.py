@@ -11,7 +11,7 @@ milliseconds, the tolerance is a nanosecond).
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 #: Absolute tolerance for schedule-time comparisons (1e-6 ms = 1 ns).
 TIME_EPS = 1e-6
@@ -40,6 +40,55 @@ def flt(a: float, b: float, eps: float = TIME_EPS) -> bool:
 def fgt(a: float, b: float, eps: float = TIME_EPS) -> bool:
     """Return True if ``a > b`` beyond tolerance."""
     return a > b + eps
+
+
+def eps_cluster_ids(values: Sequence[float],
+                    eps: float = TIME_EPS) -> list[int]:
+    """Anchored tolerance clustering of *nondecreasing* values.
+
+    Returns one 0-based group id per value. A group holds the run of
+    values within ``eps`` of its **first** member (anchored, not
+    chained): transitive chaining could merge a run of N eps-spaced
+    values into one group spanning ``N * eps``, while anchoring
+    guarantees no group is wider than ``eps``. This is the single
+    clustering rule shared by the simulator's replay ordering and the
+    verifier's frozen-start bucketing, so "same time within tolerance"
+    means the same thing in both places.
+
+    >>> eps_cluster_ids([0.0, 0.5e-6, 2.0, 2.0 + 2e-6])
+    [0, 0, 1, 2]
+    """
+    ids: list[int] = []
+    group = -1
+    anchor: float | None = None
+    for value in values:
+        if anchor is None or value - anchor > eps:
+            group += 1
+            anchor = value
+        ids.append(group)
+    return ids
+
+
+def eps_representatives(values: Iterable[float],
+                        eps: float = TIME_EPS) -> list[float]:
+    """One representative (the smallest member) per anchored cluster.
+
+    Values are sorted first; see :func:`eps_cluster_ids` for the
+    clustering rule. Used to render sets of observed times without
+    listing float-jitter duplicates.
+
+    >>> eps_representatives([2.0, 0.0, 2.0 + 0.5e-6])
+    [0.0, 2.0]
+    """
+    ordered = sorted(values)
+    ids = eps_cluster_ids(ordered, eps)
+    reps: list[float] = []
+    last = -1
+    for value, group in zip(ordered, ids):
+        if group != last:
+            reps.append(value)
+            last = group
+    return reps
 
 
 def ceil_div(numerator: int, denominator: int) -> int:

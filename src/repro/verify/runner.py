@@ -1,0 +1,391 @@
+"""Sharded verification through the batch engine (``repro verify``).
+
+A *verification* takes one workload, synthesizes a fault-tolerant
+design for it (exactly the derivation :func:`repro.campaigns.runner.
+synthesize_campaign_design` gives a campaign with the same seed),
+builds the exact conditional schedule tables, and then **proves** the
+tolerance claim: every fault scenario within the budget ``k`` is
+simulated, every run-time invariant checked, and the transparency
+contract audited — the end-to-end certificate the paper's §5.2
+schedule tables promise.
+
+Execution model — the same discipline as :mod:`repro.campaigns`: the
+scenario order is split into ``chunks`` **contiguous** windows
+(:func:`repro.verify.core.chunk_bounds`; contiguous, not strided,
+because the sweep's prefix-reuse fork feeds on scenario adjacency).
+Each chunk is one pure :class:`~repro.engine.jobs.BatchJob` through
+the :class:`~repro.engine.runner.BatchEngine` — process-pool
+parallelism, resumable JSONL checkpoints, deterministic fold order.
+Every chunk re-derives the same design from the seed, sweeps its
+window, and returns streaming
+:class:`~repro.verify.stats.VerificationStats`; the parent folds
+chunk stats in job-submission order, which makes serial and parallel
+verification reports byte-identical — and, because the sweep is
+bit-identical to one-shot simulation, identical to a run with
+``REPRO_VERIFY_INCREMENTAL=0`` as well.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from collections.abc import Mapping
+
+from repro.campaigns.runner import (
+    load_campaign_workload,
+    synthesize_campaign_design,
+)
+from repro.campaigns.stats import estimate_bound
+from repro.engine.grid import grid_jobs
+from repro.engine.jobs import BatchJob
+from repro.engine.runner import (
+    BatchEngine,
+    EngineConfig,
+    ProgressCallback,
+)
+from repro.errors import ToleranceViolationError
+from repro.eval.core import EvaluatorPool
+from repro.ftcpg.scenarios import count_fault_plans
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+from repro.model.fault_model import FaultModel
+from repro.model.transparency import Transparency
+from repro.synthesis.tabu import TabuSettings
+from repro.verify.core import ScenarioSweep, chunk_bounds
+from repro.verify.stats import VerificationStats
+from repro.workloads.presets import brake_by_wire, fig5_example
+
+#: Import-path runner reference resolved by engine workers.
+CHUNK_RUNNER = "repro.verify.runner:run_verify_chunk"
+
+#: Default ceiling on exhaustively simulated scenarios. Far above the
+#: legacy serial verifier's 100k — sharding and prefix reuse are what
+#: make Fig. 7/8-scale scenario sets tractable — but still a guard
+#: against accidentally exponential instances.
+DEFAULT_MAX_SCENARIOS = 2_000_000
+
+
+@dataclass(frozen=True)
+class VerifyConfig:
+    """One verification: a workload, a design flow, and a shard grid.
+
+    ``workload`` is the campaigns' declarative spec plus the two
+    transparency-carrying presets: ``{"preset": "fig5"}`` /
+    ``{"preset": "bbw"}`` (whose preset transparency is then enforced
+    as part of the certificate), any
+    :data:`~repro.workloads.presets.SIMPLE_PRESETS` name, or generator
+    knobs ``{"processes": .., "nodes": .., "seed": ..}``.
+    """
+
+    workload: Mapping[str, object] = field(
+        default_factory=lambda: {"processes": 5, "nodes": 2, "seed": 1})
+    k: int = 2
+    strategy: str = "MXR"
+    chunks: int = 4
+    seed: int = 0
+    settings: TabuSettings = field(
+        default_factory=lambda: TabuSettings(
+            iterations=8, neighborhood=8, bus_contention=False))
+    max_contexts: int = 200_000
+    max_scenarios: int = DEFAULT_MAX_SCENARIOS
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be >= 0, got {self.k}")
+        if self.chunks < 1:
+            raise ValueError(f"chunks must be >= 1, got {self.chunks}")
+        if self.max_scenarios < 1:
+            raise ValueError(
+                f"max_scenarios must be >= 1, got {self.max_scenarios}")
+
+    @property
+    def label(self) -> str:
+        """Stable id component naming the workload."""
+        preset = self.workload.get("preset")
+        if preset is not None:
+            return str(preset)
+        # Fallbacks mirror load_campaign_workload's generator
+        # defaults, so the label names the instance actually verified.
+        return (f"gen{self.workload.get('processes', 8)}p"
+                f"{self.workload.get('nodes', 2)}n"
+                f"s{self.workload.get('seed', 1)}")
+
+
+def load_verify_workload(spec: Mapping[str, object],
+                         ) -> tuple[Application, Architecture,
+                                    Transparency | None]:
+    """Rebuild a verification workload from its declarative spec.
+
+    Superset of :func:`~repro.campaigns.runner.load_campaign_workload`:
+    the ``fig5`` and ``bbw`` presets additionally carry the paper's /
+    case study's transparency requirements, which the verifier then
+    audits scenario by scenario.
+    """
+    preset = spec.get("preset")
+    if preset == "fig5":
+        app, arch, __, transparency, ___ = fig5_example()
+        return app, arch, transparency
+    if preset == "bbw":
+        app, arch, transparency = brake_by_wire()
+        return app, arch, transparency
+    app, arch = load_campaign_workload(spec)
+    return app, arch, None
+
+
+def verify_jobs(config: VerifyConfig) -> list[BatchJob]:
+    """One engine job per scenario window."""
+    return grid_jobs(
+        CHUNK_RUNNER,
+        {"chunk": tuple(range(config.chunks))},
+        prefix=f"verify/{config.label}/k={config.k}/{config.strategy}",
+        common={
+            "workload": dict(config.workload),
+            "k": config.k,
+            "strategy": config.strategy,
+            "chunks": config.chunks,
+            "seed": config.seed,
+            "settings": asdict(config.settings),
+            "max_contexts": config.max_contexts,
+            "max_scenarios": config.max_scenarios,
+        },
+    )
+
+
+def run_verify_chunk(params: Mapping[str, object]) -> dict:
+    """One chunk: synthesize, build exact tables, sweep a window.
+
+    Pure function of its params (the engine's worker contract): the
+    design and the scenario order derive from the seed alone, so every
+    chunk reproduces the identical instance and only its contiguous
+    window differs. Whether the sweep runs forked or forced-full
+    (``REPRO_VERIFY_INCREMENTAL=0``) never shows in the result — the
+    two paths are bit-identical and the flag stays out of the payload.
+    """
+    app, arch, transparency = load_verify_workload(params["workload"])
+    k = int(params["k"])
+    fault_model = FaultModel(k=k)
+    pool = EvaluatorPool()
+    result = synthesize_campaign_design(
+        app, arch, k, str(params["strategy"]),
+        TabuSettings(**params["settings"]), int(params["seed"]),
+        pool=pool)
+    # Refuse intractable instances *before* paying for the exact
+    # conditional tables (the expensive, explosion-prone step): the
+    # scenario count needs nothing but the synthesized policies.
+    total = count_fault_plans(app, result.policies, k)
+    max_scenarios = int(params["max_scenarios"])
+    if total > max_scenarios:
+        raise ToleranceViolationError(
+            f"{total} fault scenarios exceed the verification limit "
+            f"{max_scenarios}; raise --max-scenarios or verify a "
+            "smaller instance")
+    evaluator = pool.evaluator_for(app, arch, fault_model)
+    schedule = evaluator.exact_schedule(
+        result.policies, result.mapping, transparency,
+        max_contexts=int(params["max_contexts"]))
+    certified = evaluator.estimate(
+        result.policies, result.mapping, slack_sharing="budgeted")
+    bound = estimate_bound(app, arch, certified, k)
+    start, stop = chunk_bounds(total, int(params["chunk"]),
+                               int(params["chunks"]))
+    sweep = ScenarioSweep(app, arch, result.mapping, result.policies,
+                          fault_model, schedule)
+    stats = VerificationStats()
+    for outcome in sweep.results(start, stop):
+        stats.observe(outcome, transparency)
+
+    cache_stats = pool.stats()
+    return {
+        "chunk": int(params["chunk"]),
+        "scenarios_total": total,
+        "start": start,
+        "stop": stop,
+        "stats": stats.to_jsonable(),
+        "cache_hits": cache_stats.estimates.hits,
+        "cache_misses": cache_stats.estimates.misses,
+        "estimate": result.estimate.schedule_length,
+        "certified_estimate": certified.schedule_length,
+        "estimate_bound": bound,
+        "exact_worst_case": schedule.worst_case_length,
+        "fault_free_length": result.estimate.ff_length,
+        "nft_length": result.nft_length,
+        "deadline": app.deadline,
+        "processes": len(app.process_names),
+        "nodes": len(arch.node_names),
+    }
+
+
+#: Scalars every chunk of one verification must agree on (they all
+#: derive from the same seed); a mismatch means a runner broke purity.
+_CONSISTENT_KEYS = ("scenarios_total", "estimate",
+                    "certified_estimate", "estimate_bound",
+                    "exact_worst_case", "fault_free_length",
+                    "nft_length", "deadline", "processes", "nodes")
+
+
+@dataclass
+class VerifyReport:
+    """Merged outcome of one verification (all scenario windows)."""
+
+    config: VerifyConfig
+    stats: VerificationStats
+    scenarios_total: int
+    estimate: float
+    certified_estimate: float
+    estimate_bound: float
+    exact_worst_case: float
+    fault_free_length: float
+    nft_length: float
+    deadline: float
+    processes: int
+    nodes: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed_chunks: int = 0
+    resumed_chunks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every scenario was tolerated and the transparency
+        contract held — the design is *certified* for ``k`` faults."""
+        return self.stats.ok
+
+    @property
+    def frozen_violations(self) -> list[str]:
+        """Transparency-contract violations (report messages)."""
+        return self.stats.frozen_violations()
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`ToleranceViolationError` when not certified."""
+        if self.ok:
+            return
+        details = [err for record in self.stats.failure_records
+                   for err in record["errors"]]
+        details.extend(self.frozen_violations)
+        shown = "; ".join(details[:5])
+        raise ToleranceViolationError(
+            f"{self.stats.failures} of {self.stats.scenarios} fault "
+            f"scenarios failed, "
+            f"{len(self.frozen_violations)} transparency violations: "
+            f"{shown}")
+
+    # -- deterministic export -------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """Timing-free report payload (byte-stable across runs)."""
+        stats = self.stats.to_jsonable()
+        stats["mean_makespan"] = self.stats.mean_makespan
+        stats["frozen_violations"] = self.frozen_violations
+        return {
+            "verify": {
+                "workload": self.config.label,
+                "k": self.config.k,
+                "strategy": self.config.strategy,
+                "chunks": self.config.chunks,
+                "seed": self.config.seed,
+            },
+            "instance": {
+                "processes": self.processes,
+                "nodes": self.nodes,
+                "deadline": self.deadline,
+            },
+            "schedule": {
+                "estimate": self.estimate,
+                "certified_estimate": self.certified_estimate,
+                "estimate_bound": self.estimate_bound,
+                "exact_worst_case": self.exact_worst_case,
+                "fault_free_length": self.fault_free_length,
+                "nft_length": self.nft_length,
+            },
+            "scenarios_total": self.scenarios_total,
+            "certified": self.ok,
+            "stats": stats,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text of the report."""
+        return json.dumps(self.to_jsonable(), indent=2, sort_keys=True)
+
+    def write_json(self, path: str | Path) -> None:
+        """Write the canonical JSON report."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable aggregate summary (CLI output)."""
+        stats = self.stats
+        hist = ", ".join(
+            f"{count}f: {bin_.worst_makespan:.1f}"
+            for count, bin_ in sorted(stats.fault_hist.items())
+            if bin_.finished)
+        lines = [
+            f"workload {self.config.label}: {self.processes} processes "
+            f"on {self.nodes} nodes, k = {self.config.k}, "
+            f"strategy {self.config.strategy}",
+            f"{stats.scenarios} of {self.scenarios_total} fault "
+            f"scenarios simulated exhaustively "
+            f"({self.config.chunks} chunk(s); {self.executed_chunks} "
+            f"executed, {self.resumed_chunks} resumed)",
+            f"finish: worst {stats.worst_makespan:.1f}, "
+            f"mean {stats.mean_makespan:.1f}, fault-free "
+            f"{stats.fault_free_makespan or 0.0:.1f}, "
+            f"deadline {self.deadline:.1f}",
+            f"worst makespan per fault count: {hist or '-'}",
+            f"estimate {self.estimate:.1f} (certified "
+            f"{self.certified_estimate:.1f}, bound "
+            f"{self.estimate_bound:.1f}, exact worst case "
+            f"{self.exact_worst_case:.1f})",
+            f"failures {stats.failures}, transparency violations "
+            f"{len(self.frozen_violations)}"
+            f" -> {'CERTIFIED' if self.ok else 'NOT certified'} "
+            f"for k = {self.config.k}",
+        ]
+        return lines
+
+
+def merge_verify_cells(config: VerifyConfig, cells: list[dict],
+                       executed: int = 0, resumed: int = 0,
+                       ) -> VerifyReport:
+    """Fold chunk results into one report (exposed for campaigns)."""
+    first = cells[0]
+    for cell in cells[1:]:
+        for key in _CONSISTENT_KEYS:
+            if cell[key] != first[key]:
+                raise RuntimeError(
+                    f"verify chunks disagree on {key!r}: "
+                    f"{cell[key]!r} != {first[key]!r} — a chunk "
+                    "runner is not a pure function of the seed")
+    merged = VerificationStats()
+    for cell in cells:
+        merged.merge(VerificationStats.from_jsonable(cell["stats"]))
+    return VerifyReport(
+        config=config,
+        stats=merged,
+        scenarios_total=int(first["scenarios_total"]),
+        estimate=float(first["estimate"]),
+        certified_estimate=float(first["certified_estimate"]),
+        estimate_bound=float(first["estimate_bound"]),
+        exact_worst_case=float(first["exact_worst_case"]),
+        fault_free_length=float(first["fault_free_length"]),
+        nft_length=float(first["nft_length"]),
+        deadline=float(first["deadline"]),
+        processes=int(first["processes"]),
+        nodes=int(first["nodes"]),
+        cache_hits=sum(int(c.get("cache_hits", 0)) for c in cells),
+        cache_misses=sum(int(c.get("cache_misses", 0))
+                         for c in cells),
+        executed_chunks=executed,
+        resumed_chunks=resumed,
+    )
+
+
+def run_verification(config: VerifyConfig, *,
+                     engine_config: EngineConfig | None = None,
+                     progress: ProgressCallback | None = None,
+                     ) -> VerifyReport:
+    """Run (or resume) one verification through the batch engine."""
+    engine = BatchEngine(engine_config or EngineConfig())
+    batch = engine.run(verify_jobs(config), progress=progress)
+    return merge_verify_cells(config, batch.results(),
+                              executed=batch.executed,
+                              resumed=batch.resumed)

@@ -258,6 +258,44 @@ class TestCampaignRunner:
         assert second.executed_chunks == 1
         assert second.to_json() == first.to_json()
 
+    def test_certified_campaign(self):
+        config = CampaignConfig(**QUICK, certify=True)
+        report = run_campaign(config)
+        verification = report.verification
+        assert verification is not None
+        assert verification.ok
+        assert report.ok
+        # The certificate covers the very design the campaign
+        # sampled: identical exact worst case by construction.
+        assert verification.exact_worst_case \
+            == report.exact_worst_case
+        # Exhaustive worst >= anything a sampled subset reached.
+        assert verification.stats.worst_makespan \
+            >= report.stats.worst_makespan - 1e-9
+        payload = report.to_jsonable()
+        assert payload["verification"]["certified"] is True
+        assert any("certificate:" in line
+                   for line in report.summary_lines())
+        # Without certify the report carries no verification block.
+        plain = run_campaign(CampaignConfig(**QUICK))
+        assert plain.verification is None
+        assert "verification" not in plain.to_jsonable()
+
+    def test_certify_beyond_budget_degrades_gracefully(self):
+        config = CampaignConfig(**QUICK, certify=True,
+                                certify_max_scenarios=1)
+        report = run_campaign(config)
+        # The sampled report survives; the certificate is recorded
+        # as skipped instead of crashing the whole campaign.
+        assert report.verification is None
+        assert report.certify_skipped is not None
+        assert "exceed the verification limit" in \
+            report.certify_skipped
+        assert report.ok  # sampled verdict untouched
+        assert report.to_jsonable()["verification"]["skipped"]
+        assert any("SKIPPED" in line
+                   for line in report.summary_lines())
+
     def test_exhaustive_campaign_matches_verify_count(self):
         config = CampaignConfig(
             workload={"processes": 4, "nodes": 2, "seed": 2}, k=1,

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -82,15 +84,33 @@ class TestCommands:
     def test_verify_ok(self, capsys):
         code = main(["verify", "--processes", "4", "--nodes", "2",
                      "--k", "1", "--iterations", "4",
-                     "--neighborhood", "4"])
+                     "--neighborhood", "4", "--chunks", "2",
+                     "--workers", "1"])
         out = capsys.readouterr().out
         assert code == 0
         assert "all scenarios tolerated" in out
+        assert "CERTIFIED" in out
+        assert "simulated exhaustively" in out
 
     def test_verify_preset_fig3(self, capsys):
         code = main(["verify", "--preset", "fig3", "--k", "1",
-                     "--iterations", "4", "--neighborhood", "4"])
+                     "--iterations", "4", "--neighborhood", "4",
+                     "--chunks", "2", "--workers", "1"])
         assert code == 0
+
+    def test_verify_fig5_transparency_and_json(self, capsys,
+                                               tmp_path):
+        out_path = tmp_path / "verify.json"
+        code = main(["verify", "--preset", "fig5", "--k", "2",
+                     "--iterations", "4", "--neighborhood", "4",
+                     "--chunks", "2", "--workers", "1",
+                     "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "transparency violations 0" in out
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["certified"] is True
+        assert payload["verify"]["workload"] == "fig5"
 
     def test_synth_preset_cruise(self, capsys):
         code = main(["synth", "--preset", "cruise", "--k", "1",
@@ -202,3 +222,17 @@ class TestCampaignCommand:
         assert code == 0
         assert "0 executed, 2 resumed" in printed
         assert out.read_text() == before
+
+    def test_campaign_certify(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        code = main(["campaign", "--processes", "4", "--nodes", "2",
+                     "--seed", "3", "--k", "1", "--samples", "4",
+                     "--chunks", "2", "--workers", "1",
+                     "--iterations", "4", "--neighborhood", "4",
+                     "--certify", "--out", str(out)])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "CERTIFIED" in printed
+        assert "verified exhaustively" in printed
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["verification"]["certified"] is True

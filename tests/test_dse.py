@@ -307,6 +307,52 @@ class TestExplorer:
         assert (report.evaluated + report.duplicates
                 + len(report.skipped) == report.candidates_total)
 
+    def test_verify_frontier_flags_every_point(self, tmp_path):
+        config = DseConfig(
+            workload=SMALL_CONFIG.workload,
+            space=SMALL_CONFIG.space,
+            chunks=2,
+            settings=SMALL_CONFIG.settings,
+            verify_frontier=True,
+        )
+        report = run_dse(config,
+                         engine_config=EngineConfig(workers=1))
+        assert report.frontier
+        for point in report.frontier:
+            assert point.extras["certified"] is True
+            assert point.extras["verified_scenarios"] > 0
+        # The flag reaches the table, the JSON and the CSV.
+        table = report.frontier_table()
+        assert "cert" in table.splitlines()[0]
+        payload = json.loads(report.to_json())
+        assert payload["dse"]["verify_frontier"] is True
+        assert all(p["extras"]["certified"] is True
+                   for p in payload["frontier"])
+        csv_path = tmp_path / "frontier.csv"
+        report.write_csv(csv_path)
+        rows = csv_path.read_text(encoding="utf-8").splitlines()
+        assert rows[0].endswith("certified,verified_scenarios")
+        assert all(",True," in row for row in rows[1:])
+        assert any("certified" in line
+                   for line in report.summary_lines())
+
+    def test_verify_frontier_scenario_budget_skips(self):
+        config = DseConfig(
+            workload=SMALL_CONFIG.workload,
+            space=SMALL_CONFIG.space,
+            chunks=2,
+            settings=SMALL_CONFIG.settings,
+            verify_frontier=True,
+            verify_max_scenarios=1,
+        )
+        report = run_dse(config,
+                         engine_config=EngineConfig(workers=1))
+        for point in report.frontier:
+            assert point.extras["certified"] is None
+            assert point.extras["verified_scenarios"] == 0
+        assert any(p.rstrip().endswith("-")
+                   for p in report.frontier_table().splitlines()[2:])
+
     def test_checkpoint_insensitive_designs_deduplicated(self):
         # MR synthesizes pure replication (no recovering copies), so
         # only the first checkpoint count is evaluated per
@@ -380,12 +426,15 @@ class TestExplorer:
         assert len(payload["frontier"]) == len(report.frontier)
         header = csv_path.read_text(encoding="utf-8").splitlines()[0]
         assert header.startswith("index,id,group,length")
-        assert header.endswith("meets_deadline")
+        assert header.endswith("meets_deadline,certified,"
+                               "verified_scenarios")
         table = report.frontier_table()
         assert "deadline" in table.splitlines()[0]
-        # Every frontier row carries an explicit feasibility verdict.
+        # Every frontier row carries an explicit feasibility verdict
+        # and a certification flag ('-' without --verify-frontier).
         for line in table.splitlines()[2:]:
-            assert line.rstrip().endswith(("ok", "MISS"))
+            assert line.rstrip().endswith(("ok", "MISS", "yes",
+                                           "FAIL", "-"))
         assert report.summary_lines()
 
     def test_config_validation(self):
@@ -414,3 +463,18 @@ class TestDseCli:
         assert "worst case" in captured
         assert "frontier" in captured
         assert out.exists()
+
+    def test_cli_verify_frontier(self, capsys):
+        code = cli_main([
+            "dse", "--processes", "5", "--nodes", "2", "--seed", "3",
+            "--k", "1", "--strategies", "MXR",
+            "--checkpoint-counts", "0",
+            "--transparency-samples", "0",
+            "--iterations", "4", "--neighborhood", "4",
+            "--chunks", "2", "--workers", "1",
+            "--verify-frontier",
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "frontier certification:" in captured
+        assert "FAILED" not in captured
