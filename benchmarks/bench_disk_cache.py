@@ -1,0 +1,87 @@
+"""Benchmark: persistent evaluation cache warm-start speedup.
+
+Runs one design-space exploration twice against the same cache
+directory — cold (populating it) and warm (served from it) — and
+records the warm/cold speedup in ``extra_info``. The space includes
+checkpointed k=2 designs, whose exact conditional tables are the
+expensive, perfectly cacheable tier. Two properties are asserted:
+
+* both reports are byte-identical (the cache's contract: a disk hit
+  changes nothing but wall-clock; identity against a cache-less run
+  is covered by ``tests/test_diskcache.py``);
+* the warm rerun is at least 3x faster than the cold run — the floor
+  ``benchmarks/floors.json`` pins for CI (locally the margin is an
+  order of magnitude; 3x keeps shared runners honest without flaking).
+
+Run:  pytest benchmarks/bench_disk_cache.py --benchmark-only
+
+``REPRO_BENCH_PROFILE=full`` widens the space (default: quick).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from repro.dse import DseConfig, SpaceConfig, run_dse
+from repro.eval import CACHE_DIR_ENV
+from repro.synthesis.tabu import TabuSettings
+
+QUICK = os.environ.get("REPRO_BENCH_PROFILE", "quick") != "full"
+
+CONFIG = DseConfig(
+    workload={"processes": 8, "nodes": 2, "seed": 1},
+    space=SpaceConfig(
+        strategies=("MXR", "MR", "SFX") if QUICK
+        else ("MXR", "MX", "MR", "SFX"),
+        k_values=(2,),
+        checkpoint_counts=(0, 1, 2),
+        transparency_samples=2 if QUICK else 4,
+        seed=1,
+    ),
+    chunks=4,
+    settings=TabuSettings(iterations=8, neighborhood=8,
+                          bus_contention=False),
+)
+
+#: CI floor — asserted here and enforced by benchmarks/check_floors.py.
+WARM_SPEEDUP_FLOOR = 3.0
+
+
+def _timed_run() -> tuple[str, float]:
+    started = time.perf_counter()
+    report = run_dse(CONFIG)
+    return report.to_json(), time.perf_counter() - started
+
+
+def test_disk_cache_warm_start_speedup(benchmark):
+    saved = os.environ.get(CACHE_DIR_ENV)
+    try:
+        with tempfile.TemporaryDirectory() as cache_dir:
+            os.environ[CACHE_DIR_ENV] = cache_dir
+            cold_json, cold_time = _timed_run()
+
+            def warm_run():
+                warm_run.result = _timed_run()
+                return warm_run.result[0]
+
+            benchmark.pedantic(warm_run, rounds=1, iterations=1)
+            warm_json, warm_time = warm_run.result
+    finally:
+        if saved is None:
+            os.environ.pop(CACHE_DIR_ENV, None)
+        else:
+            os.environ[CACHE_DIR_ENV] = saved
+
+    # The cache's contract: results never change, only wall-clock.
+    assert warm_json == cold_json
+
+    warm_speedup = cold_time / warm_time if warm_time else 0.0
+    assert warm_speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm cache rerun only {warm_speedup:.1f}x faster "
+        f"(floor {WARM_SPEEDUP_FLOOR}x)")
+
+    benchmark.extra_info["cold_s"] = round(cold_time, 3)
+    benchmark.extra_info["warm_s"] = round(warm_time, 3)
+    benchmark.extra_info["warm_speedup"] = round(warm_speedup, 2)

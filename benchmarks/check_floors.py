@@ -1,0 +1,132 @@
+"""Benchmark trend gate: enforce ``floors.json`` over result files.
+
+CI's bench-smoke job produces pytest-benchmark JSON files; this script
+checks the ``extra_info`` metrics they carry against the per-benchmark
+floors pinned in ``benchmarks/floors.json`` and writes one
+consolidated trend record (uploaded as the ``benchmark-trend``
+artifact, so regressions are both *gating* and *plottable* across
+commits).
+
+Floors deliberately pin **ratios** (speedups, hit rates), not wall
+clock: shared CI runners make absolute timings noisy, while a speedup
+collapsing from 30x to below its floor is a real regression whatever
+the machine.
+
+Usage::
+
+    python benchmarks/check_floors.py RESULTS.json [MORE.json ...] \\
+        --floors benchmarks/floors.json --out benchmark-trend.json
+
+Exit status is 1 when any floored metric regressed, a floored metric
+is missing from a present benchmark, or a ``"required": true``
+benchmark produced no result at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from collections.abc import Sequence
+
+
+def load_results(paths: Sequence[Path]) -> dict[str, dict]:
+    """Index benchmark records by fullname over all result files."""
+    results: dict[str, dict] = {}
+    for path in paths:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        for record in payload.get("benchmarks", []):
+            results[record["fullname"]] = record
+    return results
+
+
+def check(results: dict[str, dict],
+          floors: dict[str, dict]) -> tuple[list[dict], list[str]]:
+    """One trend row per floored benchmark, plus failure messages."""
+    rows, failures = [], []
+    for fullname, floor in sorted(floors.items()):
+        record = results.get(fullname)
+        if record is None:
+            status = "missing"
+            if floor.get("required", False):
+                failures.append(f"{fullname}: no result produced "
+                                f"(required benchmark)")
+            rows.append({"fullname": fullname, "status": status,
+                         "floors": floor.get("min_extra_info", {})})
+            continue
+        extra = record.get("extra_info", {})
+        metrics, status = {}, "ok"
+        for metric, minimum in floor.get("min_extra_info",
+                                         {}).items():
+            value = extra.get(metric)
+            metrics[metric] = {"value": value, "floor": minimum}
+            if value is None:
+                status = "failed"
+                failures.append(f"{fullname}: metric {metric!r} "
+                                f"missing from extra_info")
+            elif float(value) < float(minimum):
+                status = "failed"
+                failures.append(f"{fullname}: {metric} = {value} "
+                                f"below floor {minimum}")
+        rows.append({
+            "fullname": fullname,
+            "status": status,
+            "metrics": metrics,
+            "extra_info": extra,
+            "mean_s": record.get("stats", {}).get("mean"),
+        })
+    return rows, failures
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Check benchmark extra_info metrics against "
+                    "pinned floors")
+    parser.add_argument("results", nargs="+", type=Path,
+                        metavar="RESULTS.json",
+                        help="pytest-benchmark JSON result files")
+    parser.add_argument("--floors", type=Path,
+                        default=Path(__file__).with_name(
+                            "floors.json"),
+                        help="per-benchmark floor definitions")
+    parser.add_argument("--out", type=Path, default=None,
+                        metavar="PATH",
+                        help="write the consolidated trend JSON")
+    args = parser.parse_args(argv)
+
+    floors = json.loads(args.floors.read_text(encoding="utf-8"))
+    results = load_results(args.results)
+    rows, failures = check(results, floors)
+
+    if args.out:
+        trend = {
+            "commit": os.environ.get("GITHUB_SHA"),
+            "run_id": os.environ.get("GITHUB_RUN_ID"),
+            "floors": str(args.floors),
+            "benchmarks": rows,
+        }
+        args.out.write_text(
+            json.dumps(trend, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    for row in rows:
+        marks = ", ".join(
+            f"{name}={m['value']} (floor {m['floor']})"
+            for name, m in row.get("metrics", {}).items())
+        print(f"[{row['status']:>7}] {row['fullname']}"
+              + (f": {marks}" if marks else ""))
+    if failures:
+        print(f"\n{len(failures)} benchmark floor violation(s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} floored benchmark(s) at or above "
+          f"their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

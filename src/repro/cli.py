@@ -30,6 +30,17 @@ Commands
     checkpoint-count × transparency-vector candidates exactly and
     report the epsilon-Pareto frontier over (worst-case length,
     transparency degree, FT memory overhead).
+``worker``
+    Join a ``--backend workdir`` sweep as an extra work-stealing
+    worker: claim chunk leases from the shared directory, execute
+    jobs, journal results — from the same machine or any host sharing
+    the filesystem.
+
+The sweep commands (``verify``/``batch``/``campaign``/``dse``) share
+the engine flags: ``--backend`` selects serial, process-pool or
+multi-host workdir execution (all byte-identical in their reports),
+``--cache-dir`` attaches the persistent evaluation cache that lets
+repeated sweeps over shared workloads warm-start across runs.
 
 Examples
 --------
@@ -47,6 +58,9 @@ Examples
         --sampler stratified --chunks 4 --workers 4 --out campaign.json
     repro dse --processes 8 --nodes 2 --k 2 --chunks 4 --workers 4 \
         --out pareto.json --csv pareto.csv
+    repro dse --processes 8 --nodes 2 --k 2 --chunks 12 \
+        --backend workdir --workdir sweep.wd --out pareto.json
+    repro worker --workdir sweep.wd   # on any host sharing sweep.wd
 
 (``repro`` is the installed console script; ``python -m repro`` works
 from a source checkout. The full flag-by-flag reference lives in
@@ -56,6 +70,7 @@ from a source checkout. The full flag-by-flag reference lives in
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -73,7 +88,9 @@ from repro.dse import (
     SpaceConfig,
     run_dse,
 )
-from repro.engine import BatchEngine, EngineConfig
+from repro.engine import BACKENDS, BatchEngine, EngineConfig
+from repro.engine.workdir import DEFAULT_LEASE_TIMEOUT, work
+from repro.eval import CACHE_DIR_ENV
 from repro import __version__
 from repro.experiments import fig7 as fig7_mod
 from repro.experiments import fig8 as fig8_mod
@@ -120,6 +137,51 @@ def _settings(args) -> TabuSettings:
     return TabuSettings(iterations=args.iterations,
                         neighborhood=args.neighborhood,
                         seed=args.seed)
+
+
+def _engine_config(args) -> EngineConfig:
+    """The engine configuration of one sweep command.
+
+    ``--cache-dir`` is exported through the environment (not job
+    params) on purpose: worker processes inherit it, and reports stay
+    byte-identical with and without the cache.
+    """
+    if args.cache_dir:
+        os.environ[CACHE_DIR_ENV] = str(args.cache_dir)
+    return EngineConfig(
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=not args.no_resume,
+        backend=args.backend,
+        workdir=args.workdir,
+        lease_size=args.lease_size,
+        lease_timeout=args.lease_timeout,
+    )
+
+
+def _validate_engine_flags(parser: argparse.ArgumentParser,
+                           args) -> None:
+    """Reject invalid flag combinations at parse time.
+
+    Value errors (``--workers 0`` and friends) are handled by the
+    argparse types; cross-flag contradictions land here so the user
+    gets a usage error instead of a deep traceback mid-sweep.
+    """
+    backend = getattr(args, "backend", None)
+    workdir = getattr(args, "workdir", None)
+    if backend == "workdir" and workdir is None:
+        parser.error(
+            "--backend workdir needs --workdir DIR (the shared "
+            "directory workers claim leases from)")
+    if backend in ("serial", "process") and workdir is not None:
+        parser.error(
+            f"--workdir only applies to the workdir backend "
+            f"(got --backend {backend})")
+    if workdir is not None \
+            and getattr(args, "checkpoint", None) is not None:
+        parser.error(
+            "--checkpoint conflicts with --workdir: the workdir is "
+            "the checkpoint (results live in <workdir>/results)")
 
 
 def _cmd_synth(args) -> int:
@@ -180,12 +242,8 @@ def _cmd_verify(args) -> int:
                               bus_contention=False),
         max_scenarios=args.max_scenarios,
     )
-    engine_config = EngineConfig(
-        workers=args.workers,
-        checkpoint_path=args.checkpoint,
-        resume=not args.no_resume,
-    )
-    report = run_verification(config, engine_config=engine_config)
+    report = run_verification(config,
+                              engine_config=_engine_config(args))
     for line in report.summary_lines():
         print(line)
     if args.out:
@@ -234,11 +292,7 @@ def _cmd_batch(args) -> int:
                   else Fig8Config.quick())
         jobs = fig8_mod.fig8_jobs(config)
 
-    engine = BatchEngine(EngineConfig(
-        workers=args.workers,
-        checkpoint_path=args.checkpoint,
-        resume=not args.no_resume,
-    ))
+    engine = BatchEngine(_engine_config(args))
     report = engine.run(jobs)
     cells = report.results()
 
@@ -297,12 +351,7 @@ def _cmd_campaign(args) -> int:
         certify=args.certify,
         certify_max_scenarios=args.certify_max_scenarios,
     )
-    engine_config = EngineConfig(
-        workers=args.workers,
-        checkpoint_path=args.checkpoint,
-        resume=not args.no_resume,
-    )
-    report = run_campaign(config, engine_config=engine_config)
+    report = run_campaign(config, engine_config=_engine_config(args))
     for line in report.summary_lines():
         print(line)
     hist = report.stats.gap_hist
@@ -347,12 +396,7 @@ def _cmd_dse(args) -> int:
         verify_frontier=args.verify_frontier,
         verify_max_scenarios=args.verify_max_scenarios,
     )
-    engine_config = EngineConfig(
-        workers=args.workers,
-        checkpoint_path=args.checkpoint,
-        resume=not args.no_resume,
-    )
-    report = run_dse(config, engine_config=engine_config)
+    report = run_dse(config, engine_config=_engine_config(args))
     for line in report.summary_lines():
         print(line)
     print()
@@ -363,6 +407,26 @@ def _cmd_dse(args) -> int:
     if args.csv:
         report.write_csv(args.csv)
         print(f"CSV written to {args.csv}")
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    if args.cache_dir:
+        os.environ[CACHE_DIR_ENV] = str(args.cache_dir)
+
+    def announce(job, result, elapsed):
+        print(f"  [{job.job_id}] done in {elapsed:.1f}s", flush=True)
+
+    summary = work(args.workdir,
+                   worker_id=args.worker_id,
+                   lease_timeout=args.lease_timeout,
+                   max_idle=args.max_idle,
+                   wait_for_jobs=args.wait_for_jobs,
+                   on_outcome=announce)
+    print(f"worker {summary.worker_id}: {summary.claimed} lease(s) "
+          f"claimed, {summary.executed} job(s) executed, "
+          f"{summary.skipped} skipped, {summary.reclaimed} stale "
+          f"lease(s) reclaimed, {summary.lost} lost")
     return 0
 
 
@@ -382,9 +446,40 @@ examples:
       --samples 200 --chunks 4 --workers 4 --out campaign.json
   repro dse --processes 8 --nodes 2 --k 2 --chunks 4 --workers 4 \\
       --out pareto.json
+  repro dse --processes 8 --nodes 2 --k 2 --chunks 12 \\
+      --backend workdir --workdir sweep.wd --out pareto.json
+  repro worker --workdir sweep.wd
+  repro campaign --processes 8 --nodes 2 --k 2 --samples 200 \\
+      --cache-dir ~/.cache/repro-eval --out campaign.json
 
 full reference: docs/cli.md
 """
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: integer >= 1, rejected at parse time."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a value >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type: float > 0, rejected at parse time."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a value > 0, got {text}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -423,6 +518,40 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--iterations", type=int, default=24)
         p.add_argument("--neighborhood", type=int, default=16)
 
+    def add_engine_args(p):
+        """The shared executor/cache flags of every sweep command."""
+        p.add_argument("--backend", choices=BACKENDS, default=None,
+                       help="where jobs execute: serial (in-process), "
+                            "process (worker pool) or workdir "
+                            "(multi-host work stealing over a shared "
+                            "directory); default auto-selects from "
+                            "--workers/--workdir — the report is "
+                            "byte-identical either way")
+        p.add_argument("--workdir", default=None, metavar="DIR",
+                       help="shared directory of the workdir backend "
+                            "(job list, chunk leases, per-worker "
+                            "result journals); doubles as the "
+                            "checkpoint, and extra 'repro worker' "
+                            "processes may join from any host "
+                            "sharing it")
+        p.add_argument("--lease-size", type=_positive_int, default=1,
+                       metavar="N",
+                       help="jobs per workdir lease (the "
+                            "work-stealing granularity)")
+        p.add_argument("--lease-timeout", type=_positive_float,
+                       default=DEFAULT_LEASE_TIMEOUT, metavar="SEC",
+                       help="reclaim a workdir lease whose heartbeat "
+                            "is older than this; must exceed the "
+                            "longest single job")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent evaluation cache: sweeps "
+                            "spill evaluated designs there and "
+                            "warm-start from them across runs "
+                            "(results are byte-identical with and "
+                            "without it); also honored via the "
+                            "REPRO_EVAL_CACHE_DIR environment "
+                            "variable")
+
     p_synth = sub.add_parser("synth", help="run one synthesis strategy")
     add_workload_args(p_synth)
     add_search_args(p_synth)
@@ -442,14 +571,14 @@ def build_parser() -> argparse.ArgumentParser:
              "with trace-prefix reuse")
     add_workload_args(p_verify)
     add_search_args(p_verify)
-    p_verify.add_argument("--chunks", type=int, default=4,
+    p_verify.add_argument("--chunks", type=_positive_int, default=4,
                           help="contiguous scenario windows fanned "
                                "out as engine jobs; each chunk "
                                "re-runs the synthesis, so pick "
                                "roughly --workers (the report is "
                                "byte-identical either way)")
-    p_verify.add_argument("--workers", type=int, default=4,
-                          help="worker processes (<=1 runs serially); "
+    p_verify.add_argument("--workers", type=_positive_int, default=4,
+                          help="worker processes (1 runs serially); "
                                "serial and parallel reports are "
                                "byte-identical")
     p_verify.add_argument("--max-scenarios", type=int,
@@ -465,6 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--out", default=None, metavar="PATH",
                           help="write the canonical JSON "
                                "verification report")
+    add_engine_args(p_verify)
     p_verify.set_defaults(func=_cmd_verify)
 
     for name, handler in (("fig7", _cmd_fig7), ("fig8", _cmd_fig8)):
@@ -472,7 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
                                help=f"run the paper's {name} sweep")
         p_fig.add_argument("--profile", choices=("quick", "paper"),
                            default="quick")
-        p_fig.add_argument("--workers", type=int, default=1,
+        p_fig.add_argument("--workers", type=_positive_int, default=1,
                            help="worker processes for the sweep cells")
         p_fig.set_defaults(func=handler)
 
@@ -483,8 +613,8 @@ def build_parser() -> argparse.ArgumentParser:
                          required=True)
     p_batch.add_argument("--profile", choices=("quick", "paper"),
                          default="quick")
-    p_batch.add_argument("--workers", type=int, default=1,
-                         help="worker processes (<=1 runs serially)")
+    p_batch.add_argument("--workers", type=_positive_int, default=1,
+                         help="worker processes (1 runs serially)")
     p_batch.add_argument("--checkpoint", default=None, metavar="PATH",
                          help="JSONL checkpoint of completed cells "
                               "(enables resume)")
@@ -494,6 +624,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the full JSON report")
     p_batch.add_argument("--csv", default=None, metavar="PATH",
                          help="write one CSV row per sweep cell")
+    add_engine_args(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
 
     p_camp = sub.add_parser(
@@ -521,15 +652,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--samples", type=int, default=200,
                         help="faulty plans to sample (ignored by the "
                              "exhaustive sampler)")
-    p_camp.add_argument("--chunks", type=int, default=4,
+    p_camp.add_argument("--chunks", type=_positive_int, default=4,
                         help="plan chunks fanned out as engine jobs; "
                              "each chunk re-runs the synthesis, so "
                              "pick roughly --workers (kept "
                              "independent of --workers because the "
                              "chunking determines the report's "
                              "deterministic fold order)")
-    p_camp.add_argument("--workers", type=int, default=4,
-                        help="worker processes (<=1 runs serially); "
+    p_camp.add_argument("--workers", type=_positive_int, default=4,
+                        help="worker processes (1 runs serially); "
                              "the default matches --chunks so the "
                              "per-chunk synthesis cost buys "
                              "parallelism")
@@ -550,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the certificate (keeping the "
                              "sampled report) when the design has "
                              "more fault scenarios than this")
+    add_engine_args(p_camp)
     p_camp.set_defaults(func=_cmd_campaign)
 
     p_dse = sub.add_parser(
@@ -596,14 +728,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "objective (bytes)")
     p_dse.add_argument("--iterations", type=int, default=8)
     p_dse.add_argument("--neighborhood", type=int, default=8)
-    p_dse.add_argument("--chunks", type=int, default=4,
+    p_dse.add_argument("--chunks", type=_positive_int, default=4,
                        help="candidate chunks fanned out as engine "
                             "jobs; each chunk re-runs the "
                             "per-(strategy, k) synthesis, so pick "
                             "roughly --workers (the frontier is "
                             "independent of the layout either way)")
-    p_dse.add_argument("--workers", type=int, default=4,
-                       help="worker processes (<=1 runs serially); "
+    p_dse.add_argument("--workers", type=_positive_int, default=4,
+                       help="worker processes (1 runs serially); "
                             "serial and parallel frontiers are "
                             "byte-identical")
     p_dse.add_argument("--checkpoint", default=None, metavar="PATH",
@@ -625,7 +757,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip certifying frontier designs with "
                             "more fault scenarios than this (flagged "
                             "as '-' instead)")
+    add_engine_args(p_dse)
     p_dse.set_defaults(func=_cmd_dse)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a --backend workdir sweep as an extra "
+             "work-stealing worker (claim leases, run jobs, journal "
+             "results); run it on any host sharing the directory")
+    p_worker.add_argument("--workdir", required=True, metavar="DIR",
+                          help="the sweep's shared directory (as "
+                               "passed to the coordinator's "
+                               "--workdir)")
+    p_worker.add_argument("--worker-id", default=None, metavar="ID",
+                          help="stable worker identity (default: "
+                               "host-pid-random); names this "
+                               "worker's result journal and lease "
+                               "claims")
+    p_worker.add_argument("--lease-timeout", type=_positive_float,
+                          default=DEFAULT_LEASE_TIMEOUT,
+                          metavar="SEC",
+                          help="reclaim other workers' leases whose "
+                               "heartbeat is older than this; use "
+                               "the coordinator's value")
+    p_worker.add_argument("--max-idle", type=_positive_float,
+                          default=None, metavar="SEC",
+                          help="exit after this many consecutive "
+                               "idle seconds with no claimable "
+                               "lease (default: stay until every "
+                               "chunk is done)")
+    p_worker.add_argument("--wait-for-jobs", type=_positive_float,
+                          default=60.0, metavar="SEC",
+                          help="tolerate starting before the "
+                               "coordinator published the job list "
+                               "by polling this long for it")
+    p_worker.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="persistent evaluation cache shared "
+                               "with the coordinator (see the sweep "
+                               "commands' --cache-dir)")
+    p_worker.set_defaults(func=_cmd_worker)
     return parser
 
 
@@ -633,6 +803,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _validate_engine_flags(parser, args)
     return args.func(args)
 
 

@@ -10,8 +10,15 @@ runs:
 * :mod:`repro.engine.grid` — cartesian axis expansion into jobs with
   stable ids;
 * :mod:`repro.engine.runner` — the :class:`~repro.engine.runner.
-  BatchEngine`: serial or process-pool execution, JSONL checkpointing
-  of completed cells, resume, and deterministic JSON/CSV reports;
+  BatchEngine`: pluggable execution backends, JSONL checkpointing of
+  completed cells, resume, and deterministic JSON/CSV reports;
+* :mod:`repro.engine.backends` — where jobs execute: ``serial``
+  (in-process), ``process`` (single-host pool) and ``workdir``
+  (multi-host work stealing over a shared directory,
+  :mod:`repro.engine.workdir`); all three produce byte-identical
+  reports;
+* :mod:`repro.engine.journal` — torn-tail-safe JSONL journals shared
+  by the checkpoint file and the workdir result files;
 * :mod:`repro.engine.cache` — the evaluation caches: every sweep cell
   shares one :class:`~repro.eval.EvaluatorPool` (the unified
   evaluation core of :mod:`repro.eval`) memoizing the slack-sharing
@@ -23,6 +30,14 @@ The Fig. 7 / Fig. 8 harnesses of :mod:`repro.experiments` route
 through this engine (``repro batch`` on the command line).
 """
 
+from repro.engine.backends import (
+    BACKENDS,
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    WorkdirBackend,
+    create_backend,
+)
 from repro.engine.cache import (
     CacheStats,
     EstimationCache,
@@ -40,8 +55,10 @@ from repro.engine.runner import (
     JobOutcome,
     run_batch,
 )
+from repro.engine.workdir import Workdir, WorkerSummary, work
 
 __all__ = [
+    "BACKENDS",
     "BatchEngine",
     "BatchJob",
     "BatchReport",
@@ -51,10 +68,18 @@ __all__ = [
     "Evaluator",
     "EvaluatorPool",
     "EvaluatorStats",
+    "ExecutorBackend",
     "JobOutcome",
+    "ProcessBackend",
+    "SerialBackend",
+    "Workdir",
+    "WorkdirBackend",
+    "WorkerSummary",
+    "create_backend",
     "grid_jobs",
     "resolve_runner",
     "run_batch",
     "run_job",
     "solution_fingerprint",
+    "work",
 ]

@@ -1,0 +1,190 @@
+"""Executor backends: how one batch run's pending jobs get executed.
+
+The :class:`~repro.engine.runner.BatchEngine` owns *what* runs (job
+dedup, checkpoint restore, report assembly in submission order); an
+:class:`ExecutorBackend` owns *where* it runs. Three conforming
+implementations ship:
+
+``serial``
+    In-process, zero-dependency — the debugging path and the oracle
+    every other backend's report must be byte-identical to.
+``process``
+    A single-host ``ProcessPoolExecutor`` fan-out (the engine's
+    historical behaviour for ``workers > 1``).
+``workdir``
+    Multi-host work stealing over a shared directory: the coordinator
+    and any number of ``repro worker`` processes claim chunk leases
+    via atomic renames and journal results per worker
+    (:mod:`repro.engine.workdir`). The workdir doubles as the
+    checkpoint — re-running the coordinator resumes from the flushed
+    results.
+
+The conformance contract (enforced by ``tests/test_backends.py``):
+every backend calls ``record`` exactly once per pending job with the
+job's result and elapsed time, in any order — the engine's
+order-insensitive recording plus its ordered report assembly is what
+makes all backends byte-identical in their JSON/CSV output.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import TYPE_CHECKING
+from collections.abc import Callable, Sequence
+
+from repro.engine.jobs import BatchJob, run_job
+from repro.engine.workdir import Workdir, default_worker_id, work
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.runner import EngineConfig
+
+#: The registered backend names, in documentation order.
+BACKENDS = ("serial", "process", "workdir")
+
+#: ``record(job, result, elapsed)`` — the engine's recording hook
+#: (checkpoint append, progress callback, report bookkeeping).
+RecordCallback = Callable[[BatchJob, dict, float], None]
+
+
+def execute_job(job: BatchJob) -> tuple[str, dict, float]:
+    """Run one job and time it (the worker entry point)."""
+    started = time.perf_counter()
+    result = run_job(job)
+    return job.job_id, result, time.perf_counter() - started
+
+
+class ExecutorBackend:
+    """Where pending jobs execute; see the module docstring."""
+
+    #: The registry name (one of :data:`BACKENDS`).
+    name: str
+
+    def restore(self, jobs: Sequence[BatchJob],
+                ) -> dict[str, tuple[dict, float]]:
+        """Backend-held completed cells, validated against ``jobs``.
+
+        Called before execution so the engine can subtract already-
+        finished cells (the workdir backend's own resume path — the
+        directory is its checkpoint). Local backends hold no state.
+        """
+        return {}
+
+    def execute(self, pending: Sequence[BatchJob],
+                record: RecordCallback) -> None:
+        """Execute every pending job, calling ``record`` per job."""
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutorBackend):
+    """In-process execution, one job at a time."""
+
+    name = "serial"
+
+    def __init__(self, config: "EngineConfig") -> None:
+        self._config = config
+
+    def execute(self, pending: Sequence[BatchJob],
+                record: RecordCallback) -> None:
+        for job in pending:
+            __, result, elapsed = execute_job(job)
+            record(job, result, elapsed)
+
+
+class ProcessBackend(ExecutorBackend):
+    """Single-host ``ProcessPoolExecutor`` fan-out."""
+
+    name = "process"
+
+    def __init__(self, config: "EngineConfig") -> None:
+        self._config = config
+
+    def execute(self, pending: Sequence[BatchJob],
+                record: RecordCallback) -> None:
+        by_id = {job.job_id: job for job in pending}
+        with ProcessPoolExecutor(
+                max_workers=max(1, self._config.workers)) as pool:
+            futures = {pool.submit(execute_job, job)
+                       for job in pending}
+            while futures:
+                done, futures = wait(futures,
+                                     return_when=FIRST_COMPLETED)
+                for future in done:
+                    job_id, result, elapsed = future.result()
+                    record(by_id[job_id], result, elapsed)
+
+
+class WorkdirBackend(ExecutorBackend):
+    """Multi-host work stealing over a shared directory.
+
+    The coordinator is itself a worker: it publishes the job list,
+    drains leases alongside any external ``repro worker`` processes,
+    reclaims stale leases, and waits until every chunk is done. Cells
+    executed by other workers are recorded from the merged result
+    journals; cells whose records went missing (a torn tail on a
+    killed worker) are re-executed locally, so the run always
+    completes with one validated record per job.
+    """
+
+    name = "workdir"
+
+    def __init__(self, config: "EngineConfig") -> None:
+        if config.workdir is None:
+            raise ValueError(
+                "the workdir backend needs a shared directory "
+                "(EngineConfig.workdir)")
+        self._config = config
+        self._workdir = Workdir(config.workdir)
+
+    def restore(self, jobs: Sequence[BatchJob],
+                ) -> dict[str, tuple[dict, float]]:
+        self._workdir.initialize(
+            jobs, lease_size=self._config.lease_size,
+            fresh=not self._config.resume)
+        if not self._config.resume:
+            return {}
+        return self._workdir.load_results(jobs)
+
+    def execute(self, pending: Sequence[BatchJob],
+                record: RecordCallback) -> None:
+        config = self._config
+        worker_id = config.worker_id or default_worker_id()
+        recorded: set[str] = set()
+
+        def local_outcome(job: BatchJob, result: dict,
+                          elapsed: float) -> None:
+            recorded.add(job.job_id)
+            record(job, result, elapsed)
+
+        work(self._workdir.root, worker_id=worker_id,
+             lease_timeout=config.lease_timeout,
+             on_outcome=local_outcome)
+
+        remote = self._workdir.load_results(pending)
+        for job in pending:
+            if job.job_id in recorded:
+                continue
+            if job.job_id in remote:
+                result, elapsed = remote[job.job_id]
+            else:
+                # A worker completed the lease but its record was
+                # lost (torn tail at the kill instant): re-run the
+                # cell locally rather than fail the sweep.
+                __, result, elapsed = execute_job(job)
+                self._workdir.append_result(worker_id, job, result,
+                                            elapsed)
+            record(job, result, elapsed)
+
+
+def create_backend(config: "EngineConfig") -> ExecutorBackend:
+    """Instantiate the backend an :class:`EngineConfig` resolves to."""
+    name = config.backend_name
+    if name == "serial":
+        return SerialBackend(config)
+    if name == "process":
+        return ProcessBackend(config)
+    if name == "workdir":
+        return WorkdirBackend(config)
+    raise ValueError(
+        f"unknown backend {name!r}; choose one of "
+        f"{', '.join(BACKENDS)}")

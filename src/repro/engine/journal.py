@@ -1,0 +1,101 @@
+"""Torn-tail-safe JSONL journals.
+
+Both the engine's checkpoint file and the workdir backend's per-worker
+results files are append-only JSONL journals written by processes that
+may be killed at any instant. Three operations make that safe:
+
+* :func:`append_record` — one flushed line per record, so a crash can
+  leave at most one record without its terminating newline;
+* :func:`repair_torn_tail` — truncate that torn final line in place
+  *before* appending again, so the next record is never glued onto it
+  (which would turn one torn record into one unparseable line that
+  silently swallows a valid cell);
+* :func:`iter_records` — tolerant reading: unparseable or non-dict
+  lines are skipped, never fatal, because a torn line only means its
+  cell re-runs.
+
+Truncation (rather than rewriting the file) is deliberate: repair only
+ever drops the torn tail, so a crash *during* repair cannot lose the
+valid records a full rewrite would be holding in flight.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from collections.abc import Iterator
+
+
+def repair_torn_tail(path: str | Path) -> bool:
+    """Drop a torn final line left by a killed writer.
+
+    Returns True when a torn tail was found and truncated. A missing
+    file, an empty file, or a file ending in a newline is left alone.
+    """
+    path = Path(path)
+    if not path.exists():
+        return False
+    data = path.read_bytes()
+    if not data or data.endswith(b"\n"):
+        return False
+    cut = data.rfind(b"\n") + 1  # 0 when the only line is torn
+    with open(path, "r+b") as handle:
+        handle.truncate(cut)
+    return True
+
+
+def append_record(path: str | Path, record: dict) -> None:
+    """Append one canonical-JSON record as a flushed line."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+
+
+def iter_records(path: str | Path) -> Iterator[dict]:
+    """Yield every parseable record of a journal, in file order.
+
+    Torn, corrupted, or non-dict lines are skipped — the journal
+    contract is that a dropped line only costs a re-run, never
+    correctness.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn or corrupted line: drop, re-run
+        if isinstance(record, dict):
+            yield record
+
+
+def load_cells(path: str | Path,
+               params_by_id: dict[str, dict],
+               ) -> dict[str, tuple[dict, float]]:
+    """Validated completed cells of a checkpoint/results journal.
+
+    A record is only restored when its ``job_id`` is known *and* its
+    recorded params still match the job's current params — a changed
+    configuration invalidates the record, never silently reuses it.
+    Later duplicates of a job are ignored (first record wins; the
+    journal is append-only, so the first record is the oldest).
+    """
+    restored: dict[str, tuple[dict, float]] = {}
+    for record in iter_records(path):
+        job_id = record.get("job_id")
+        if job_id not in params_by_id or job_id in restored:
+            continue
+        if record.get("params") != params_by_id[job_id]:
+            continue  # configuration changed since the record
+        result = record.get("result")
+        if not isinstance(result, dict):
+            continue
+        elapsed = record.get("elapsed", 0.0)
+        if not isinstance(elapsed, (int, float)):
+            elapsed = 0.0  # corrupted timing never blocks a resume
+        restored[job_id] = (result, float(elapsed))
+    return restored

@@ -4,14 +4,17 @@ Execution model
 ---------------
 
 * every :class:`~repro.engine.jobs.BatchJob` is independent and pure,
-  so the engine may run them serially (``workers <= 1``) or across a
-  ``ProcessPoolExecutor`` — the report is assembled in job submission
-  order either way, which makes serial and parallel runs byte-identical
-  in their JSON/CSV output;
+  so the engine may hand them to any :mod:`executor backend
+  <repro.engine.backends>` — in-process ``serial``, single-host
+  ``process`` pool, or multi-host ``workdir`` work stealing — the
+  report is assembled in job submission order either way, which makes
+  every backend's JSON/CSV output byte-identical;
 * each completed cell is appended to a JSONL checkpoint file the
-  moment it finishes (flushed per line), so an interrupted sweep loses
-  at most the in-flight cells;
-* a resumed run loads the checkpoint, verifies each recorded cell
+  moment it finishes (flushed per line, torn-tail-safe via
+  :mod:`repro.engine.journal`), so an interrupted sweep loses at most
+  the in-flight cells;
+* a resumed run loads the checkpoint (and, for the workdir backend,
+  the workdir's own result journals), verifies each recorded cell
   still matches the job's parameters (a changed configuration
   invalidates the record, never silently reuses it) and only executes
   the remainder.
@@ -26,12 +29,17 @@ from __future__ import annotations
 import csv
 import json
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Callable, Sequence
 
-from repro.engine.jobs import BatchJob, run_job
+from repro.engine import journal
+from repro.engine.backends import BACKENDS, create_backend, execute_job
+from repro.engine.jobs import BatchJob
+from repro.engine.workdir import (
+    DEFAULT_LEASE_SIZE,
+    DEFAULT_LEASE_TIMEOUT,
+)
 
 #: Called once per cell as it completes (or is restored), for live
 #: progress reporting. Parallel cells report in completion order.
@@ -40,14 +48,71 @@ ProgressCallback = Callable[["JobOutcome"], None]
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """How one batch run executes."""
+    """How one batch run executes.
 
-    #: ``<= 1`` runs serially in-process; ``N > 1`` uses a process pool.
+    ``backend`` selects the executor explicitly; when ``None`` the
+    engine auto-selects — ``workdir`` when a workdir is given,
+    ``process`` for ``workers > 1``, ``serial`` otherwise. Invalid
+    combinations fail at construction time, not mid-sweep.
+    """
+
+    #: ``<= 1`` runs serially in-process; ``N > 1`` uses a process
+    #: pool (ignored by the serial and workdir backends).
     workers: int = 1
-    #: JSONL file recording completed cells (None disables).
+    #: JSONL file recording completed cells (None disables). Mutually
+    #: exclusive with ``workdir`` — the workdir *is* the checkpoint.
     checkpoint_path: str | Path | None = None
     #: Load the checkpoint and skip already-completed cells.
     resume: bool = True
+    #: Explicit backend name (one of :data:`~repro.engine.backends.
+    #: BACKENDS`) or None for auto-selection.
+    backend: str | None = None
+    #: Shared directory of the workdir backend (its job list, chunk
+    #: leases and per-worker result journals).
+    workdir: str | Path | None = None
+    #: Jobs per workdir lease (the work-stealing granularity).
+    lease_size: int = DEFAULT_LEASE_SIZE
+    #: Reclaim a workdir lease whose heartbeat is older than this;
+    #: must exceed the longest single job.
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT
+    #: Stable workdir worker identity (None: host-pid-random).
+    worker_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose one of "
+                f"{', '.join(BACKENDS)}")
+        if self.lease_size < 1:
+            raise ValueError(
+                f"lease_size must be >= 1, got {self.lease_size}")
+        if self.lease_timeout <= 0:
+            raise ValueError(
+                f"lease_timeout must be > 0, got {self.lease_timeout}")
+        if self.backend_name == "workdir":
+            if self.workdir is None:
+                raise ValueError(
+                    "the workdir backend needs a shared directory: "
+                    "set workdir=... (it holds the job list, leases "
+                    "and result journals)")
+            if self.checkpoint_path is not None:
+                raise ValueError(
+                    "checkpoint_path conflicts with the workdir "
+                    "backend: the workdir is the checkpoint (results "
+                    "live in <workdir>/results)")
+        elif self.workdir is not None:
+            raise ValueError(
+                f"workdir is only used by the workdir backend, not "
+                f"{self.backend_name!r}")
+
+    @property
+    def backend_name(self) -> str:
+        """The resolved backend name (auto-selected when unset)."""
+        if self.backend is not None:
+            return self.backend
+        if self.workdir is not None:
+            return "workdir"
+        return "process" if self.workers > 1 else "serial"
 
 
 @dataclass
@@ -149,11 +214,9 @@ def _cell(value: object) -> str:
     return str(value)
 
 
-def _execute(job: BatchJob) -> tuple[str, dict, float]:
-    """Worker entry point: run one job and time it."""
-    started = time.perf_counter()
-    result = run_job(job)
-    return job.job_id, result, time.perf_counter() - started
+#: Backwards-compatible alias; the worker entry point lives in
+#: :mod:`repro.engine.backends` now.
+_execute = execute_job
 
 
 class BatchEngine:
@@ -182,13 +245,15 @@ class BatchEngine:
             seen.add(job.job_id)
 
         started = time.perf_counter()
+        backend = create_backend(self._config)
         if self._config.checkpoint_path is not None:
             # Fail on an unwritable location before any cell runs,
             # not after the first one finishes.
             Path(self._config.checkpoint_path).parent.mkdir(
                 parents=True, exist_ok=True)
-            self._repair_checkpoint()
+            journal.repair_torn_tail(self._config.checkpoint_path)
         restored = self._load_checkpoint(jobs)
+        restored.update(backend.restore(jobs))
         if progress is not None:
             for job in jobs:
                 if job.job_id in restored:
@@ -199,10 +264,10 @@ class BatchEngine:
 
         executed: dict[str, tuple[dict, float]] = {}
         if pending:
-            if self._config.workers > 1:
-                self._run_parallel(pending, executed, progress)
-            else:
-                self._run_serial(pending, executed, progress)
+            backend.execute(
+                pending,
+                lambda job, result, elapsed: self._record(
+                    job, result, elapsed, executed, progress))
 
         outcomes: list[JobOutcome] = []
         for job in jobs:
@@ -226,103 +291,27 @@ class BatchEngine:
         if progress is not None:
             progress(JobOutcome(job, result, elapsed))
 
-    def _run_serial(self, pending: Sequence[BatchJob],
-                    executed: dict[str, tuple[dict, float]],
-                    progress: ProgressCallback | None) -> None:
-        for job in pending:
-            __, result, elapsed = _execute(job)
-            self._record(job, result, elapsed, executed, progress)
-
-    def _run_parallel(self, pending: Sequence[BatchJob],
-                      executed: dict[str, tuple[dict, float]],
-                      progress: ProgressCallback | None) -> None:
-        by_id = {job.job_id: job for job in pending}
-        with ProcessPoolExecutor(
-                max_workers=self._config.workers) as pool:
-            futures = {pool.submit(_execute, job) for job in pending}
-            while futures:
-                done, futures = wait(futures,
-                                     return_when=FIRST_COMPLETED)
-                for future in done:
-                    job_id, result, elapsed = future.result()
-                    self._record(by_id[job_id], result, elapsed,
-                                 executed, progress)
-
     # -- checkpointing --------------------------------------------------------
-
-    def _repair_checkpoint(self) -> None:
-        """Drop a torn final line left by a killed writer.
-
-        Appends are flushed per line, so a crash can leave at most one
-        record without its terminating newline. That torn tail must be
-        removed *before* this run appends: ``open(..., "a")`` would
-        otherwise glue the next completed record onto it, producing one
-        unparseable line that silently loses a *valid* cell on the next
-        resume. The torn record itself is unparseable anyway; its job
-        simply re-runs.
-        """
-        path = Path(self._config.checkpoint_path)
-        if not path.exists():
-            return
-        data = path.read_bytes()
-        if not data or data.endswith(b"\n"):
-            return
-        cut = data.rfind(b"\n") + 1  # 0 when the only line is torn
-        # Truncate in place rather than rewriting the file: truncation
-        # only ever drops the torn tail, so a crash *during* repair
-        # cannot lose the valid records a full rewrite would be
-        # holding in flight.
-        with open(path, "r+b") as handle:
-            handle.truncate(cut)
 
     def _load_checkpoint(self, jobs: Sequence[BatchJob],
                          ) -> dict[str, tuple[dict, float]]:
         path = self._config.checkpoint_path
         if path is None or not self._config.resume:
             return {}
-        path = Path(path)
-        if not path.exists():
-            return {}
         params_by_id = {job.job_id: job.params_dict() for job in jobs}
-        restored: dict[str, tuple[dict, float]] = {}
-        for line in path.read_text(encoding="utf-8").splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn or corrupted line: drop, re-run
-            if not isinstance(record, dict):
-                continue  # valid JSON but not a record
-            job_id = record.get("job_id")
-            if job_id not in params_by_id:
-                continue
-            if record.get("params") != params_by_id[job_id]:
-                continue  # configuration changed since the checkpoint
-            result = record.get("result")
-            if not isinstance(result, dict):
-                continue
-            elapsed = record.get("elapsed", 0.0)
-            if not isinstance(elapsed, (int, float)):
-                elapsed = 0.0  # corrupted timing never blocks a resume
-            restored[job_id] = (result, float(elapsed))
-        return restored
+        return journal.load_cells(path, params_by_id)
 
     def _append_checkpoint(self, job: BatchJob, result: dict,
                            elapsed: float) -> None:
         path = self._config.checkpoint_path
         if path is None:
             return
-        record = {
+        journal.append_record(path, {
             "job_id": job.job_id,
             "params": job.params_dict(),
             "result": result,
             "elapsed": elapsed,
-        }
-        with open(path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
+        })
 
 
 def run_batch(jobs: Sequence[BatchJob],

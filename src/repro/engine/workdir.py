@@ -1,0 +1,379 @@
+"""The shared-directory work-stealing protocol of the workdir backend.
+
+N independent worker processes — potentially on different machines
+sharing one filesystem — drain one job list cooperatively with no
+coordinator connection, no locks and no daemon. All coordination is
+files in one directory:
+
+::
+
+    <workdir>/
+        meta.json             # format, job count, lease size
+        jobs.jsonl            # the full job list, in submission order
+        leases/
+            chunk-000003.todo                # up for grabs
+            chunk-000004.claimed-<worker>    # being executed
+            chunk-000005.done                # all results flushed
+        results/<worker>.jsonl               # per-worker journal
+
+Protocol invariants
+-------------------
+
+* **Claiming is an atomic rename.** A worker claims a chunk by
+  renaming ``chunk-N.todo`` to ``chunk-N.claimed-<worker>``; the
+  filesystem guarantees exactly one renamer wins, the losers get
+  ``FileNotFoundError`` and move on. No partial claims exist.
+* **Liveness is the claim file's mtime.** A worker touches its claim
+  file after every job; any process may rename a claim whose mtime is
+  older than the lease timeout back to ``.todo`` (stale-lease
+  reclamation). A worker that loses its claim this way abandons the
+  chunk — the jobs it already flushed are kept, the rest re-run under
+  the new owner.
+* **Results are torn-tail-safe journals** (:mod:`repro.engine.
+  journal`): each worker appends to its own file only, one flushed
+  line per job, so a ``kill -9`` costs at most the in-flight record.
+* **The merge is order-free and duplicate-free.** Jobs are pure, so
+  two workers that executed the same job (a reclaimed chunk's overlap)
+  wrote equal records; the merge dedups by job id over the sorted
+  results files and the engine assembles the report in job submission
+  order — byte-identical to a serial run.
+
+The lease timeout must exceed the longest single job: heartbeats
+happen between jobs, so a job that runs longer than the timeout looks
+dead and gets its chunk stolen (harmless for correctness — results
+merge and dedup — but it wastes work).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Callable, Sequence
+
+from repro.engine import journal
+from repro.engine.jobs import BatchJob, run_job
+
+#: On-disk protocol version; bump on incompatible layout changes.
+WORKDIR_FORMAT = 1
+
+#: Reclaim a claimed lease when its heartbeat is older than this.
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+#: Jobs per lease (the work-stealing granularity).
+DEFAULT_LEASE_SIZE = 1
+
+_META_FILE = "meta.json"
+_JOBS_FILE = "jobs.jsonl"
+_LEASES_DIR = "leases"
+_RESULTS_DIR = "results"
+
+
+def default_worker_id() -> str:
+    """A collision-free worker identity: host, pid and a random tag."""
+    return (f"{socket.gethostname()}-{os.getpid()}-"
+            f"{uuid.uuid4().hex[:8]}")
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One claimed contiguous chunk of the job list."""
+
+    index: int
+    start: int
+    stop: int
+    path: Path  # the ``.claimed-<worker>`` file while held
+
+
+@dataclass
+class WorkerSummary:
+    """What one :func:`work` loop did."""
+
+    worker_id: str
+    claimed: int = 0
+    executed: int = 0
+    skipped: int = 0
+    reclaimed: int = 0
+    lost: int = 0  # leases stolen mid-chunk (stale reclamation)
+
+
+class Workdir:
+    """One shared work-stealing directory (see the module docstring)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.jobs_path = self.root / _JOBS_FILE
+        self.meta_path = self.root / _META_FILE
+        self.leases_dir = self.root / _LEASES_DIR
+        self.results_dir = self.root / _RESULTS_DIR
+
+    # -- initialisation (coordinator side) ------------------------------------
+
+    def initialize(self, jobs: Sequence[BatchJob], *,
+                   lease_size: int = DEFAULT_LEASE_SIZE,
+                   fresh: bool = False) -> None:
+        """Publish the job list and create any missing lease files.
+
+        Re-initialising an existing workdir with the *same* job list
+        is a resume: done leases and flushed results are kept. A
+        different job list is refused (a workdir describes exactly one
+        sweep); ``fresh=True`` wipes leases and results first.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.leases_dir.mkdir(exist_ok=True)
+        self.results_dir.mkdir(exist_ok=True)
+        if fresh:
+            for stale in (*self.leases_dir.iterdir(),
+                          *self.results_dir.iterdir()):
+                stale.unlink()
+            self.jobs_path.unlink(missing_ok=True)
+            self.meta_path.unlink(missing_ok=True)
+
+        if self.jobs_path.exists():
+            existing = self.load_jobs()
+            if list(existing) != list(jobs):
+                raise ValueError(
+                    f"workdir {self.root} already holds a different "
+                    f"job list ({len(existing)} job(s)); a workdir "
+                    "describes exactly one sweep — use a fresh "
+                    "directory or resume=False")
+        else:
+            self._write_atomic(self.meta_path, json.dumps({
+                "format": WORKDIR_FORMAT,
+                "jobs": len(jobs),
+                "lease_size": int(lease_size),
+            }, sort_keys=True) + "\n")
+            lines = [json.dumps({"job_id": job.job_id,
+                                 "runner": job.runner,
+                                 "params": job.params_dict()},
+                                sort_keys=True)
+                     for job in jobs]
+            self._write_atomic(self.jobs_path,
+                               "\n".join(lines) + ("\n" if lines else ""))
+
+        present = {self._index_of(path.name)
+                   for path in self.leases_dir.iterdir()}
+        for index in range(self.chunk_count()):
+            if index in present:
+                continue
+            todo = self.leases_dir / f"chunk-{index:06d}.todo"
+            try:
+                todo.touch(exist_ok=False)
+            except FileExistsError:
+                pass  # another coordinator won the race
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        tmp = path.with_name(
+            f".{path.name}.{default_worker_id()}.tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+
+    # -- shared state ---------------------------------------------------------
+
+    def meta(self) -> dict:
+        meta = json.loads(self.meta_path.read_text(encoding="utf-8"))
+        if meta.get("format") != WORKDIR_FORMAT:
+            raise ValueError(
+                f"workdir {self.root} uses protocol format "
+                f"{meta.get('format')!r}, this build speaks "
+                f"{WORKDIR_FORMAT}")
+        return meta
+
+    def load_jobs(self) -> list[BatchJob]:
+        """The published job list, in submission order."""
+        jobs = []
+        for record in journal.iter_records(self.jobs_path):
+            jobs.append(BatchJob(
+                job_id=record["job_id"], runner=record["runner"],
+                params_json=json.dumps(record["params"],
+                                       sort_keys=True)))
+        return jobs
+
+    def chunk_count(self) -> int:
+        meta = self.meta()
+        total, size = meta["jobs"], meta["lease_size"]
+        return (total + size - 1) // size if total else 0
+
+    def chunk_bounds(self, index: int) -> tuple[int, int]:
+        meta = self.meta()
+        size = meta["lease_size"]
+        return index * size, min(meta["jobs"], (index + 1) * size)
+
+    @staticmethod
+    def _index_of(name: str) -> int:
+        # "chunk-000042.todo" / ".claimed-<worker>" / ".done"
+        return int(name.split(".", 1)[0].split("-", 1)[1])
+
+    # -- the lease protocol ---------------------------------------------------
+
+    def claim_next(self, worker_id: str) -> Lease | None:
+        """Claim the lowest-numbered open chunk, or None.
+
+        The rename is the whole claim: losing a race surfaces as
+        ``FileNotFoundError`` and the next candidate is tried — a
+        duplicate claim cannot exist.
+        """
+        for todo in sorted(self.leases_dir.glob("chunk-*.todo")):
+            index = self._index_of(todo.name)
+            claimed = todo.with_name(
+                f"chunk-{index:06d}.claimed-{worker_id}")
+            try:
+                os.rename(todo, claimed)
+            except FileNotFoundError:
+                continue  # lost the race for this chunk
+            # The rename keeps the .todo file's old mtime; stamp the
+            # claim now so it does not instantly look stale.
+            os.utime(claimed)
+            start, stop = self.chunk_bounds(index)
+            return Lease(index=index, start=start, stop=stop,
+                         path=claimed)
+        return None
+
+    def heartbeat(self, lease: Lease) -> bool:
+        """Refresh the claim's liveness; False when it was stolen."""
+        try:
+            os.utime(lease.path)
+        except FileNotFoundError:
+            return False
+        return True
+
+    def complete(self, lease: Lease) -> bool:
+        """Mark a claimed chunk done; False when it was stolen."""
+        done = lease.path.with_name(f"chunk-{lease.index:06d}.done")
+        try:
+            os.rename(lease.path, done)
+        except FileNotFoundError:
+            return False
+        return True
+
+    def reclaim_stale(self,
+                      timeout: float = DEFAULT_LEASE_TIMEOUT,
+                      ) -> list[int]:
+        """Return stale claims (heartbeat older than timeout) to todo."""
+        reclaimed: list[int] = []
+        now = time.time()
+        for claim in self.leases_dir.glob("chunk-*.claimed-*"):
+            try:
+                age = now - claim.stat().st_mtime
+            except FileNotFoundError:
+                continue  # completed or already reclaimed
+            if age <= timeout:
+                continue
+            index = self._index_of(claim.name)
+            todo = claim.with_name(f"chunk-{index:06d}.todo")
+            try:
+                os.rename(claim, todo)
+            except FileNotFoundError:
+                continue  # someone else got there first
+            reclaimed.append(index)
+        return reclaimed
+
+    def all_done(self) -> bool:
+        """True when every chunk's lease reached ``.done``."""
+        done = sum(1 for _ in self.leases_dir.glob("chunk-*.done"))
+        return done >= self.chunk_count()
+
+    # -- results --------------------------------------------------------------
+
+    def results_path(self, worker_id: str) -> Path:
+        return self.results_dir / f"{worker_id}.jsonl"
+
+    def append_result(self, worker_id: str, job: BatchJob,
+                      result: dict, elapsed: float) -> None:
+        journal.append_record(self.results_path(worker_id), {
+            "job_id": job.job_id,
+            "params": job.params_dict(),
+            "result": result,
+            "elapsed": elapsed,
+            "worker": worker_id,
+        })
+
+    def load_results(self, jobs: Sequence[BatchJob],
+                     ) -> dict[str, tuple[dict, float]]:
+        """Merge all workers' journals, validated and deduped.
+
+        Files are read in sorted name order and the first record per
+        job wins — deterministic, and since jobs are pure any
+        duplicate records hold equal results anyway.
+        """
+        params_by_id = {job.job_id: job.params_dict() for job in jobs}
+        merged: dict[str, tuple[dict, float]] = {}
+        for path in sorted(self.results_dir.glob("*.jsonl")):
+            for job_id, cell in journal.load_cells(
+                    path, params_by_id).items():
+                merged.setdefault(job_id, cell)
+        return merged
+
+
+def work(root: str | Path, *,
+         worker_id: str | None = None,
+         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+         poll_interval: float = 0.2,
+         max_idle: float | None = None,
+         wait_for_jobs: float = 0.0,
+         on_outcome: Callable[[BatchJob, dict, float], None]
+         | None = None) -> WorkerSummary:
+    """Drain a workdir: claim leases, run jobs, journal results.
+
+    This one loop is both the standalone ``repro worker`` process and
+    the coordinator's own execution path. It returns when every chunk
+    is done, or — with ``max_idle`` — after that many consecutive
+    seconds without a claimable lease (lets helpers drain and leave
+    while the coordinator keeps waiting).
+
+    ``wait_for_jobs`` tolerates workers starting before the
+    coordinator published the job list. A failing job propagates its
+    exception (the lease stays claimed and times out, so the chunk
+    eventually re-runs — and re-fails — under the coordinator, which
+    is where the error belongs).
+    """
+    wd = Workdir(root)
+    worker = worker_id or default_worker_id()
+    deadline = time.monotonic() + wait_for_jobs
+    while not (wd.jobs_path.exists() and wd.meta_path.exists()):
+        if time.monotonic() >= deadline:
+            raise FileNotFoundError(
+                f"no job list in workdir {wd.root} (is the "
+                "coordinator running with --backend workdir?)")
+        time.sleep(poll_interval)
+
+    jobs = wd.load_jobs()
+    done_ids = set(wd.load_results(jobs))  # resumed cells never re-run
+    summary = WorkerSummary(worker_id=worker)
+    idle = 0.0
+    while True:
+        summary.reclaimed += len(wd.reclaim_stale(lease_timeout))
+        lease = wd.claim_next(worker)
+        if lease is None:
+            if wd.all_done():
+                break
+            if max_idle is not None and idle >= max_idle:
+                break
+            time.sleep(poll_interval)
+            idle += poll_interval
+            continue
+        idle = 0.0
+        summary.claimed += 1
+        stolen = False
+        for job in jobs[lease.start:lease.stop]:
+            if job.job_id in done_ids:
+                summary.skipped += 1
+                continue
+            started = time.perf_counter()
+            result = run_job(job)
+            elapsed = time.perf_counter() - started
+            wd.append_result(worker, job, result, elapsed)
+            done_ids.add(job.job_id)
+            summary.executed += 1
+            if on_outcome is not None:
+                on_outcome(job, result, elapsed)
+            if not wd.heartbeat(lease):
+                stolen = True  # reclaimed under us: abandon the rest
+                break
+        if stolen or not wd.complete(lease):
+            summary.lost += 1
+    return summary

@@ -32,6 +32,12 @@ from repro.eval.core import (
     EvaluatorStats,
     incremental_default,
 )
+from repro.eval.diskcache import (
+    CACHE_DIR_ENV,
+    DiskCache,
+    DiskCacheStats,
+    cache_dir_default,
+)
 from repro.eval.problem import (
     ScheduleProblem,
     problem_fingerprint,
@@ -40,15 +46,19 @@ from repro.eval.problem import (
 from repro.schedule.estimation import EstimatorState, solution_fingerprint
 
 __all__ = [
+    "CACHE_DIR_ENV",
     "DEFAULT_MAX_ENTRIES",
     "DEFAULT_MAX_SCHEDULES",
     "CacheStats",
     "DesignEvaluation",
+    "DiskCache",
+    "DiskCacheStats",
     "EstimatorState",
     "Evaluator",
     "EvaluatorPool",
     "EvaluatorStats",
     "ScheduleProblem",
+    "cache_dir_default",
     "incremental_default",
     "problem_fingerprint",
     "solution_fingerprint",

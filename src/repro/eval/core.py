@@ -38,6 +38,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from collections.abc import Iterable, Mapping
 
+from repro.eval.diskcache import DiskCache, cache_dir_default
 from repro.eval.problem import Fingerprint, ScheduleProblem
 from repro.model.application import Application
 from repro.model.architecture import Architecture
@@ -196,7 +197,8 @@ class Evaluator:
     def __init__(self, problem: ScheduleProblem, *,
                  max_entries: int | None = DEFAULT_MAX_ENTRIES,
                  max_schedules: int | None = DEFAULT_MAX_SCHEDULES,
-                 incremental: bool | None = None) -> None:
+                 incremental: bool | None = None,
+                 disk: DiskCache | None = None) -> None:
         self._problem = problem
         self._estimates = _LruTier(max_entries)
         self._schedules = _LruTier(max_schedules)
@@ -204,6 +206,23 @@ class Evaluator:
         if incremental is None:
             incremental = incremental_default()
         self._incremental = incremental
+        self._disk = disk
+        self._disk_problem = (disk.problem_key(problem.fingerprint)
+                              if disk is not None else None)
+
+    # The disk tier sits strictly *behind* the in-memory tiers: a
+    # probe happens only after a memory miss was counted, and a hit
+    # stores exactly what the compute path would have produced — so
+    # enabling it changes no result and no in-memory counter.
+
+    def _disk_get(self, tier: str, key):
+        if self._disk is None:
+            return None
+        return self._disk.get(self._disk_problem, tier, key)
+
+    def _disk_put(self, tier: str, key, value) -> None:
+        if self._disk is not None:
+            self._disk.put(self._disk_problem, tier, key, value)
 
     @property
     def problem(self) -> ScheduleProblem:
@@ -226,12 +245,15 @@ class Evaluator:
                solution_fingerprint(policies, mapping))
         state = self._estimates.get(key)
         if state is None:
-            state = EstimatorState.compute(
-                self._problem.app, self._problem.arch, mapping,
-                policies, self._problem.fault_model,
-                priorities=self._problem.priorities,
-                bus_contention=bus_contention,
-                slack_sharing=slack_sharing)
+            state = self._disk_get("estimates", key)
+            if state is None:
+                state = EstimatorState.compute(
+                    self._problem.app, self._problem.arch, mapping,
+                    policies, self._problem.fault_model,
+                    priorities=self._problem.priorities,
+                    bus_contention=bus_contention,
+                    slack_sharing=slack_sharing)
+                self._disk_put("estimates", key, state)
             self._estimates.put(key, state)
         return state
 
@@ -261,15 +283,20 @@ class Evaluator:
                solution_fingerprint(policies, mapping))
         state = self._estimates.get(key)
         if state is None:
-            if self._incremental:
-                state = parent.reevaluate(policies, mapping, changed)
-            else:
-                state = EstimatorState.compute(
-                    self._problem.app, self._problem.arch, mapping,
-                    policies, self._problem.fault_model,
-                    priorities=self._problem.priorities,
-                    bus_contention=parent.bus_contention,
-                    slack_sharing=parent.slack_sharing)
+            state = self._disk_get("estimates", key)
+            if state is None:
+                if self._incremental:
+                    state = parent.reevaluate(policies, mapping,
+                                              changed)
+                else:
+                    state = EstimatorState.compute(
+                        self._problem.app, self._problem.arch,
+                        mapping, policies,
+                        self._problem.fault_model,
+                        priorities=self._problem.priorities,
+                        bus_contention=parent.bus_contention,
+                        slack_sharing=parent.slack_sharing)
+                self._disk_put("estimates", key, state)
             self._estimates.put(key, state)
         return state
 
@@ -289,11 +316,14 @@ class Evaluator:
                _transparency_key(transparency), max_contexts)
         schedule = self._schedules.get(key)
         if schedule is None:
-            schedule = synthesize_schedule(
-                self._problem.app, self._problem.arch, mapping,
-                policies, self._problem.fault_model, transparency,
-                priorities=self._problem.priorities,
-                max_contexts=max_contexts)
+            schedule = self._disk_get("schedules", key)
+            if schedule is None:
+                schedule = synthesize_schedule(
+                    self._problem.app, self._problem.arch, mapping,
+                    policies, self._problem.fault_model, transparency,
+                    priorities=self._problem.priorities,
+                    max_contexts=max_contexts)
+                self._disk_put("schedules", key, schedule)
             self._schedules.put(key, schedule)
         return schedule
 
@@ -309,6 +339,11 @@ class Evaluator:
                _transparency_key(transparency), max_contexts)
         design = self._designs.get(key)
         if design is None:
+            # No disk tier here: a disk hit would skip the nested
+            # exact_schedule() lookup and its miss counter, making a
+            # warm run observably different from a cold one. The
+            # expensive part (the conditional tables) is disk-cached
+            # one tier down; the derived metrics are cheap.
             schedule = self.exact_schedule(
                 policies, mapping, transparency,
                 max_contexts=max_contexts)
@@ -361,16 +396,35 @@ class EvaluatorPool:
     :class:`~repro.schedule.estimation_cache.EstimationCache` it never
     binds to a first workload — problems are told apart by content,
     so mixing workloads through one pool is safe by construction.
+
+    ``cache_dir`` attaches a persistent :class:`~repro.eval.diskcache.
+    DiskCache` shared by all evaluators, so sweeps warm-start across
+    runs. The default comes from the ``REPRO_EVAL_CACHE_DIR``
+    environment variable (read at construction, so worker processes
+    inherit it); pass ``cache_dir=None`` to force it off.
     """
+
+    #: Sentinel: "use the environment-configured default".
+    _ENV_DEFAULT = object()
 
     def __init__(self, *,
                  max_entries: int | None = DEFAULT_MAX_ENTRIES,
                  max_schedules: int | None = DEFAULT_MAX_SCHEDULES,
-                 incremental: bool | None = None) -> None:
+                 incremental: bool | None = None,
+                 cache_dir: object = _ENV_DEFAULT) -> None:
         self._max_entries = max_entries
         self._max_schedules = max_schedules
         self._incremental = incremental
+        if cache_dir is EvaluatorPool._ENV_DEFAULT:
+            cache_dir = cache_dir_default()
+        self._disk = (DiskCache(cache_dir)  # type: ignore[arg-type]
+                      if cache_dir is not None else None)
         self._evaluators: dict[Fingerprint, Evaluator] = {}
+
+    @property
+    def disk_cache(self) -> DiskCache | None:
+        """The attached persistent cache, when enabled."""
+        return self._disk
 
     def evaluator_for(self, app: Application, arch: Architecture,
                       fault_model: FaultModel, *,
@@ -384,7 +438,8 @@ class EvaluatorPool:
             evaluator = Evaluator(
                 problem, max_entries=self._max_entries,
                 max_schedules=self._max_schedules,
-                incremental=self._incremental)
+                incremental=self._incremental,
+                disk=self._disk)
             self._evaluators[problem.fingerprint] = evaluator
         return evaluator
 

@@ -25,6 +25,8 @@ execution.
 
 from __future__ import annotations
 
+import argparse
+import os
 from dataclasses import asdict, dataclass, field
 from collections.abc import Mapping, Sequence
 
@@ -33,9 +35,11 @@ from repro.campaigns.runner import (
     run_campaign_chunk,
 )
 from repro.campaigns.stats import CampaignStats
+from repro.engine.backends import BACKENDS
 from repro.engine.grid import grid_jobs
 from repro.engine.jobs import BatchJob
 from repro.engine.runner import BatchEngine, EngineConfig, JobOutcome
+from repro.eval.diskcache import CACHE_DIR_ENV
 from repro.ftcpg.scenarios import count_fault_plans
 from repro.experiments.reporting import (
     group_cells_by_size,
@@ -240,12 +244,44 @@ def run_campaign_sweep(config: CampaignSweepConfig | None = None, *,
     return rows_from_cells(report.results(), sizes=config.sizes)
 
 
-def main() -> None:
+def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point: the full grid."""
-    rows = run_campaign_sweep(CampaignSweepConfig.full(), verbose=True)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.campaign",
+        description="Fault-injection campaign sweep over an "
+                    "application-size grid")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (<=1 runs serially)")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="JSONL checkpoint of completed cells "
+                             "(enables resume)")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="executor backend (serial, process or "
+                             "workdir); default auto-selects from "
+                             "--workers/--workdir")
+    parser.add_argument("--workdir", default=None, metavar="DIR",
+                        help="shared directory of the workdir "
+                             "backend; 'repro worker' processes may "
+                             "join from any host sharing it")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent evaluation cache "
+                             "(REPRO_EVAL_CACHE_DIR); repeated "
+                             "sweeps warm-start from it")
+    args = parser.parse_args(argv)
+
+    if args.cache_dir:
+        os.environ[CACHE_DIR_ENV] = str(args.cache_dir)
+    engine_config = EngineConfig(workers=args.workers,
+                                 checkpoint_path=args.checkpoint,
+                                 backend=args.backend,
+                                 workdir=args.workdir)
+    rows = run_campaign_sweep(CampaignSweepConfig.full(),
+                              verbose=True,
+                              engine_config=engine_config)
     print()
     print("Campaign sweep — estimate vs exact vs simulated")
     print(render_rows(ROW_HEADER, [row.as_cells() for row in rows]))
+    return 0
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import csv
 import json
+import os
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -41,8 +42,10 @@ from repro.dse.explorer import (
     merge_dse_cells,
 )
 from repro.dse.space import SpaceConfig
+from repro.engine.backends import BACKENDS
 from repro.engine.jobs import BatchJob
 from repro.engine.runner import BatchEngine, EngineConfig, JobOutcome
+from repro.eval.diskcache import CACHE_DIR_ENV
 from repro.synthesis.tabu import TabuSettings
 
 
@@ -192,6 +195,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--checkpoint", default=None, metavar="PATH",
                         help="JSONL checkpoint of completed chunks "
                              "(enables resume)")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="executor backend (serial, process or "
+                             "workdir); default auto-selects from "
+                             "--workers/--workdir")
+    parser.add_argument("--workdir", default=None, metavar="DIR",
+                        help="shared directory of the workdir "
+                             "backend; 'repro worker' processes may "
+                             "join from any host sharing it")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent evaluation cache "
+                             "(REPRO_EVAL_CACHE_DIR); repeated "
+                             "sweeps warm-start from it")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the canonical JSON sweep report")
     parser.add_argument("--csv", default=None, metavar="PATH",
@@ -200,8 +215,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     config = (ParetoSweepConfig.paper() if args.profile == "paper"
               else ParetoSweepConfig.quick())
+    if args.cache_dir:
+        os.environ[CACHE_DIR_ENV] = str(args.cache_dir)
     engine_config = EngineConfig(workers=args.workers,
-                                 checkpoint_path=args.checkpoint)
+                                 checkpoint_path=args.checkpoint,
+                                 backend=args.backend,
+                                 workdir=args.workdir)
     reports = run_pareto_sweep(config, engine_config=engine_config,
                                verbose=True)
     for report in reports:

@@ -1,0 +1,333 @@
+"""Backend conformance: one contract, every executor backend.
+
+The engine's core guarantee is that *where* jobs run never changes
+*what* comes out: serial, process-pool and workdir execution must
+produce byte-identical JSON/CSV reports, fire the same progress
+callbacks, resume over torn journals, and reject duplicate work. The
+contract tests here run parametrized over all registered backends;
+the workdir protocol (atomic claims, stale-lease reclamation, killed
+workers) gets its own section below.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from engine_runners import read_log
+from repro.engine import (
+    BACKENDS,
+    BatchEngine,
+    BatchJob,
+    EngineConfig,
+    work,
+)
+from repro.engine.journal import (
+    append_record,
+    iter_records,
+    load_cells,
+    repair_torn_tail,
+)
+from repro.engine.workdir import Workdir
+
+JOBS = 6
+
+
+def echo_jobs(count: int = JOBS) -> list[BatchJob]:
+    return [BatchJob.create(f"cell-{i:02d}", "engine_runners:echo",
+                            name=f"cell-{i:02d}", value=i * 10)
+            for i in range(count)]
+
+
+def logged_jobs(log, count: int = JOBS) -> list[BatchJob]:
+    return [BatchJob.create(f"cell-{i:02d}",
+                            "engine_runners:touch_and_echo",
+                            name=f"cell-{i:02d}", value=i * 10,
+                            log=str(log))
+            for i in range(count)]
+
+
+def config_for(backend: str, tmp_path, **overrides) -> EngineConfig:
+    """A representative configuration of one backend."""
+    base: dict = {"backend": backend}
+    if backend == "process":
+        base["workers"] = 2
+    if backend == "workdir":
+        base["workdir"] = tmp_path / "wd"
+        base["lease_size"] = 2
+        base["lease_timeout"] = 10.0
+    else:
+        base["checkpoint_path"] = tmp_path / "checkpoint.jsonl"
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+def journal_of(config: EngineConfig, tmp_path):
+    """The (single) journal file a run of this config wrote."""
+    if config.checkpoint_path is not None:
+        return config.checkpoint_path
+    journals = sorted(Workdir(config.workdir).results_dir
+                      .glob("*.jsonl"))
+    assert journals, "workdir run left no result journal"
+    return journals[-1]
+
+
+class TestBackendConformance:
+    """The parametrized contract every backend must satisfy."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_report_byte_identical_to_serial(self, backend, tmp_path):
+        jobs = echo_jobs()
+        oracle = BatchEngine(EngineConfig()).run(jobs)
+        report = BatchEngine(
+            config_for(backend, tmp_path)).run(jobs)
+        assert report.to_json() == oracle.to_json()
+
+        report.write_csv(tmp_path / "report.csv")
+        oracle.write_csv(tmp_path / "oracle.csv")
+        assert (tmp_path / "report.csv").read_bytes() \
+            == (tmp_path / "oracle.csv").read_bytes()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_progress_callback_once_per_job(self, backend, tmp_path):
+        jobs = echo_jobs()
+        outcomes = []
+        BatchEngine(config_for(backend, tmp_path)).run(
+            jobs, progress=outcomes.append)
+        assert sorted(o.job.job_id for o in outcomes) \
+            == [job.job_id for job in jobs]
+        assert not any(o.from_checkpoint for o in outcomes)
+        assert all(o.result["name"] == o.job.job_id
+                   for o in outcomes)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_resume_skips_completed_cells(self, backend, tmp_path):
+        log = tmp_path / "executions.log"
+        jobs = logged_jobs(log)
+        config = config_for(backend, tmp_path)
+        first = BatchEngine(config).run(jobs)
+        assert first.executed == JOBS
+
+        second = BatchEngine(config).run(jobs)
+        assert second.resumed == JOBS
+        assert second.executed == 0
+        assert second.to_json() == first.to_json()
+        assert len(read_log(log)) == JOBS  # nothing re-ran
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_resume_after_midline_truncation(self, backend,
+                                             tmp_path):
+        log = tmp_path / "executions.log"
+        jobs = logged_jobs(log)
+        config = config_for(backend, tmp_path)
+        first = BatchEngine(config).run(jobs)
+
+        # Tear the journal mid final line, as a kill -9 would.
+        journal = journal_of(config, tmp_path)
+        data = journal.read_bytes()
+        journal.write_bytes(data[:-9])
+
+        second = BatchEngine(config).run(jobs)
+        assert second.to_json() == first.to_json()
+        # Exactly the torn cell re-ran.
+        assert len(read_log(log)) == JOBS + 1
+        # And the journal is whole again: every cell parseable.
+        assert len(list(iter_records(journal_of(config, tmp_path)))) \
+            >= 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_duplicate_job_ids_rejected(self, backend, tmp_path):
+        jobs = echo_jobs(2) + echo_jobs(1)
+        with pytest.raises(ValueError, match="duplicate job id"):
+            BatchEngine(config_for(backend, tmp_path)).run(jobs)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_no_resume_reruns_everything(self, backend, tmp_path):
+        log = tmp_path / "executions.log"
+        jobs = logged_jobs(log)
+        first = BatchEngine(config_for(backend, tmp_path)).run(jobs)
+        second = BatchEngine(
+            config_for(backend, tmp_path, resume=False)).run(jobs)
+        assert second.to_json() == first.to_json()
+        assert second.executed == JOBS
+        assert len(read_log(log)) == 2 * JOBS
+
+
+class TestWorkdirProtocol:
+    """The lease protocol underneath the workdir backend."""
+
+    def make_workdir(self, tmp_path, jobs, lease_size=2) -> Workdir:
+        wd = Workdir(tmp_path / "wd")
+        wd.initialize(jobs, lease_size=lease_size)
+        return wd
+
+    def test_claim_is_exclusive(self, tmp_path):
+        wd = self.make_workdir(tmp_path, echo_jobs(2), lease_size=2)
+        first = wd.claim_next("worker-a")
+        assert first is not None and first.index == 0
+        # The one chunk is claimed: a second claim finds nothing.
+        assert wd.claim_next("worker-b") is None
+
+    def test_second_claim_gets_next_chunk(self, tmp_path):
+        wd = self.make_workdir(tmp_path, echo_jobs(4), lease_size=2)
+        assert wd.claim_next("worker-a").index == 0
+        assert wd.claim_next("worker-b").index == 1
+
+    def test_stale_lease_reclaimed_fresh_one_kept(self, tmp_path):
+        wd = self.make_workdir(tmp_path, echo_jobs(4), lease_size=2)
+        stale = wd.claim_next("dead-worker")
+        fresh = wd.claim_next("live-worker")
+        old = time.time() - 999.0
+        os.utime(stale.path, (old, old))
+        assert wd.reclaim_stale(30.0) == [stale.index]
+        assert wd.reclaim_stale(30.0) == []  # fresh lease untouched
+        assert wd.heartbeat(fresh)
+        assert not wd.heartbeat(stale)  # the claim file is gone
+
+    def test_killed_worker_chunk_reruns(self, tmp_path):
+        """A dead claim with a torn record: valid cells are kept,
+        the torn one re-runs, the report matches serial exactly."""
+        log = tmp_path / "executions.log"
+        jobs = logged_jobs(log, 4)
+        oracle = BatchEngine(EngineConfig()).run(jobs)
+        log.write_text("", encoding="utf-8")  # reset oracle's runs
+
+        wd = self.make_workdir(tmp_path, jobs, lease_size=2)
+        lease = wd.claim_next("dead-worker")
+        # The dead worker flushed its first cell, then died mid-write.
+        wd.append_result("dead-worker", jobs[0],
+                         {"name": jobs[0].job_id, "value": 0}, 0.1)
+        with open(wd.results_path("dead-worker"), "a") as handle:
+            handle.write('{"job_id": "cell-01", "par')
+        old = time.time() - 999.0
+        os.utime(lease.path, (old, old))
+
+        config = EngineConfig(backend="workdir",
+                              workdir=tmp_path / "wd",
+                              lease_size=2, lease_timeout=1.0)
+        report = BatchEngine(config).run(jobs)
+        assert report.to_json() == oracle.to_json()
+        executed = read_log(log)
+        assert jobs[0].job_id not in executed  # flushed cell kept
+        assert executed.count("cell-01") == 1  # torn cell re-ran once
+
+    def test_concurrent_external_worker(self, tmp_path):
+        """A racing `repro worker` loop: everything still lands in
+        one byte-identical report."""
+        jobs = echo_jobs(12)
+        oracle = BatchEngine(EngineConfig()).run(jobs)
+        workdir = tmp_path / "wd"
+        helper = threading.Thread(
+            target=work, args=(workdir,),
+            kwargs={"worker_id": "helper", "max_idle": 2.0,
+                    "wait_for_jobs": 10.0, "poll_interval": 0.02})
+        helper.start()
+        try:
+            config = EngineConfig(backend="workdir", workdir=workdir,
+                                  lease_size=1)
+            report = BatchEngine(config).run(jobs)
+        finally:
+            helper.join()
+        assert report.to_json() == oracle.to_json()
+
+    def test_completed_lease_without_records_is_recomputed(
+            self, tmp_path):
+        """A chunk marked done whose records vanished entirely still
+        completes: the coordinator re-runs the missing cells."""
+        jobs = echo_jobs(4)
+        wd = self.make_workdir(tmp_path, jobs, lease_size=2)
+        lease = wd.claim_next("amnesiac")
+        assert wd.complete(lease)  # done, but nothing journaled
+        config = EngineConfig(backend="workdir",
+                              workdir=tmp_path / "wd", lease_size=2)
+        report = BatchEngine(config).run(jobs)
+        assert report.to_json() \
+            == BatchEngine(EngineConfig()).run(jobs).to_json()
+
+    def test_different_job_list_rejected(self, tmp_path):
+        self.make_workdir(tmp_path, echo_jobs(4))
+        other = [BatchJob.create("other", "engine_runners:echo",
+                                 name="other", value=1)]
+        config = EngineConfig(backend="workdir",
+                              workdir=tmp_path / "wd")
+        with pytest.raises(ValueError, match="different job list"):
+            BatchEngine(config).run(other)
+
+    def test_worker_times_out_without_jobs(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no job list"):
+            work(tmp_path / "empty", wait_for_jobs=0.0)
+
+    def test_worker_summary_counts(self, tmp_path):
+        jobs = echo_jobs(4)
+        self.make_workdir(tmp_path, jobs, lease_size=2)
+        summary = work(tmp_path / "wd", worker_id="solo")
+        assert summary.claimed == 2
+        assert summary.executed == 4
+        assert summary.lost == 0
+
+
+class TestEngineConfigValidation:
+    """Invalid configurations fail at construction, not mid-sweep."""
+
+    def test_auto_selection(self, tmp_path):
+        assert EngineConfig().backend_name == "serial"
+        assert EngineConfig(workers=4).backend_name == "process"
+        assert EngineConfig(
+            workdir=tmp_path / "wd").backend_name == "workdir"
+
+    @pytest.mark.parametrize("kwargs, match", [
+        ({"backend": "bogus"}, "unknown backend"),
+        ({"backend": "workdir"}, "needs a shared directory"),
+        ({"backend": "serial", "workdir": "wd"},
+         "only used by the workdir backend"),
+        ({"lease_size": 0}, "lease_size"),
+        ({"lease_timeout": 0.0}, "lease_timeout"),
+    ])
+    def test_rejected_configs(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            EngineConfig(**kwargs)
+
+    def test_workdir_excludes_checkpoint(self, tmp_path):
+        with pytest.raises(ValueError, match="workdir is the "
+                                             "checkpoint"):
+            EngineConfig(workdir=tmp_path / "wd",
+                         checkpoint_path=tmp_path / "ckpt.jsonl")
+
+
+class TestJournal:
+    """The torn-tail-safe JSONL primitives."""
+
+    def test_repair_truncates_only_the_torn_tail(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        append_record(path, {"job_id": "a", "value": 1})
+        with open(path, "a") as handle:
+            handle.write('{"job_id": "b", "val')
+        assert repair_torn_tail(path)
+        assert [r["job_id"] for r in iter_records(path)] == ["a"]
+        assert not repair_torn_tail(path)  # already whole
+
+    def test_iter_records_skips_garbage(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"job_id": "a"}\nnot json\n[1, 2]\n\n'
+                        '{"job_id": "b"}\n', encoding="utf-8")
+        assert [r["job_id"] for r in iter_records(path)] \
+            == ["a", "b"]
+
+    def test_load_cells_validates_params(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        append_record(path, {"job_id": "a", "params": {"x": 1},
+                             "result": {"v": 1}, "elapsed": 0.5})
+        append_record(path, {"job_id": "a", "params": {"x": 1},
+                             "result": {"v": 99}, "elapsed": 0.5})
+        append_record(path, {"job_id": "b", "params": {"x": 2},
+                             "result": {"v": 2}, "elapsed": "bad"})
+        append_record(path, {"job_id": "c", "params": {"x": 3},
+                             "result": {"v": 3}})
+        cells = load_cells(path, {"a": {"x": 1}, "b": {"x": 2},
+                                  "c": {"x": 999}})
+        assert cells["a"] == ({"v": 1}, 0.5)  # first record wins
+        assert cells["b"] == ({"v": 2}, 0.0)  # bad timing tolerated
+        assert "c" not in cells  # params changed: never reused

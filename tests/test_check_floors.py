@@ -1,0 +1,124 @@
+"""The CI benchmark trend gate (benchmarks/check_floors.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = (Path(__file__).resolve().parent.parent / "benchmarks"
+          / "check_floors.py")
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_floors",
+                                                  SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def result_file(tmp_path, name, records):
+    path = tmp_path / name
+    path.write_text(json.dumps({"benchmarks": records}),
+                    encoding="utf-8")
+    return path
+
+
+def record(fullname, **extra_info):
+    return {"fullname": fullname, "extra_info": extra_info,
+            "stats": {"mean": 1.0}}
+
+
+def floors_file(tmp_path, floors):
+    path = tmp_path / "floors.json"
+    path.write_text(json.dumps(floors), encoding="utf-8")
+    return path
+
+
+class TestCheckFloors:
+    FLOORS = {"bench.py::test_speed": {
+        "required": True, "min_extra_info": {"speedup": 3.0}}}
+
+    def run(self, gate, tmp_path, records, floors=None,
+            extra_files=()):
+        results = result_file(tmp_path, "results.json", records)
+        out = tmp_path / "trend.json"
+        code = gate.main([str(results), *map(str, extra_files),
+                          "--floors",
+                          str(floors_file(tmp_path,
+                                          floors or self.FLOORS)),
+                          "--out", str(out)])
+        return code, json.loads(out.read_text(encoding="utf-8"))
+
+    def test_metric_at_floor_passes(self, gate, tmp_path, capsys):
+        code, trend = self.run(
+            gate, tmp_path,
+            [record("bench.py::test_speed", speedup=3.0)])
+        assert code == 0
+        assert trend["benchmarks"][0]["status"] == "ok"
+        assert "[     ok]" in capsys.readouterr().out
+
+    def test_regression_fails(self, gate, tmp_path, capsys):
+        code, trend = self.run(
+            gate, tmp_path,
+            [record("bench.py::test_speed", speedup=2.9)])
+        assert code == 1
+        assert trend["benchmarks"][0]["status"] == "failed"
+        assert "below floor 3.0" in capsys.readouterr().err
+
+    def test_missing_required_benchmark_fails(self, gate, tmp_path,
+                                              capsys):
+        code, trend = self.run(gate, tmp_path, [])
+        assert code == 1
+        assert trend["benchmarks"][0]["status"] == "missing"
+        assert "no result produced" in capsys.readouterr().err
+
+    def test_missing_optional_benchmark_passes(self, gate, tmp_path):
+        floors = {"bench.py::test_speed": {
+            "min_extra_info": {"speedup": 3.0}}}
+        code, trend = self.run(gate, tmp_path, [], floors=floors)
+        assert code == 0
+        assert trend["benchmarks"][0]["status"] == "missing"
+
+    def test_missing_metric_fails(self, gate, tmp_path, capsys):
+        code, __ = self.run(
+            gate, tmp_path,
+            [record("bench.py::test_speed", other=1.0)])
+        assert code == 1
+        assert "missing from extra_info" in capsys.readouterr().err
+
+    def test_results_merge_across_files(self, gate, tmp_path):
+        floors = dict(self.FLOORS)
+        floors["other.py::test_rate"] = {
+            "required": True, "min_extra_info": {"hit_rate": 0.1}}
+        extra = result_file(
+            tmp_path, "more.json",
+            [record("other.py::test_rate", hit_rate=0.5)])
+        code, trend = self.run(
+            gate, tmp_path,
+            [record("bench.py::test_speed", speedup=5.0)],
+            floors=floors, extra_files=[extra])
+        assert code == 0
+        assert [row["status"] for row in trend["benchmarks"]] \
+            == ["ok", "ok"]
+
+    def test_repo_floors_are_well_formed(self, gate):
+        floors = json.loads(
+            SCRIPT.with_name("floors.json").read_text(
+                encoding="utf-8"))
+        assert floors, "floors.json must pin at least one benchmark"
+        for fullname, floor in floors.items():
+            assert "::" in fullname
+            assert floor["min_extra_info"], fullname
+            bench = SCRIPT.parent / fullname.split("::")[0].split(
+                "benchmarks/")[1]
+            assert bench.exists(), f"{fullname}: file moved?"
+            source = bench.read_text(encoding="utf-8")
+            for metric in floor["min_extra_info"]:
+                assert f'"{metric}"' in source, (
+                    f"{fullname}: {metric} not recorded by the "
+                    f"benchmark")

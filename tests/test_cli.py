@@ -236,3 +236,91 @@ class TestCampaignCommand:
         assert "verified exhaustively" in printed
         payload = json.loads(out.read_text(encoding="utf-8"))
         assert payload["verification"]["certified"] is True
+
+
+class TestEngineFlagValidation:
+    """Invalid engine flag combinations die at parse time with a
+    usage error, not mid-sweep with a traceback."""
+
+    @pytest.mark.parametrize("argv", [
+        ["verify", "--workers", "0"],
+        ["verify", "--chunks", "-2"],
+        ["batch", "--experiment", "fig7", "--workers", "nope"],
+        ["dse", "--lease-size", "0"],
+        ["campaign", "--lease-timeout", "0"],
+        ["worker", "--workdir", "wd", "--lease-timeout", "-1"],
+    ])
+    def test_bad_values_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv, hint", [
+        (["verify", "--backend", "workdir"], "--workdir"),
+        (["dse", "--backend", "serial", "--workdir", "wd"],
+         "workdir backend"),
+        (["batch", "--experiment", "fig7", "--workdir", "wd",
+          "--checkpoint", "c.jsonl"], "the workdir is the checkpoint"),
+    ])
+    def test_bad_combinations_rejected(self, argv, hint, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert hint in capsys.readouterr().err
+
+    def test_bogus_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["verify", "--backend", "threads"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestWorkdirCli:
+    VERIFY = ["verify", "--processes", "5", "--nodes", "2",
+              "--seed", "1", "--k", "1", "--iterations", "4",
+              "--neighborhood", "4", "--chunks", "2"]
+
+    def test_verify_workdir_matches_serial(self, tmp_path, capsys):
+        serial_out = tmp_path / "serial.json"
+        workdir_out = tmp_path / "workdir.json"
+        assert main([*self.VERIFY, "--backend", "serial",
+                     "--out", str(serial_out)]) == 0
+        assert main([*self.VERIFY, "--backend", "workdir",
+                     "--workdir", str(tmp_path / "wd"),
+                     "--out", str(workdir_out)]) == 0
+        capsys.readouterr()
+        assert workdir_out.read_bytes() == serial_out.read_bytes()
+
+    def test_worker_drains_a_workdir(self, tmp_path, capsys):
+        from repro.engine import BatchJob, Workdir
+
+        jobs = [BatchJob.create(f"cell-{i}", "engine_runners:echo",
+                                name=f"cell-{i}", value=i)
+                for i in range(3)]
+        Workdir(tmp_path / "wd").initialize(jobs, lease_size=1)
+        code = main(["worker", "--workdir", str(tmp_path / "wd"),
+                     "--worker-id", "cli-worker", "--max-idle", "1"])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "3 job(s) executed" in printed
+        # The drained workdir resumes: the engine recomputes nothing.
+        from repro.engine import BatchEngine, EngineConfig
+        report = BatchEngine(EngineConfig(
+            workdir=tmp_path / "wd", lease_size=1)).run(jobs)
+        assert report.resumed == 3
+
+    def test_cache_dir_flag_exports_environment(self, tmp_path,
+                                                monkeypatch,
+                                                capsys):
+        import os
+
+        from repro.eval import CACHE_DIR_ENV
+
+        # setenv (not delenv) so teardown removes whatever main()
+        # exported and the variable never leaks into later tests.
+        monkeypatch.setenv(CACHE_DIR_ENV, "")
+        cache = tmp_path / "cache"
+        assert main([*self.VERIFY, "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert os.environ[CACHE_DIR_ENV] == str(cache)
+        assert any(cache.rglob("*.pkl"))
