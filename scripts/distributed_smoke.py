@@ -107,6 +107,7 @@ def main() -> int:
         scratch.mkdir(parents=True, exist_ok=True)
     else:
         scratch = Path(tempfile.mkdtemp(prefix="repro-smoke-"))
+    # repro: allow[REP004] scratch fixture module, not resumable state
     (scratch / "smoke_runners.py").write_text(RUNNER_MODULE,
                                               encoding="utf-8")
     sys.path.insert(0, str(scratch))

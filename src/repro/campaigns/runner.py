@@ -42,6 +42,7 @@ from repro.campaigns.stats import (
     CampaignStats,
     estimate_bound,
 )
+from repro.engine import journal
 from repro.engine.grid import grid_jobs
 from repro.engine.jobs import BatchJob
 from repro.engine.runner import (
@@ -390,8 +391,8 @@ class CampaignReport:
         return json.dumps(self.to_jsonable(), indent=2, sort_keys=True)
 
     def write_json(self, path: str | Path) -> None:
-        """Write the canonical JSON report."""
-        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+        """Write the canonical JSON report (atomic replace)."""
+        journal.write_atomic_text(path, self.to_json() + "\n")
 
     def summary_lines(self) -> list[str]:
         """Human-readable aggregate summary (CLI output)."""

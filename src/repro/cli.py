@@ -91,6 +91,12 @@ from repro.dse import (
 from repro.engine import BACKENDS, BatchEngine, EngineConfig
 from repro.engine.workdir import DEFAULT_LEASE_TIMEOUT, work
 from repro.eval import CACHE_DIR_ENV
+from repro.lint import (
+    RULE_IDS,
+    lint_paths,
+    render_json,
+    render_text,
+)
 from repro import __version__
 from repro.experiments import fig7 as fig7_mod
 from repro.experiments import fig8 as fig8_mod
@@ -410,6 +416,17 @@ def _cmd_dse(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    report = lint_paths(args.paths,
+                        rules=args.rule or None,
+                        path_filters=args.path or None)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code
+
+
 def _cmd_worker(args) -> int:
     if args.cache_dir:
         os.environ[CACHE_DIR_ENV] = str(args.cache_dir)
@@ -451,6 +468,7 @@ examples:
   repro worker --workdir sweep.wd
   repro campaign --processes 8 --nodes 2 --k 2 --samples 200 \\
       --cache-dir ~/.cache/repro-eval --out campaign.json
+  repro lint src/repro scripts
 
 full reference: docs/cli.md
 """
@@ -759,6 +777,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "as '-' instead)")
     add_engine_args(p_dse)
     p_dse.set_defaults(func=_cmd_dse)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically check the repo's determinism, seeded-RNG "
+             "and crash-safe-I/O contracts (rules REP001-REP008; "
+             "exit code = violation count, capped)")
+    p_lint.add_argument("paths", nargs="+", metavar="PATH",
+                        help="files or directories to scan "
+                             "recursively for *.py modules")
+    p_lint.add_argument("--rule", action="append", choices=RULE_IDS,
+                        default=None, metavar="REP00x",
+                        help="check only the named rule(s); "
+                             "repeatable (default: all rules)")
+    p_lint.add_argument("--path", action="append", default=None,
+                        metavar="FRAGMENT",
+                        help="only lint files whose path contains "
+                             "this fragment; repeatable")
+    p_lint.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="report format: flake8-style text or "
+                             "canonical JSON")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_worker = sub.add_parser(
         "worker",

@@ -44,6 +44,7 @@ from repro.dse.space import (
     TransparencySpec,
     enumerate_candidates,
 )
+from repro.engine import journal
 from repro.engine.cache import Evaluator, EvaluatorPool
 from repro.engine.grid import grid_jobs
 from repro.engine.jobs import BatchJob
@@ -403,35 +404,37 @@ class DseReport:
         return json.dumps(self.to_jsonable(), indent=2, sort_keys=True)
 
     def write_json(self, path: str | Path) -> None:
-        """Write the canonical JSON report."""
-        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+        """Write the canonical JSON report (atomic replace)."""
+        journal.write_atomic_text(path, self.to_json() + "\n")
 
     def write_csv(self, path: str | Path) -> None:
-        """Write one CSV row per frontier point."""
+        """Write one CSV row per frontier point (atomic replace)."""
         import csv
-        with open(path, "w", newline="", encoding="utf-8") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(
-                ["index", "id", "group", *OBJECTIVE_NAMES,
-                 "transparency_degree", "checkpoint_bytes",
-                 "replication_bytes", "table_memory_bytes",
-                 "meets_deadline", "certified",
-                 "verified_scenarios"])
-            for point in self.frontier:
-                extras = point.extras
-                writer.writerow([
-                    point.index,
-                    point.candidate["id"],
-                    point.group,
-                    *point.objectives,
-                    extras.get("transparency_degree"),
-                    extras.get("checkpoint_bytes"),
-                    extras.get("replication_bytes"),
-                    extras.get("table_memory_bytes"),
-                    extras.get("meets_deadline"),
-                    extras.get("certified"),
-                    extras.get("verified_scenarios"),
-                ])
+        import io
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            ["index", "id", "group", *OBJECTIVE_NAMES,
+             "transparency_degree", "checkpoint_bytes",
+             "replication_bytes", "table_memory_bytes",
+             "meets_deadline", "certified",
+             "verified_scenarios"])
+        for point in self.frontier:
+            extras = point.extras
+            writer.writerow([
+                point.index,
+                point.candidate["id"],
+                point.group,
+                *point.objectives,
+                extras.get("transparency_degree"),
+                extras.get("checkpoint_bytes"),
+                extras.get("replication_bytes"),
+                extras.get("table_memory_bytes"),
+                extras.get("meets_deadline"),
+                extras.get("certified"),
+                extras.get("verified_scenarios"),
+            ])
+        journal.write_atomic_text(path, buffer.getvalue())
 
     def frontier_table(self) -> str:
         """The frontier as an aligned text table (CLI output).

@@ -17,11 +17,22 @@ may be killed at any instant. Three operations make that safe:
 Truncation (rather than rewriting the file) is deliberate: repair only
 ever drops the torn tail, so a crash *during* repair cannot lose the
 valid records a full rewrite would be holding in flight.
+
+Whole-file artifacts (reports, CSV exports, workdir metadata) have a
+fourth operation, :func:`write_atomic_text`: write to a unique temp
+file, then ``os.replace`` — the reader only ever sees the old
+contents or the new, never a torn mix, and concurrent writers both
+produce valid files (last replace wins). Every persistent write in
+the repo goes through this module or the disk cache's equivalent
+(``repro lint`` rule REP004 enforces it).
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
+import socket
 from pathlib import Path
 from collections.abc import Iterator
 
@@ -42,6 +53,36 @@ def repair_torn_tail(path: str | Path) -> bool:
     with open(path, "r+b") as handle:
         handle.truncate(cut)
     return True
+
+
+#: Per-process tmp-name sequence: host + pid + counter is unique
+#: without consuming entropy (rule REP002 bans ``uuid`` here).
+_TMP_IDS = itertools.count()
+
+
+def write_atomic_text(path: str | Path, text: str, *,
+                      encoding: str = "utf-8") -> None:
+    """Atomically replace a file's contents (tmp + ``os.replace``).
+
+    A crash at any byte leaves the destination either untouched or
+    fully written. The text is written verbatim (no newline
+    translation), so exports stay byte-identical across platforms.
+    I/O failures propagate — a report that cannot be written is an
+    error, not a degradation — but the temp file never outlives them.
+    """
+    path = Path(path)
+    tmp = path.with_name(
+        f".{path.name}.{socket.gethostname()}-{os.getpid()}-"
+        f"{next(_TMP_IDS)}.tmp")
+    try:
+        tmp.write_text(text, encoding=encoding, newline="")
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass  # the tmp file itself never got created
+        raise
 
 
 def append_record(path: str | Path, record: dict) -> None:

@@ -27,6 +27,7 @@ cannot break output reproducibility.
 from __future__ import annotations
 
 import csv
+import io
 import json
 import time
 from dataclasses import dataclass, field
@@ -181,20 +182,26 @@ class BatchReport:
         return json.dumps(self.to_jsonable(), indent=2, sort_keys=True)
 
     def write_json(self, path: str | Path) -> None:
-        """Write the canonical JSON report."""
-        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+        """Write the canonical JSON report (atomic replace)."""
+        journal.write_atomic_text(path, self.to_json() + "\n")
 
     def write_csv(self, path: str | Path) -> None:
-        """Write one CSV row per cell (nested keys dotted, sorted)."""
+        """Write one CSV row per cell (nested keys dotted, sorted).
+
+        Rendered in memory and atomically replaced, so a crash
+        mid-export never leaves a torn CSV next to a valid JSON
+        report.
+        """
         rows = [_flatten(outcome.result) for outcome in self.outcomes]
         columns = sorted({key for row in rows for key in row})
-        with open(path, "w", newline="", encoding="utf-8") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(["job_id", *columns])
-            for outcome, row in zip(self.outcomes, rows):
-                writer.writerow(
-                    [outcome.job.job_id]
-                    + [_cell(row.get(column)) for column in columns])
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["job_id", *columns])
+        for outcome, row in zip(self.outcomes, rows):
+            writer.writerow(
+                [outcome.job.job_id]
+                + [_cell(row.get(column)) for column in columns])
+        journal.write_atomic_text(path, buffer.getvalue())
 
 
 def _flatten(result: dict, prefix: str = "") -> dict:

@@ -127,8 +127,8 @@ class Workdir:
         self.leases_dir.mkdir(exist_ok=True)
         self.results_dir.mkdir(exist_ok=True)
         if fresh:
-            for stale in (*self.leases_dir.iterdir(),
-                          *self.results_dir.iterdir()):
+            for stale in (*sorted(self.leases_dir.iterdir()),
+                          *sorted(self.results_dir.iterdir())):
                 stale.unlink()
             self.jobs_path.unlink(missing_ok=True)
             self.meta_path.unlink(missing_ok=True)
@@ -156,7 +156,7 @@ class Workdir:
                                "\n".join(lines) + ("\n" if lines else ""))
 
         present = {self._index_of(path.name)
-                   for path in self.leases_dir.iterdir()}
+                   for path in sorted(self.leases_dir.iterdir())}
         for index in range(self.chunk_count()):
             if index in present:
                 continue
@@ -167,10 +167,7 @@ class Workdir:
                 pass  # another coordinator won the race
 
     def _write_atomic(self, path: Path, text: str) -> None:
-        tmp = path.with_name(
-            f".{path.name}.{default_worker_id()}.tmp")
-        tmp.write_text(text, encoding="utf-8")
-        os.replace(tmp, path)
+        journal.write_atomic_text(path, text)
 
     # -- shared state ---------------------------------------------------------
 
@@ -256,7 +253,7 @@ class Workdir:
         """Return stale claims (heartbeat older than timeout) to todo."""
         reclaimed: list[int] = []
         now = time.time()
-        for claim in self.leases_dir.glob("chunk-*.claimed-*"):
+        for claim in sorted(self.leases_dir.glob("chunk-*.claimed-*")):
             try:
                 age = now - claim.stat().st_mtime
             except FileNotFoundError:
@@ -274,6 +271,7 @@ class Workdir:
 
     def all_done(self) -> bool:
         """True when every chunk's lease reached ``.done``."""
+        # repro: allow[REP008] counting matches is order-free
         done = sum(1 for _ in self.leases_dir.glob("chunk-*.done"))
         return done >= self.chunk_count()
 

@@ -124,6 +124,8 @@ class DiskCache:
             return None
         try:
             value = pickle.loads(payload)
+        # repro: allow[REP005] pickle raises arbitrary exception types
+        # on corrupt bytes; degrading to a counted miss is the contract
         except Exception:
             # Corrupt entry (killed writer on a filesystem without
             # atomic replace, bit rot): a miss that will be recomputed
@@ -140,6 +142,8 @@ class DiskCache:
         try:
             payload = pickle.dumps(value,
                                    protocol=pickle.HIGHEST_PROTOCOL)
+        # repro: allow[REP005] pickle raises arbitrary exception types
+        # on unpicklable values; the cache degrades to a counted error
         except Exception:
             self.stats.errors += 1
             return

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import io
 import json
 import os
 import sys
@@ -42,6 +43,7 @@ from repro.dse.explorer import (
     merge_dse_cells,
 )
 from repro.dse.space import SpaceConfig
+from repro.engine import journal
 from repro.engine.backends import BACKENDS
 from repro.engine.jobs import BatchJob
 from repro.engine.runner import BatchEngine, EngineConfig, JobOutcome
@@ -156,31 +158,32 @@ def sweep_to_jsonable(reports: Sequence[DseReport]) -> dict:
 
 def write_sweep_json(reports: Sequence[DseReport],
                      path: str | Path) -> None:
-    """Write the canonical JSON sweep report."""
+    """Write the canonical JSON sweep report (atomic replace)."""
     text = json.dumps(sweep_to_jsonable(reports), indent=2,
                       sort_keys=True)
-    Path(path).write_text(text + "\n", encoding="utf-8")
+    journal.write_atomic_text(path, text + "\n")
 
 
 def write_sweep_csv(reports: Sequence[DseReport],
                     path: str | Path) -> None:
     """Write one CSV row per (workload, frontier point)."""
-    with open(path, "w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["workload", "index", "id", "group",
-                         *OBJECTIVE_NAMES, "transparency_degree",
-                         "table_memory_bytes"])
-        for report in reports:
-            for point in report.frontier:
-                writer.writerow([
-                    report.config.label,
-                    point.index,
-                    point.candidate["id"],
-                    point.group,
-                    *point.objectives,
-                    point.extras.get("transparency_degree"),
-                    point.extras.get("table_memory_bytes"),
-                ])
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["workload", "index", "id", "group",
+                     *OBJECTIVE_NAMES, "transparency_degree",
+                     "table_memory_bytes"])
+    for report in reports:
+        for point in report.frontier:
+            writer.writerow([
+                report.config.label,
+                point.index,
+                point.candidate["id"],
+                point.group,
+                *point.objectives,
+                point.extras.get("transparency_degree"),
+                point.extras.get("table_memory_bytes"),
+            ])
+    journal.write_atomic_text(path, buffer.getvalue())
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -1,0 +1,54 @@
+"""Static contract checking: the repo's determinism, seeded-RNG and
+crash-safe-I/O conventions as machine-checked rules.
+
+Every guarantee the reproduction makes — byte-identical reports
+across engine backends, bit-identical incremental-vs-oracle
+evaluation, crash-safe lease and journal protocols — depends on
+conventions that no general-purpose linter knows about: sorted
+iteration in report producers, all randomness flowing through
+``derive_seed``, persistent writes only via the atomic journal
+helpers, honest exception handling. :mod:`repro.lint` encodes those
+conventions as eight AST-based rules (REP001–REP008, plus the
+``REP000`` pragma-hygiene meta rule), with precise spans and a
+scoped, reason-carrying suppression pragma::
+
+    # repro: allow[REP005] pickle raises arbitrary types on corrupt
+    # entries; degradation to a miss is the documented contract
+
+Run it as ``repro lint src/repro scripts`` (text or ``--format
+json``; the exit code is the violation count, capped). The rule
+catalogue with the rationale behind each contract lives in
+``docs/lint.md``.
+"""
+
+from repro.lint.core import META_RULE, LintContext, Rule, Violation
+from repro.lint.pragmas import Pragma, PragmaProblem, collect_pragmas
+from repro.lint.report import render_json, render_text
+from repro.lint.runner import (
+    ALL_RULES,
+    EXIT_CAP,
+    RULE_IDS,
+    LintReport,
+    discover_files,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "EXIT_CAP",
+    "LintContext",
+    "LintReport",
+    "META_RULE",
+    "Pragma",
+    "PragmaProblem",
+    "RULE_IDS",
+    "Rule",
+    "Violation",
+    "collect_pragmas",
+    "discover_files",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

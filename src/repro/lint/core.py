@@ -1,0 +1,155 @@
+"""Lint primitives: violations, the per-module analysis context, and
+the rule base class.
+
+Every checker is a :class:`Rule` working over one parsed module
+through a shared :class:`LintContext` — the parse tree, a child →
+parent map (for "is this call wrapped in ``sorted(...)``"-style
+questions), and an import-alias table that resolves attribute chains
+to canonical dotted names (``from datetime import datetime as dt;
+dt.now`` resolves to ``datetime.datetime.now``), so the checkers see
+through the usual aliasing tricks without real type inference.
+
+Scoping is by module-path *suffix*: rules that only apply to certain
+modules (report producers, blessed I/O helpers) match the linted
+file's posix path against suffix lists, which works identically for
+the real tree and for fixture files placed under a mirrored relative
+path in a temporary directory.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+#: The meta rule: pragma hygiene and unparseable sources. Not
+#: suppressible — a pragma problem must be fixed, not silenced.
+META_RULE = "REP000"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding, ordered for deterministic reports."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The one-line text form (``path:line:col: RULE message``)."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}")
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """The literal dotted form of a Name/Attribute chain, or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _import_tables(
+        tree: ast.Module) -> tuple[dict[str, str], dict[str, str]]:
+    """(local name → module, local name → module.member) alias maps."""
+    modules: dict[str, str] = {}
+    members: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    modules[alias.asname] = alias.name
+                else:
+                    # ``import os.path`` binds ``os``.
+                    head = alias.name.split(".", 1)[0]
+                    modules[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                members[local] = f"{node.module}.{alias.name}"
+    return modules, members
+
+
+class LintContext:
+    """Everything the rules need to know about one module."""
+
+    def __init__(self, tree: ast.Module, module: str,
+                 source: str) -> None:
+        self.tree = tree
+        #: Posix path used for scope matching and reporting.
+        self.module = module
+        self.lines = source.splitlines()
+        self.parents: dict[ast.AST, ast.AST] = {
+            child: parent
+            for parent in ast.walk(tree)
+            for child in ast.iter_child_nodes(parent)
+        }
+        self.module_aliases, self.member_aliases = _import_tables(tree)
+
+    def resolved(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of a Name/Attribute chain.
+
+        Resolves the chain's head through the module's import aliases,
+        so local renames do not hide a banned call.
+        """
+        name = dotted_name(node)
+        if name is None:
+            return None
+        head, sep, rest = name.partition(".")
+        base = self.member_aliases.get(
+            head, self.module_aliases.get(head, head))
+        return f"{base}{sep}{rest}" if sep else base
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The parent chain of a node, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def module_matches(self, suffixes: Iterable[str]) -> bool:
+        """True when this module's path ends with any given suffix."""
+        return any(self.module.endswith(suffix) for suffix in suffixes)
+
+    def wrapped_in_sorted(self, node: ast.AST) -> bool:
+        """True when an ancestor expression is a ``sorted(...)`` call."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.stmt):
+                return False
+            if isinstance(ancestor, ast.Call) \
+                    and isinstance(ancestor.func, ast.Name) \
+                    and ancestor.func.id == "sorted":
+                return True
+        return False
+
+
+class Rule:
+    """One contract checker. Subclasses set the metadata and
+    implement :meth:`check`."""
+
+    #: Stable identifier (``REP00x``) named by pragmas and filters.
+    rule_id: str = ""
+    #: One-line summary shown in ``--help``-style listings.
+    title: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        """Yield every violation of this rule in one module."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the signature a generator
+
+    def violation(self, ctx: LintContext, node: ast.AST,
+                  message: str) -> Violation:
+        """A violation anchored at a node's source span."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Violation(path=ctx.module, line=line, col=col,
+                         rule=self.rule_id, message=message)

@@ -1,0 +1,113 @@
+"""Suppression pragmas: ``# repro: allow[REP00x] <reason>``.
+
+A pragma suppresses the named rules on its own line — or, when the
+comment stands alone on its line, on the next code line — and must
+carry a reason: the reader of an annotated site should learn *why*
+the contract does not apply there, not merely that someone silenced
+the checker. Reasonless, malformed or unused pragmas never suppress
+anything; they are themselves reported under the meta rule
+``REP000``, so a suppression cannot rot silently.
+
+Comments are found with :mod:`tokenize` rather than a regex over raw
+lines, so pragma-shaped *text inside string literals* (documentation,
+fixture snippets) is never mistaken for a live pragma.
+
+>>> pragmas, problems = collect_pragmas(
+...     "x = 1  # repro: allow[REP003] fixture uses raw randomness\\n")
+>>> (pragmas[0].rules, pragmas[0].target, problems)
+(('REP003',), 1, [])
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: ``# repro: <directive>`` comments; anything else is a plain comment.
+_PRAGMA = re.compile(r"#\s*repro:\s*(?P<directive>.*)$")
+#: The one understood directive: ``allow[RULE, ...] reason``.
+_ALLOW = re.compile(r"allow\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$")
+
+#: Token types that carry no code (a pragma above them keeps looking
+#: further down for its target line).
+_NON_CODE_TOKENS = frozenset({
+    tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE, tokenize.INDENT,
+    tokenize.DEDENT, tokenize.ENCODING, tokenize.ENDMARKER,
+})
+
+
+@dataclass
+class Pragma:
+    """One parsed ``allow`` pragma."""
+
+    #: Line the comment sits on (1-based).
+    line: int
+    #: Line whose violations it suppresses (the comment's own line, or
+    #: the next code line for a standalone comment).
+    target: int
+    rules: tuple[str, ...]
+    reason: str
+    #: Rule ids that actually suppressed a violation (filled by the
+    #: driver; a pragma none of whose rules fired is reported unused).
+    used: set[str] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class PragmaProblem:
+    """A pragma-shaped comment the parser rejected."""
+
+    line: int
+    message: str
+
+
+def collect_pragmas(
+        source: str) -> tuple[list[Pragma], list[PragmaProblem]]:
+    """All ``repro:`` pragmas of a module, plus the malformed ones.
+
+    The source is assumed to be syntactically valid Python (the
+    caller parses it first); a tokenizer failure is reported as a
+    single problem rather than raised.
+    """
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError) as exc:
+        return [], [PragmaProblem(1, f"tokenizer failed: {exc}")]
+
+    code_lines = sorted({token.start[0] for token in tokens
+                         if token.type not in _NON_CODE_TOKENS})
+    lines = source.splitlines()
+
+    pragmas: list[Pragma] = []
+    problems: list[PragmaProblem] = []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.match(token.string)
+        if match is None:
+            continue
+        line, column = token.start
+        allow = _ALLOW.match(match.group("directive"))
+        if allow is None:
+            problems.append(PragmaProblem(
+                line, "malformed repro pragma (expected "
+                      "'# repro: allow[REP00x] <reason>')"))
+            continue
+        rules = tuple(part.strip()
+                      for part in allow.group("rules").split(",")
+                      if part.strip())
+        if not rules:
+            problems.append(PragmaProblem(
+                line, "repro pragma names no rules"))
+            continue
+        standalone = (line <= len(lines)
+                      and not lines[line - 1][:column].strip())
+        target = line
+        if standalone:
+            below = [code for code in code_lines if code > line]
+            target = below[0] if below else line
+        pragmas.append(Pragma(line=line, target=target, rules=rules,
+                              reason=allow.group("reason").strip()))
+    return pragmas, problems

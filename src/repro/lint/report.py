@@ -1,0 +1,32 @@
+"""Rendering of lint reports: flake8-style text and canonical JSON.
+
+Both forms are deterministic: violations arrive sorted by
+(path, line, col, rule), the JSON is sorted-keys, and the summary
+counts are rule-id ordered — so the output of ``repro lint`` is
+itself a pure function of the tree, the way every other report in
+this repo is.
+"""
+
+from __future__ import annotations
+
+from repro.lint.runner import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """The human-readable report: one line per violation + summary."""
+    lines = [violation.render() for violation in report.violations]
+    if report.total:
+        per_rule = ", ".join(f"{rule}: {count}" for rule, count
+                             in report.counts().items())
+        lines.append(f"{report.total} violation(s) across "
+                     f"{len({v.path for v in report.violations})} "
+                     f"file(s) [{per_rule}]")
+    else:
+        lines.append(f"clean: {report.files_scanned} file(s) "
+                     f"scanned, 0 violations")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The canonical JSON report."""
+    return report.to_json()

@@ -1,0 +1,387 @@
+"""Determinism contracts: the rules that keep reports, fingerprints
+and search trajectories byte-identical across runs, processes and
+hosts.
+
+The guarantees these encode are the load-bearing ones of the
+reproduction: serial/process/workdir engine backends must produce
+byte-identical reports, incremental evaluation must replay to the
+exact bits of the full path, and every stochastic choice must be a
+pure function of the experiment seed. Each rule below turns one way
+of silently breaking that into a machine-checked finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.lint.core import LintContext, Rule, Violation
+
+#: Modules whose byte output *is* the deliverable: canonical reports,
+#: CSV/JSON exports, content fingerprints. REP001 applies only here —
+#: elsewhere, insertion-ordered iteration is a legitimate idiom.
+REPORT_MODULES: tuple[str, ...] = (
+    "repro/engine/jobs.py",
+    "repro/engine/runner.py",
+    "repro/engine/journal.py",
+    "repro/experiments/reporting.py",
+    "repro/experiments/fig7.py",
+    "repro/experiments/fig8.py",
+    "repro/experiments/campaign.py",
+    "repro/experiments/pareto.py",
+    "repro/verify/stats.py",
+    "repro/verify/runner.py",
+    "repro/campaigns/stats.py",
+    "repro/campaigns/runner.py",
+    "repro/dse/archive.py",
+    "repro/dse/explorer.py",
+    "repro/eval/problem.py",
+    "repro/schedule/serialization.py",
+)
+
+#: Wall-clock / entropy reads that are never a function of the seed.
+#: ``time.perf_counter``/``time.monotonic`` are deliberately absent:
+#: they feed elapsed-time fields that the canonical reports exclude.
+ENTROPY_CALLS: frozenset[str] = frozenset({
+    "time.time",
+    "time.time_ns",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid3",
+    "uuid.uuid4",
+    "uuid.uuid5",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "random.SystemRandom",
+})
+#: Everything under these modules is an entropy source wholesale.
+ENTROPY_PREFIXES: tuple[str, ...] = ("secrets.",)
+
+#: Modules allowed to read the wall clock / entropy, with the reason
+#: the contract does not apply (documented in docs/lint.md):
+#: lease-staleness ages compare ``time.time`` against file mtimes
+#: (the filesystem's clock domain), and worker identities / temp-file
+#: names need uniqueness, not reproducibility — neither ever reaches
+#: a report.
+REP002_ALLOWED_MODULES: dict[str, str] = {
+    "repro/engine/workdir.py":
+        "lease heartbeats age against file mtimes; worker ids and "
+        "tmp names need uniqueness, never determinism",
+    "repro/eval/diskcache.py":
+        "unique tmp names for atomic replace; cache contents stay "
+        "bit-identical to recomputes",
+}
+
+#: The one module allowed to touch :mod:`random` directly; everything
+#: else derives streams via ``derive_seed``/``DeterministicRng``.
+RNG_MODULE = "repro/utils/rng.py"
+
+#: Filesystem enumeration calls whose order the OS does not define.
+_FS_OS_CALLS: frozenset[str] = frozenset({
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+})
+_FS_PATH_METHODS: frozenset[str] = frozenset({
+    "iterdir", "glob", "rglob",
+})
+
+#: Engine job runners (``run_*_chunk`` / ``run_*_cell``) — the pure
+#: functions every executor backend may run anywhere, any number of
+#: times.
+_CHUNK_RUNNER = re.compile(r"run_\w+_(chunk|cell)")
+
+#: Environment keys chunk runners may read: the repo's own switches,
+#: which are part of the documented execution contract.
+_ENV_PREFIX = "REPRO_"
+
+
+class UnorderedIterationRule(Rule):
+    """REP001: unordered iteration in report/fingerprint modules."""
+
+    rule_id = "REP001"
+    title = ("iteration over set/frozenset/dict views in "
+             "report-producing modules must be sorted")
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        if not ctx.module_matches(REPORT_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for candidate in iters:
+                label = self._unordered(candidate)
+                if label is not None:
+                    yield self.violation(
+                        ctx, candidate,
+                        f"iteration over {label} is not a sorted "
+                        f"function of its contents; wrap it in "
+                        f"sorted(...) — this module's bytes are the "
+                        f"deliverable")
+
+    @staticmethod
+    def _unordered(node: ast.expr) -> str | None:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) \
+                    and node.func.id in ("set", "frozenset"):
+                return f"{node.func.id}(...)"
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in ("keys", "values") \
+                    and not node.args and not node.keywords:
+                return f".{node.func.attr}()"
+        return None
+
+
+class EntropyRule(Rule):
+    """REP002: wall-clock/entropy reads outside the allowlist."""
+
+    rule_id = "REP002"
+    title = ("wall-clock and entropy reads (time.time, datetime.now, "
+             "os.urandom, uuid) are confined to allowlisted modules")
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        if ctx.module_matches(REP002_ALLOWED_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    full = f"{node.module}.{alias.name}"
+                    if self._banned(full):
+                        yield self.violation(
+                            ctx, node,
+                            f"import of entropy source '{full}' — "
+                            f"results must be a function of the seed")
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                resolved = ctx.resolved(node)
+                if resolved is not None and self._banned(resolved) \
+                        and not self._inside_banned_parent(ctx, node):
+                    yield self.violation(
+                        ctx, node,
+                        f"'{resolved}' reads the wall clock or "
+                        f"entropy pool; results must be a function "
+                        f"of the seed (see docs/lint.md for the "
+                        f"allowlist)")
+
+    @staticmethod
+    def _banned(name: str) -> bool:
+        return name in ENTROPY_CALLS \
+            or name.startswith(ENTROPY_PREFIXES)
+
+    def _inside_banned_parent(self, ctx: LintContext,
+                              node: ast.AST) -> bool:
+        """True for the inner links of an already-reported chain."""
+        parent = ctx.parents.get(node)
+        if isinstance(parent, ast.Attribute):
+            resolved = ctx.resolved(parent)
+            return resolved is not None and self._banned(resolved)
+        return False
+
+
+class StrayRandomnessRule(Rule):
+    """REP003: direct ``random`` use outside ``utils/rng.py``."""
+
+    rule_id = "REP003"
+    title = ("the random module is touched only by utils/rng.py; "
+             "all other randomness flows through derive_seed")
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        if ctx.module.endswith(RNG_MODULE):
+            return
+        message = ("direct use of the random module; derive a stream "
+                   "via repro.utils.rng.derive_seed / "
+                   "DeterministicRng instead")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                if any(alias.name == "random"
+                       or alias.name.startswith("random.")
+                       for alias in node.names):
+                    yield self.violation(ctx, node, message)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random" \
+                        or (node.module or "").startswith("random."):
+                    yield self.violation(ctx, node, message)
+            elif isinstance(node, ast.Attribute):
+                resolved = ctx.resolved(node)
+                if resolved is not None \
+                        and resolved.startswith("random."):
+                    yield self.violation(ctx, node, message)
+
+
+class IdentityOrderingRule(Rule):
+    """REP007: ordering keyed by ``id()`` or builtin ``hash()``."""
+
+    rule_id = "REP007"
+    title = ("sort keys must not use id() or hash() — both vary "
+             "across interpreter runs")
+
+    _ORDERING_BUILTINS = frozenset({"sorted", "min", "max"})
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name):
+                if node.func.id not in self._ORDERING_BUILTINS:
+                    continue
+            elif isinstance(node.func, ast.Attribute):
+                if node.func.attr != "sort":
+                    continue
+            else:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg == "key" \
+                        and self._identity_key(keyword.value):
+                    yield self.violation(
+                        ctx, keyword.value,
+                        "ordering keyed by id()/hash(): both are "
+                        "per-process values, so the order is not "
+                        "reproducible — key on content instead")
+
+    @staticmethod
+    def _identity_key(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name) and node.id in ("id", "hash"):
+            return True
+        if isinstance(node, ast.Lambda):
+            return any(
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id in ("id", "hash")
+                for sub in ast.walk(node.body))
+        return False
+
+
+class UnsortedEnumerationRule(Rule):
+    """REP008: filesystem enumeration not wrapped in ``sorted``."""
+
+    rule_id = "REP008"
+    title = ("os.listdir/glob/Path.iterdir results must pass through "
+             "sorted(...) — the OS defines no order")
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._enumeration(ctx, node)
+            if label is None or ctx.wrapped_in_sorted(node):
+                continue
+            yield self.violation(
+                ctx, node,
+                f"'{label}' enumerates the filesystem in an "
+                f"OS-defined order; wrap the call in sorted(...) so "
+                f"downstream behavior is a function of the "
+                f"directory's contents")
+
+    @staticmethod
+    def _enumeration(ctx: LintContext,
+                     node: ast.Call) -> str | None:
+        resolved = (ctx.resolved(node.func)
+                    if isinstance(node.func,
+                                  (ast.Attribute, ast.Name))
+                    else None)
+        if resolved in _FS_OS_CALLS:
+            return resolved
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _FS_PATH_METHODS:
+            return f".{node.func.attr}()"
+        return None
+
+
+class ChunkRunnerPurityRule(Rule):
+    """REP006: engine chunk runners stay pure and relocatable."""
+
+    rule_id = "REP006"
+    title = ("run_*_chunk / run_*_cell runners: no mutable defaults, "
+             "no non-REPRO_ environment reads, no global rebinding")
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if not _CHUNK_RUNNER.fullmatch(node.name):
+                continue
+            yield from self._check_runner(ctx, node)
+
+    def _check_runner(
+            self, ctx: LintContext,
+            fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Violation]:
+        defaults = [*fn.args.defaults,
+                    *(d for d in fn.args.kw_defaults
+                      if d is not None)]
+        for default in defaults:
+            if self._mutable(default):
+                yield self.violation(
+                    ctx, default,
+                    f"mutable default argument in chunk runner "
+                    f"'{fn.name}': state would leak between jobs "
+                    f"executed in one worker process")
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Global):
+                yield self.violation(
+                    ctx, sub,
+                    f"chunk runner '{fn.name}' rebinds module "
+                    f"globals; runners must be pure so every "
+                    f"backend may re-run them anywhere")
+            elif isinstance(sub, ast.Call) \
+                    and isinstance(sub.func,
+                                   (ast.Attribute, ast.Name)) \
+                    and ctx.resolved(sub.func) == "os.getenv":
+                key = sub.args[0] if sub.args else None
+                if not self._repro_key(key):
+                    yield self.violation(
+                        ctx, sub,
+                        f"chunk runner '{fn.name}' reads the "
+                        f"environment outside the {_ENV_PREFIX}* "
+                        f"contract; pass configuration through job "
+                        f"params instead")
+            elif isinstance(sub, (ast.Attribute, ast.Name)) \
+                    and ctx.resolved(sub) == "os.environ":
+                yield from self._check_environ_use(ctx, fn, sub)
+
+    def _check_environ_use(
+            self, ctx: LintContext,
+            fn: ast.FunctionDef | ast.AsyncFunctionDef,
+            node: ast.AST) -> Iterator[Violation]:
+        key: ast.expr | None = None
+        parent = ctx.parents.get(node)
+        if isinstance(parent, ast.Subscript) and parent.value is node:
+            key = parent.slice
+        elif isinstance(parent, ast.Attribute) \
+                and parent.attr in ("get", "__getitem__"):
+            grand = ctx.parents.get(parent)
+            if isinstance(grand, ast.Call) and grand.func is parent \
+                    and grand.args:
+                key = grand.args[0]
+        if not self._repro_key(key):
+            yield self.violation(
+                ctx, node,
+                f"chunk runner '{fn.name}' reads os.environ outside "
+                f"the {_ENV_PREFIX}* contract; pass configuration "
+                f"through job params instead")
+
+    @staticmethod
+    def _repro_key(key: ast.expr | None) -> bool:
+        return (isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and key.value.startswith(_ENV_PREFIX))
+
+    @staticmethod
+    def _mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp,
+                             ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "dict", "set",
+                                     "bytearray"))

@@ -1,0 +1,126 @@
+"""Crash-safety contracts: atomic persistence and honest failure.
+
+The engine's whole resume story rests on two invariants: every
+persistent file is either an append-only flushed journal or a
+tmp-then-``os.replace`` atomic write (both owned by
+``engine/journal.py`` and ``eval/diskcache.py``), and exceptions are
+only swallowed where degradation is an explicit, documented contract.
+These rules make both invariants structural.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.core import LintContext, Rule, Violation
+
+#: The blessed persistence helpers: the only modules that may write
+#: files directly. ``journal.py`` owns the flushed-append and
+#: atomic-replace primitives; ``diskcache.py`` owns the cache's
+#: tmp + ``os.replace`` entry writes.
+BLESSED_WRITERS: tuple[str, ...] = (
+    "repro/engine/journal.py",
+    "repro/eval/diskcache.py",
+)
+
+#: Stream-dump calls that imply a non-atomic open file handle.
+_DUMP_CALLS: frozenset[str] = frozenset({
+    "json.dump", "pickle.dump", "marshal.dump",
+})
+
+
+class NonAtomicWriteRule(Rule):
+    """REP004: direct file writes outside the blessed helpers."""
+
+    rule_id = "REP004"
+    title = ("files are written only through the blessed atomic "
+             "helpers (engine/journal.py, eval/diskcache.py)")
+
+    _MESSAGE = ("non-atomic write: a crash mid-write leaves a torn "
+                "file; route it through repro.engine.journal "
+                "(write_atomic_text / append_record) or annotate "
+                "why torn output is acceptable here")
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        if ctx.module_matches(BLESSED_WRITERS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_write_open(node):
+                yield self.violation(ctx, node, self._MESSAGE)
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in ("write_text",
+                                           "write_bytes"):
+                yield self.violation(ctx, node, self._MESSAGE)
+            elif isinstance(node.func, (ast.Attribute, ast.Name)) \
+                    and ctx.resolved(node.func) in _DUMP_CALLS:
+                yield self.violation(ctx, node, self._MESSAGE)
+
+    @classmethod
+    def _is_write_open(cls, node: ast.Call) -> bool:
+        opener = (isinstance(node.func, ast.Name)
+                  and node.func.id == "open") \
+            or (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "open")
+        if not opener:
+            return False
+        mode = cls._mode_of(node)
+        return mode is not None \
+            and any(flag in mode for flag in "wx+")
+
+    @staticmethod
+    def _mode_of(node: ast.Call) -> str | None:
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                value = keyword.value
+                if isinstance(value, ast.Constant) \
+                        and isinstance(value.value, str):
+                    return value.value
+                return None
+        if len(node.args) >= 2:
+            arg = node.args[1]
+            if isinstance(arg, ast.Constant) \
+                    and isinstance(arg.value, str):
+                return arg.value
+            return None
+        return None  # default mode "r": a read
+
+
+class SwallowedExceptionRule(Rule):
+    """REP005: broad exception handlers that never re-raise."""
+
+    rule_id = "REP005"
+    title = ("except Exception handlers must re-raise or carry an "
+             "annotated degradation contract")
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if any(isinstance(sub, ast.Raise)
+                   for stmt in node.body
+                   for sub in ast.walk(stmt)):
+                continue
+            yield self.violation(
+                ctx, node,
+                "broad exception handler swallows everything "
+                "(including the bugs this repo's oracles exist to "
+                "surface); narrow the types, re-raise, or annotate "
+                "the intended degradation")
+
+    @classmethod
+    def _is_broad(cls, node: ast.expr | None) -> bool:
+        if node is None:
+            return True  # bare ``except:``
+        if isinstance(node, ast.Name):
+            return node.id in cls._BROAD
+        if isinstance(node, ast.Tuple):
+            return any(cls._is_broad(element)
+                       for element in node.elts)
+        return False

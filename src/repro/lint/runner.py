@@ -1,0 +1,252 @@
+"""The lint driver: rule registry, per-module analysis with pragma
+suppression, and the file walker behind ``repro lint``.
+
+>>> report = lint_source("import random\\n", "pkg/mod.py")
+>>> [v.rule for v in report]
+['REP003']
+>>> lint_source(
+...     "import random  # repro: allow[REP003] fixture stream\\n",
+...     "pkg/mod.py")
+[]
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import ast
+
+from repro.lint.core import META_RULE, LintContext, Rule, Violation
+from repro.lint.pragmas import Pragma, collect_pragmas
+from repro.lint.rules_determinism import (
+    ChunkRunnerPurityRule,
+    EntropyRule,
+    IdentityOrderingRule,
+    StrayRandomnessRule,
+    UnorderedIterationRule,
+    UnsortedEnumerationRule,
+)
+from repro.lint.rules_safety import (
+    NonAtomicWriteRule,
+    SwallowedExceptionRule,
+)
+
+#: Exit codes are capped here so a very dirty tree still exits with a
+#: well-defined small status (shells truncate codes to one byte).
+EXIT_CAP = 100
+
+#: Every checker, in rule-id order.
+ALL_RULES: tuple[Rule, ...] = (
+    UnorderedIterationRule(),
+    EntropyRule(),
+    StrayRandomnessRule(),
+    NonAtomicWriteRule(),
+    SwallowedExceptionRule(),
+    ChunkRunnerPurityRule(),
+    IdentityOrderingRule(),
+    UnsortedEnumerationRule(),
+)
+
+#: Rule ids accepted by ``--rule`` filters and pragmas (the meta rule
+#: included: it is filterable, though never suppressible).
+RULE_IDS: tuple[str, ...] = (
+    META_RULE, *(rule.rule_id for rule in ALL_RULES))
+
+
+def lint_source(source: str, path: str | Path, *,
+                rules: Iterable[str] | None = None) -> list[Violation]:
+    """All unsuppressed violations of one module's source.
+
+    ``path`` only names the module — nothing is read from disk — so
+    fixture snippets can be linted under any synthetic path (scoped
+    rules match on path suffixes). ``rules`` restricts checking to
+    the given rule ids; pragma-hygiene findings (``REP000``) are
+    emitted unless filtered out, but *unused*-pragma findings are
+    only meaningful (and only produced) under the full rule set.
+    """
+    module = Path(path).as_posix()
+    selected = (None if rules is None
+                else {rule for rule in rules})
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        broken = [Violation(
+            path=module, line=exc.lineno or 1,
+            col=(exc.offset or 0) or 1, rule=META_RULE,
+            message=f"syntax error: {exc.msg}")]
+        return _filtered(broken, selected)
+
+    pragmas, problems = collect_pragmas(source)
+    ctx = LintContext(tree, module, source)
+    raw: list[Violation] = []
+    for rule in ALL_RULES:
+        if selected is None or rule.rule_id in selected:
+            raw.extend(rule.check(ctx))
+
+    kept = _apply_pragmas(raw, pragmas)
+    meta = [Violation(path=module, line=problem.line, col=1,
+                      rule=META_RULE, message=problem.message)
+            for problem in problems]
+    meta.extend(_pragma_hygiene(module, pragmas,
+                                full_run=selected is None))
+    return sorted(_filtered(kept + meta, selected))
+
+
+def _filtered(violations: list[Violation],
+              selected: set[str] | None) -> list[Violation]:
+    if selected is None:
+        return violations
+    return [violation for violation in violations
+            if violation.rule in selected]
+
+
+def _apply_pragmas(violations: list[Violation],
+                   pragmas: list[Pragma]) -> list[Violation]:
+    """Drop violations covered by a reasoned pragma on their line."""
+    by_target: dict[int, list[Pragma]] = {}
+    for pragma in pragmas:
+        by_target.setdefault(pragma.target, []).append(pragma)
+    kept: list[Violation] = []
+    for violation in violations:
+        suppressor = next(
+            (pragma
+             for pragma in by_target.get(violation.line, [])
+             if violation.rule in pragma.rules and pragma.reason),
+            None)
+        if suppressor is None:
+            kept.append(violation)
+        else:
+            suppressor.used.add(violation.rule)
+    return kept
+
+
+def _pragma_hygiene(module: str, pragmas: list[Pragma], *,
+                    full_run: bool) -> list[Violation]:
+    """REP000 findings: reasonless, unknown-rule or unused pragmas."""
+    known = set(RULE_IDS)
+    findings: list[Violation] = []
+    for pragma in pragmas:
+        if not pragma.reason:
+            findings.append(Violation(
+                path=module, line=pragma.line, col=1, rule=META_RULE,
+                message=f"suppression of "
+                        f"{', '.join(pragma.rules)} carries no "
+                        f"reason — it is ignored; explain why the "
+                        f"contract does not apply"))
+            continue
+        unknown = [rule for rule in pragma.rules
+                   if rule not in known or rule == META_RULE]
+        for rule in unknown:
+            findings.append(Violation(
+                path=module, line=pragma.line, col=1, rule=META_RULE,
+                message=(f"pragma names unknown rule id {rule!r}"
+                         if rule != META_RULE else
+                         f"pragma names {META_RULE}, which is not "
+                         f"suppressible")))
+        if not full_run:
+            continue
+        unused = [rule for rule in pragma.rules
+                  if rule in known and rule != META_RULE
+                  and rule not in pragma.used]
+        if unused:
+            findings.append(Violation(
+                path=module, line=pragma.line, col=1, rule=META_RULE,
+                message=f"unused suppression pragma for "
+                        f"{', '.join(unused)}: nothing on the "
+                        f"target line violates it — delete the "
+                        f"pragma"))
+    return findings
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run over a set of paths."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def total(self) -> int:
+        """Unsuppressed violation count."""
+        return len(self.violations)
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI exit status: the count, capped at EXIT_CAP."""
+        return min(self.total, EXIT_CAP)
+
+    def counts(self) -> dict[str, int]:
+        """Violations per rule id (only rules that fired)."""
+        tally: dict[str, int] = {}
+        for violation in self.violations:
+            tally[violation.rule] = tally.get(violation.rule, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def to_jsonable(self) -> dict:
+        """Canonical JSON payload of the report."""
+        return {
+            "files_scanned": self.files_scanned,
+            "total": self.total,
+            "counts": self.counts(),
+            "violations": [
+                {
+                    "path": violation.path,
+                    "line": violation.line,
+                    "col": violation.col,
+                    "rule": violation.rule,
+                    "message": violation.message,
+                }
+                for violation in self.violations
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text (sorted keys, stable across runs)."""
+        return json.dumps(self.to_jsonable(), indent=2,
+                          sort_keys=True)
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """The Python files under the given files/directories, sorted.
+
+    Directories are walked recursively; duplicates (overlapping
+    arguments) are dropped while keeping the first occurrence.
+    """
+    found: dict[Path, None] = {}
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            for file in sorted(root.rglob("*.py")):
+                found.setdefault(file, None)
+        elif root.suffix == ".py":
+            found.setdefault(root, None)
+        else:
+            raise FileNotFoundError(
+                f"lint target {root} is neither a directory nor a "
+                f".py file")
+    return list(found)
+
+
+def lint_paths(paths: Sequence[str | Path], *,
+               rules: Iterable[str] | None = None,
+               path_filters: Sequence[str] | None = None,
+               ) -> LintReport:
+    """Lint every Python file under ``paths``.
+
+    ``rules`` restricts to specific rule ids; ``path_filters`` keeps
+    only files whose posix path contains any of the given substrings.
+    """
+    files = discover_files(paths)
+    if path_filters:
+        files = [file for file in files
+                 if any(fragment in file.as_posix()
+                        for fragment in path_filters)]
+    violations: list[Violation] = []
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        violations.extend(lint_source(source, file, rules=rules))
+    return LintReport(violations=sorted(violations),
+                      files_scanned=len(files))

@@ -37,6 +37,7 @@ from repro.campaigns.runner import (
     synthesize_campaign_design,
 )
 from repro.campaigns.stats import estimate_bound
+from repro.engine import journal
 from repro.engine.grid import grid_jobs
 from repro.engine.jobs import BatchJob
 from repro.engine.runner import (
@@ -308,8 +309,8 @@ class VerifyReport:
         return json.dumps(self.to_jsonable(), indent=2, sort_keys=True)
 
     def write_json(self, path: str | Path) -> None:
-        """Write the canonical JSON report."""
-        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+        """Write the canonical JSON report (atomic replace)."""
+        journal.write_atomic_text(path, self.to_json() + "\n")
 
     def summary_lines(self) -> list[str]:
         """Human-readable aggregate summary (CLI output)."""

@@ -187,6 +187,21 @@ class TestWorkdirProtocol:
         assert wd.heartbeat(fresh)
         assert not wd.heartbeat(stale)  # the claim file is gone
 
+    def test_reclaim_order_is_chunk_order(self, tmp_path):
+        """Pinned for the `repro lint` REP008 sweep: stale claims
+        were reclaimed in directory-enumeration order, so the
+        reclaimed-index list (and the steal order derived from it)
+        depended on the filesystem. Reclaim now scans sorted lease
+        names — chunk order — regardless of claim order."""
+        wd = self.make_workdir(tmp_path, echo_jobs(8), lease_size=2)
+        claimed = [wd.claim_next(f"dead-{i}") for i in (0, 1, 2)]
+        old = time.time() - 999.0
+        # Age them in reverse claim order to decouple mtime order
+        # from chunk order.
+        for lease in reversed(claimed):
+            os.utime(lease.path, (old, old))
+        assert wd.reclaim_stale(30.0) == [0, 1, 2]
+
     def test_killed_worker_chunk_reruns(self, tmp_path):
         """A dead claim with a torn record: valid cells are kept,
         the torn one re-runs, the report matches serial exactly."""

@@ -11,6 +11,7 @@ import repro.engine
 import repro.eval
 import repro.experiments
 import repro.ftcpg
+import repro.lint
 import repro.model
 import repro.policies
 import repro.runtime
@@ -26,6 +27,7 @@ PACKAGES = [
     repro.eval,
     repro.experiments,
     repro.ftcpg,
+    repro.lint,
     repro.model,
     repro.policies,
     repro.runtime,

@@ -1,0 +1,74 @@
+"""The strict-typing gate over the annotated package subset.
+
+Two layers: an AST audit that runs everywhere (every def in the gated
+packages carries full parameter and return annotations — the part of
+the mypy bar we can check without mypy installed), and the real mypy
+run, skipped gracefully where mypy is absent and enforced in CI's
+lint-contracts job.
+"""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+import sys
+import tomllib
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PYPROJECT = REPO_ROOT / "pyproject.toml"
+
+
+def gated_paths() -> list[Path]:
+    config = tomllib.loads(PYPROJECT.read_text(encoding="utf-8"))
+    files = config["tool"]["mypy"]["files"]
+    assert files, "the [tool.mypy] files list must not be empty"
+    return [REPO_ROOT / entry for entry in files]
+
+
+def test_gated_packages_exist():
+    for path in gated_paths():
+        assert path.is_dir(), f"[tool.mypy] files entry gone: {path}"
+
+
+def test_gated_packages_fully_annotated():
+    unannotated: list[str] = []
+    for root in gated_paths():
+        for path in sorted(root.rglob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if not isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                missing = [] if node.returns is not None \
+                    else ["return"]
+                args = node.args
+                for arg in (*args.posonlyargs, *args.args,
+                            *args.kwonlyargs,
+                            *filter(None, (args.vararg, args.kwarg))):
+                    if arg.arg in ("self", "cls"):
+                        continue
+                    if arg.annotation is None:
+                        missing.append(arg.arg)
+                if missing:
+                    rel = path.relative_to(REPO_ROOT)
+                    unannotated.append(
+                        f"{rel}:{node.lineno} {node.name} "
+                        f"(missing: {', '.join(missing)})")
+    assert not unannotated, (
+        "unannotated defs in the strict-typing subset:\n"
+        + "\n".join(unannotated))
+
+
+def test_mypy_strict_subset_is_clean():
+    pytest.importorskip(
+        "mypy", reason="mypy not installed; CI's lint-contracts "
+                       "job runs this gate")
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file",
+         str(PYPROJECT)],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    assert result.returncode == 0, (
+        f"mypy reported errors:\n{result.stdout}{result.stderr}")
