@@ -50,11 +50,13 @@ from repro.engine.runner import (
     EngineConfig,
     ProgressCallback,
 )
+from repro.des.core import DesSimulator
 from repro.errors import ToleranceViolationError
 from repro.eval.core import EvaluatorPool
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.fault_model import FaultModel
+from repro.runtime.faults import extend_fault_plans
 from repro.runtime.simulator import simulate
 from repro.schedule.estimation import FtEstimate
 from repro.schedule.table import ScheduleSet
@@ -101,6 +103,15 @@ class CampaignConfig:
     #: fold the certificate into the report.
     certify: bool = False
     certify_max_scenarios: int = 200_000
+    #: DES-only fault axes (docs/des.md): every sampled faulty plan is
+    #: extended with this many intermittent fault windows …
+    intermittent: int = 0
+    #: … this many corrupted TDMA slot occurrences …
+    slot_faults: int = 0
+    #: … and per-process release jitter up to this many time units.
+    #: Extended plans run through the event-driven simulator; the
+    #: fault-free anchor plan stays pristine (oracle-checkable).
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.k < 0:
@@ -114,6 +125,27 @@ class CampaignConfig:
         if self.samples < 0:
             raise ValueError(
                 f"samples must be >= 0, got {self.samples}")
+        if self.intermittent < 0 or self.slot_faults < 0 \
+                or self.jitter < 0:
+            raise ValueError(
+                "DES axes must be >= 0, got intermittent="
+                f"{self.intermittent} slot_faults={self.slot_faults} "
+                f"jitter={self.jitter}")
+
+    @property
+    def des_axes(self) -> dict:
+        """The DES-only axis knobs as a JSON-able mapping."""
+        return {
+            "intermittent": self.intermittent,
+            "jitter": self.jitter,
+            "slot_faults": self.slot_faults,
+        }
+
+    @property
+    def uses_des_axes(self) -> bool:
+        """True when any DES-only axis is switched on."""
+        return (self.intermittent > 0 or self.slot_faults > 0
+                or self.jitter > 0)
 
     @property
     def label(self) -> str:
@@ -185,6 +217,9 @@ def campaign_jobs(config: CampaignConfig) -> list[BatchJob]:
             "seed": config.seed,
             "settings": asdict(config.settings),
             "max_contexts": config.max_contexts,
+            "intermittent": config.intermittent,
+            "slot_faults": config.slot_faults,
+            "jitter": config.jitter,
         },
     )
 
@@ -264,13 +299,41 @@ def run_campaign_chunk(params: Mapping[str, object],
         sampler=str(params["sampler"]),
         samples=int(params["samples"]),
         seed=derive_seed(int(params["seed"]), "campaign-plans"))
+    # DES-only axes (docs/des.md): every chunk extends the *full* plan
+    # list with the same derived seed before slicing, so the extended
+    # scenarios — like the base plans — are a pure function of the
+    # campaign seed and byte-identical across chunks.
+    intermittent = int(params.get("intermittent", 0))
+    slot_faults = int(params.get("slot_faults", 0))
+    jitter = float(params.get("jitter", 0.0))
+    plans = extend_fault_plans(
+        plans,
+        node_names=arch.node_names,
+        process_names=app.process_names,
+        horizon=schedule.worst_case_length,
+        round_length=arch.bus.round_length,
+        slots_per_round=len(arch.bus.slot_order),
+        intermittent=intermittent,
+        slot_faults=slot_faults,
+        jitter=jitter,
+        seed=derive_seed(int(params["seed"]), "campaign-des"))
     slice_plans = chunk_slice(plans, int(params["chunk"]),
                               int(params["chunks"]))
 
+    des = None
+    if intermittent > 0 or slot_faults > 0 or jitter > 0:
+        des = DesSimulator(app, arch, result.mapping, result.policies,
+                           fault_model, schedule)
     stats = CampaignStats()
     for plan in slice_plans:
-        outcome = simulate(app, arch, result.mapping, result.policies,
-                           fault_model, schedule, plan)
+        if des is not None:
+            # The DES executes every plan: table-expressible ones
+            # bit-identically to replay, extended ones forward.
+            outcome = des.simulate(plan)
+        else:
+            outcome = simulate(app, arch, result.mapping,
+                               result.policies, fault_model, schedule,
+                               plan)
         stats.observe(outcome, bound=design.bound,
                       ff_length=result.estimate.ff_length,
                       deadline=app.deadline,
@@ -363,6 +426,8 @@ class CampaignReport:
                 "chunks": self.config.chunks,
                 "seed": self.config.seed,
             },
+            "des_axes": (self.config.des_axes
+                         if self.config.uses_des_axes else None),
             "instance": {
                 "processes": self.processes,
                 "nodes": self.nodes,
@@ -424,6 +489,14 @@ class CampaignReport:
             f"bound {stats.exceeded} (min gap "
             f"{0.0 if stats.min_gap is None else stats.min_gap:.1f})",
         ]
+        if self.config.uses_des_axes:
+            lines.append(
+                f"DES axes per faulty plan: "
+                f"{self.config.intermittent} intermittent window(s), "
+                f"{self.config.slot_faults} corrupted slot(s), "
+                f"jitter up to {self.config.jitter:g} "
+                "(event-driven simulator; beyond the k-fault "
+                "hypothesis)")
         if self.verification is not None:
             verify = self.verification
             verdict = ("CERTIFIED" if verify.ok

@@ -247,6 +247,10 @@ def _cmd_verify(args) -> int:
                               neighborhood=args.neighborhood,
                               bus_contention=False),
         max_scenarios=args.max_scenarios,
+        des_scenarios=args.des_scenarios,
+        intermittent=args.intermittent,
+        slot_faults=args.slot_faults,
+        jitter=args.jitter,
     )
     report = run_verification(config,
                               engine_config=_engine_config(args))
@@ -356,6 +360,9 @@ def _cmd_campaign(args) -> int:
                               bus_contention=False),
         certify=args.certify,
         certify_max_scenarios=args.certify_max_scenarios,
+        intermittent=args.intermittent,
+        slot_faults=args.slot_faults,
+        jitter=args.jitter,
     )
     report = run_campaign(config, engine_config=_engine_config(args))
     for line in report.summary_lines():
@@ -612,6 +619,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--out", default=None, metavar="PATH",
                           help="write the canonical JSON "
                                "verification report")
+    p_verify.add_argument("--des-scenarios", type=int, default=0,
+                          metavar="N",
+                          help="additionally run N sampled scenarios "
+                               "extended with DES-only fault axes "
+                               "through the event-driven simulator "
+                               "(reported, but beyond the k-fault "
+                               "hypothesis, so they do not gate the "
+                               "certificate)")
+    p_verify.add_argument("--intermittent", type=int, default=1,
+                          metavar="N",
+                          help="intermittent fault windows per DES "
+                               "scenario")
+    p_verify.add_argument("--slot-faults", type=int, default=1,
+                          metavar="N",
+                          help="corrupted TDMA slot occurrences per "
+                               "DES scenario")
+    p_verify.add_argument("--jitter", type=float, default=0.0,
+                          metavar="T",
+                          help="maximum per-process release jitter "
+                               "for DES scenarios (0 disables)")
     add_engine_args(p_verify)
     p_verify.set_defaults(func=_cmd_verify)
 
@@ -699,6 +726,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the certificate (keeping the "
                              "sampled report) when the design has "
                              "more fault scenarios than this")
+    p_camp.add_argument("--intermittent", type=int, default=0,
+                        metavar="N",
+                        help="extend every sampled faulty plan with "
+                             "N intermittent fault windows and route "
+                             "the campaign through the event-driven "
+                             "simulator")
+    p_camp.add_argument("--slot-faults", type=int, default=0,
+                        metavar="N",
+                        help="corrupted TDMA slot occurrences per "
+                             "sampled faulty plan (DES-only axis)")
+    p_camp.add_argument("--jitter", type=float, default=0.0,
+                        metavar="T",
+                        help="maximum per-process release jitter per "
+                             "sampled faulty plan (DES-only axis; "
+                             "0 disables)")
     add_engine_args(p_camp)
     p_camp.set_defaults(func=_cmd_campaign)
 

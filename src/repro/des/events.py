@@ -1,0 +1,84 @@
+"""Event vocabulary of the DES and its rendered trace format.
+
+Every observable action of a simulated run — process attempts
+starting and finishing, checkpoint saves, bus frames, message and
+condition deliveries, fault windows switching on and off — is recorded
+as a :class:`DesEvent`. The ordered event log is the artifact the
+golden-trace tests pin: it must be byte-stable across runs, platforms
+and Python versions, so the rendering below uses fixed-width fields
+and :func:`format_time`'s grid-snapped numbers only.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.mathutils import feq
+
+
+class DesEventKind(enum.Enum):
+    """What a logged DES event records."""
+
+    #: An execution attempt starts on its node.
+    ATTEMPT_START = "start"
+    #: An execution attempt finishes; the label carries the outcome.
+    ATTEMPT_FINISH = "finish"
+    #: A checkpoint is saved at a successful segment end.
+    CHECKPOINT = "checkpoint"
+    #: A copy exhausted its recoveries and goes fail-silent.
+    COPY_DEAD = "dead"
+    #: A copy completed its last segment successfully.
+    COMPLETE = "complete"
+    #: One frame goes out in a TDMA slot occurrence.
+    FRAME_SENT = "frame"
+    #: One frame hit a corrupted slot occurrence and is lost.
+    FRAME_LOST = "lost"
+    #: A message's last frame arrived; data visible on all nodes.
+    MESSAGE_DELIVERED = "deliver"
+    #: A condition broadcast arrived; value known on all nodes.
+    BROADCAST_DELIVERED = "broadcast"
+    #: An intermittent fault window becomes active on a node.
+    FAULT_ON = "fault-on"
+    #: An intermittent fault window clears.
+    FAULT_OFF = "fault-off"
+    #: A process release is delayed by jitter.
+    JITTER = "jitter"
+
+
+@dataclass(frozen=True)
+class DesEvent:
+    """One logged simulation event.
+
+    ``time`` is the simulated time the event took effect, ``label``
+    a stable human-readable detail string (attempt labels, slot
+    coordinates, outcomes). Events compare by field equality, so
+    golden tests can also diff structured logs, not just text.
+    """
+
+    time: float
+    kind: DesEventKind
+    label: str
+
+    def render(self) -> str:
+        """One fixed-width trace line, e.g. ``@  44 start  P2/1.1``."""
+        return f"@{format_time(self.time):>10} {self.kind.value:<10} " \
+               f"{self.label}"
+
+
+def format_time(value: float) -> str:
+    """Stable rendering of a schedule time.
+
+    Integers render bare, everything else with three decimals — enough
+    to distinguish any two times farther apart than the clustering
+    tolerance never splits, while absorbing sub-eps float jitter that
+    would otherwise churn golden traces.
+    """
+    if feq(value, round(value)):
+        return str(int(round(value)))
+    return f"{value:.3f}"
+
+
+def render_trace(events: tuple[DesEvent, ...] | list[DesEvent]) -> str:
+    """Render an ordered event log as the golden-trace text block."""
+    return "\n".join(event.render() for event in events) + "\n"

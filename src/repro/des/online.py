@@ -1,0 +1,425 @@
+"""Online execution of schedule tables under DES-only fault axes.
+
+The table-replay simulator (:mod:`repro.runtime.simulator`) derives
+ground truth from the fault plan *up front* and checks the fired
+entries against it — possible only because a per-segment fault count
+fully determines every outcome in advance. The axes of
+:class:`~repro.ftcpg.scenarios.DesFaultPlan` break that premise:
+
+* an intermittent :class:`~repro.ftcpg.scenarios.FaultWindow` fails
+  whatever happens to execute on its node while it is active,
+  including the re-executions the counts would have declared
+  successful;
+* a corrupted TDMA slot (:class:`~repro.ftcpg.scenarios.SlotFault`)
+  loses a frame, and the retransmission slots depend on what the bus
+  already carries at that point;
+* release jitter shifts a process start against an immovable
+  time-triggered table.
+
+So this engine runs *forward*: each table entry is a candidate event
+at its nominal start; it activates iff its guard is satisfied by the
+condition values **observed on its location so far** (the distributed
+runtime's view, not the oracle's). Outcomes are decided at attempt
+finish, knowledge spreads via broadcasts, lost frames are
+retransmitted through :class:`~repro.comm.tdma.TdmaBus` slot
+arithmetic, and violations (missed inputs, releases, deadlines,
+fault-proof attempts hit by faults) are recorded as errors — those
+findings are the reason the axes exist.
+
+Activation stays strictly time-triggered: a TTP-style runtime cannot
+slide table entries, so delays surface as errors rather than cascaded
+slippage. Within one eps-cluster of the event queue, effects order as
+fault toggles < deliveries < finishes < activations, mirroring the
+replay rule that bus effects land before attempts start.
+"""
+
+from __future__ import annotations
+
+from repro.comm.tdma import TdmaBus
+from repro.des.events import DesEvent, DesEventKind
+from repro.des.queue import EventQueue
+from repro.ftcpg.conditions import AttemptId
+from repro.ftcpg.scenarios import DesFaultPlan
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+from repro.model.fault_model import FaultModel
+from repro.policies.types import PolicyAssignment
+from repro.runtime.simulator import SimulationResult
+from repro.schedule.mapping import CopyMapping
+from repro.schedule.table import EntryKind, ScheduleSet, TableEntry
+from repro.utils.mathutils import fgt, flt
+
+CopyKey = tuple[str, int]
+
+#: Cluster-internal event priorities (lower runs first).
+P_FAULT = 0
+P_DELIVER = 1
+P_FINISH = 2
+P_ACTIVATE = 3
+
+_ENTRY_RANK = {EntryKind.BROADCAST: 0, EntryKind.MESSAGE: 1,
+               EntryKind.ATTEMPT: 2}
+
+
+class OnlineEngine:
+    """Forward (event-driven) execution of one DES-only scenario.
+
+    One instance runs one plan; :meth:`run` returns the
+    :class:`~repro.runtime.simulator.SimulationResult` plus the full
+    ordered event log.
+    """
+
+    def __init__(self, app: Application, arch: Architecture,
+                 mapping: CopyMapping, policies: PolicyAssignment,
+                 fault_model: FaultModel, schedule: ScheduleSet) -> None:
+        self.app = app
+        self.arch = arch
+        self.mapping = mapping
+        self.policies = policies
+        self.fault_model = fault_model
+        self.schedule = schedule
+        self.bus = TdmaBus(arch.bus)
+
+    def run(self, plan: DesFaultPlan,
+            ) -> tuple[SimulationResult, list[DesEvent]]:
+        """Execute the schedule tables forward under ``plan``."""
+        self.plan = plan
+        self.base = plan.base
+        self.events: list[DesEvent] = []
+        self.errors: list[str] = []
+        if self.base.total_faults > self.fault_model.k:
+            self.errors.append(
+                f"plan injects {self.base.total_faults} faults, budget "
+                f"is {self.fault_model.k}")
+        #: (attempt, node) -> (known-at time, observed-faulty value)
+        self.known: dict[tuple[AttemptId, str], tuple[float, bool]] = {}
+        self.node_busy: dict[str, float] = {
+            n: 0.0 for n in self.arch.node_names}
+        self.delivered: dict[str, dict[str, float]] = {}
+        self.segment_finish: dict[tuple[CopyKey, int], float] = {}
+        self.attempt_finish: dict[AttemptId, float] = {}
+        self.completion: dict[CopyKey, float] = {}
+        self.copy_faults: dict[CopyKey, int] = {}
+        self.copy_dead: set[CopyKey] = set()
+        self.fired: list[TableEntry] = []
+        #: Slot occurrences the nominal tables reserve — retransmitted
+        #: frames must dodge them all (conservative: also entries that
+        #: end up not activating; the runtime cannot know in advance).
+        self.reserved: set[tuple[int, int]] = {
+            (frame.round_index, frame.slot_index)
+            for entry in self.schedule.entries
+            for frame in entry.frames}
+        self.corrupted: set[tuple[int, int]] = {
+            (fault.round_index, fault.slot_index)
+            for fault in plan.slot_faults}
+
+        queue = EventQueue()
+        self.queue = queue
+        for window in plan.windows:
+            queue.push(window.t_on, P_FAULT, ("fault-on", window))
+            queue.push(window.t_off, P_FAULT, ("fault-off", window))
+        for name in self.app.process_names:
+            delay = plan.jitter.get(name, 0.0)
+            if delay > 0:
+                release = self.app.process(name).release + delay
+                queue.push(release, P_FAULT, ("jitter", name, delay))
+        for entry in sorted(self.schedule.entries,
+                            key=lambda e: (e.start, _ENTRY_RANK[e.kind])):
+            queue.push(entry.start, P_ACTIVATE, ("activate", entry))
+
+        while queue:
+            for _time, _prio, _seq, payload in queue.pop_cluster():
+                self._dispatch(payload)
+        return self._finish(), self.events
+
+    # -- event dispatch -----------------------------------------------------
+
+    def _dispatch(self, payload: tuple) -> None:
+        handler = payload[0]
+        if handler == "activate":
+            self._activate(payload[1])
+        elif handler == "finish":
+            self._finish_attempt(payload[1])
+        elif handler == "deliver-msg":
+            self._deliver_message(payload[1], payload[2])
+        elif handler == "deliver-bcast":
+            self._deliver_broadcast(payload[1], payload[2], payload[3])
+        elif handler == "fault-on":
+            window = payload[1]
+            self._log(window.t_on, DesEventKind.FAULT_ON,
+                      window.describe())
+        elif handler == "fault-off":
+            window = payload[1]
+            self._log(window.t_off, DesEventKind.FAULT_OFF,
+                      window.describe())
+        else:  # "jitter"
+            _, name, delay = payload
+            release = self.app.process(name).release + delay
+            self._log(release, DesEventKind.JITTER,
+                      f"{name} released +{delay:g}")
+
+    def _log(self, time: float, kind: DesEventKind, label: str) -> None:
+        self.events.append(DesEvent(time=time, kind=kind, label=label))
+
+    def _guard_observed(self, entry: TableEntry, node: str) -> bool:
+        """Whether the entry's guard is satisfied by the condition
+        values known on ``node`` at the entry's nominal start.
+
+        Unknown or later-arriving literals mean the runtime on that
+        location cannot activate the entry — it simply does not fire
+        (the quiet majority: tables carry entries for *all*
+        scenarios)."""
+        for literal in entry.guard.literals:
+            observed = self.known.get((literal.attempt, node))
+            if observed is None:
+                return False
+            known_at, faulty = observed
+            if fgt(known_at, entry.start):
+                return False
+            if faulty != literal.faulty:
+                return False
+        return True
+
+    def _learn(self, attempt: AttemptId, node: str, at: float,
+               faulty: bool) -> None:
+        key = (attempt, node)
+        existing = self.known.get(key)
+        if existing is None or at < existing[0]:
+            self.known[key] = (at, faulty)
+
+    # -- activation ---------------------------------------------------------
+
+    def _activate(self, entry: TableEntry) -> None:
+        if entry.kind is EntryKind.ATTEMPT:
+            self._activate_attempt(entry)
+        elif entry.kind is EntryKind.MESSAGE:
+            self._activate_message(entry)
+        else:
+            self._activate_broadcast(entry)
+
+    def _activate_attempt(self, entry: TableEntry) -> None:
+        attempt = entry.attempt
+        key = (attempt.process, attempt.copy)
+        node = entry.location
+        if key in self.copy_dead:
+            return  # fail-silent: the slot idles
+        if not self._guard_observed(entry, node):
+            return
+        self.fired.append(entry)
+        self._log(entry.start, DesEventKind.ATTEMPT_START,
+                  f"{attempt.label()} on {node}")
+
+        # Processor exclusivity.
+        if flt(entry.start, self.node_busy[node]):
+            self.errors.append(
+                f"{attempt.label()} overlaps on {node}: start "
+                f"{entry.start} < busy-until {self.node_busy[node]}")
+        self.node_busy[node] = max(self.node_busy[node], entry.end)
+
+        # Release (with jitter) / inputs / continuity.
+        if attempt.segment == 1 and attempt.attempt == 1:
+            process = self.app.process(attempt.process)
+            release = process.release + self.plan.jitter.get(
+                attempt.process, 0.0)
+            if flt(entry.start, release):
+                self.errors.append(
+                    f"{attempt.label()} starts before its release "
+                    f"{release:g}")
+            for message in self.app.inputs_of(attempt.process):
+                at = self.delivered.get(message.name, {}).get(node)
+                if at is None or fgt(at, entry.start):
+                    self.errors.append(
+                        f"{attempt.label()} on {node} starts at "
+                        f"{entry.start} without input {message.name!r} "
+                        f"(available: {at})")
+        elif attempt.attempt == 1:
+            prev = self.segment_finish.get((key, attempt.segment - 1))
+            if prev is None or fgt(prev, entry.start):
+                self.errors.append(
+                    f"{attempt.label()} starts before segment "
+                    f"{attempt.segment - 1} finished ({prev})")
+        else:
+            previous = AttemptId(attempt.process, attempt.copy,
+                                 attempt.segment, attempt.attempt - 1)
+            prev = self.attempt_finish.get(previous)
+            if prev is None or fgt(prev, entry.start):
+                self.errors.append(
+                    f"retry {attempt.label()} starts before attempt "
+                    f"{attempt.attempt - 1} was detected faulty ({prev})")
+
+        self.attempt_finish[attempt] = entry.end
+        self.queue.push(entry.end, P_FINISH, ("finish", entry))
+
+    def _finish_attempt(self, entry: TableEntry) -> None:
+        attempt = entry.attempt
+        key = (attempt.process, attempt.copy)
+        node = entry.location
+        copy_plan = self.policies.of(attempt.process).copies[attempt.copy]
+
+        base_fail = attempt.attempt <= self.base.faults_in(
+            attempt.process, attempt.copy, attempt.segment)
+        window_hit = any(
+            window.node == node and window.hits(entry.start, entry.end)
+            for window in self.plan.windows)
+        failed = base_fail or window_hit
+        if entry.can_fail:
+            self._learn(attempt, node, entry.end, failed)
+
+        outcome = "ok"
+        if failed:
+            outcome = "fault (window)" if window_hit and not base_fail \
+                else "fault"
+        self._log(entry.end, DesEventKind.ATTEMPT_FINISH,
+                  f"{attempt.label()} {outcome}")
+
+        if failed:
+            if not entry.can_fail:
+                self.errors.append(
+                    f"{attempt.label()} was scheduled as fault-proof "
+                    "(no detection) but a fault hit it")
+            self.copy_faults[key] = self.copy_faults.get(key, 0) + 1
+            if self.copy_faults[key] > copy_plan.recoveries:
+                self.copy_dead.add(key)
+                self._log(entry.end, DesEventKind.COPY_DEAD,
+                          f"{attempt.label()} exhausted "
+                          f"{copy_plan.recoveries} recoveries")
+            return
+
+        self.segment_finish[(key, attempt.segment)] = entry.end
+        if copy_plan.uses_checkpointing \
+                and attempt.segment < copy_plan.segments:
+            self._log(entry.end, DesEventKind.CHECKPOINT,
+                      f"{attempt.label()} segment {attempt.segment}")
+        if attempt.segment == copy_plan.segments \
+                and key not in self.completion:
+            self.completion[key] = entry.end
+            self._log(entry.end, DesEventKind.COMPLETE,
+                      attempt.label())
+            for message in self.app.outputs_of(attempt.process):
+                slot = self.delivered.setdefault(message.name, {})
+                if node not in slot or entry.end < slot[node]:
+                    slot[node] = entry.end
+
+    # -- bus ----------------------------------------------------------------
+
+    def _activate_message(self, entry: TableEntry) -> None:
+        message = self.app.message(entry.message)
+        sender_node = self.mapping.node_of(message.src,
+                                           entry.producer_copy)
+        if not self._guard_observed(entry, sender_node):
+            return
+        if (message.src, entry.producer_copy) not in self.completion:
+            return  # fail-silent producer: the reserved slots idle
+        self.fired.append(entry)
+        arrival = self._transmit(entry, sender_node,
+                                 f"{entry.message}")
+        self.queue.push(arrival, P_DELIVER,
+                        ("deliver-msg", entry, arrival))
+
+    def _activate_broadcast(self, entry: TableEntry) -> None:
+        attempt = entry.attempt
+        sender_node = self.mapping.node_of(attempt.process, attempt.copy)
+        if not self._guard_observed(entry, sender_node):
+            return
+        observed = self.known.get((attempt, sender_node))
+        if observed is None or fgt(observed[0], entry.start):
+            return  # nothing detected yet: nothing to broadcast
+        self.fired.append(entry)
+        arrival = self._transmit(entry, sender_node,
+                                 f"F[{attempt.label()}]")
+        self.queue.push(arrival, P_DELIVER,
+                        ("deliver-bcast", entry, arrival, observed[1]))
+
+    def _transmit(self, entry: TableEntry, sender_node: str,
+                  what: str) -> float:
+        """Send the entry's frames; lost ones are retransmitted in the
+        sender's next free, uncorrupted slot occurrences. Returns the
+        arrival time of the complete payload."""
+        if not entry.frames:
+            return entry.end
+        lost = 0
+        arrival = entry.frames[-1].end
+        for frame in entry.frames:
+            key = (frame.round_index, frame.slot_index)
+            coords = f"r{frame.round_index}s{frame.slot_index}"
+            if key in self.corrupted:
+                lost += 1
+                self._log(frame.start, DesEventKind.FRAME_LOST,
+                          f"{what} {coords}")
+            else:
+                self._log(frame.start, DesEventKind.FRAME_SENT,
+                          f"{what} {coords}")
+        if lost == 0:
+            # Undisturbed transmission: arrive exactly when the table
+            # says (``entry.end``), bit-compatible with replay.
+            return entry.end
+        for window in self.bus.owner_slot_occurrences(
+                sender_node, entry.frames[-1].end):
+            key = (window.round_index, window.slot_index)
+            if key in self.reserved:
+                continue
+            self.reserved.add(key)
+            coords = f"r{window.round_index}s{window.slot_index}"
+            if key in self.corrupted:
+                self._log(window.start, DesEventKind.FRAME_LOST,
+                          f"{what} {coords} (retransmit)")
+                continue
+            self._log(window.start, DesEventKind.FRAME_SENT,
+                      f"{what} {coords} (retransmit)")
+            lost -= 1
+            arrival = window.end
+            if lost == 0:
+                break
+        return arrival
+
+    def _deliver_message(self, entry: TableEntry, arrival: float) -> None:
+        self._log(arrival, DesEventKind.MESSAGE_DELIVERED,
+                  f"{entry.message} (copy {entry.producer_copy})")
+        slot = self.delivered.setdefault(entry.message, {})
+        for node in self.arch.node_names:
+            if node not in slot or arrival < slot[node]:
+                slot[node] = arrival
+
+    def _deliver_broadcast(self, entry: TableEntry, arrival: float,
+                           faulty: bool) -> None:
+        attempt = entry.attempt
+        value = "fault" if faulty else "ok"
+        self._log(arrival, DesEventKind.BROADCAST_DELIVERED,
+                  f"F[{attempt.label()}]={value}")
+        for node in self.arch.node_names:
+            self._learn(attempt, node, arrival, faulty)
+
+    # -- completion ---------------------------------------------------------
+
+    def _finish(self) -> SimulationResult:
+        errors = self.errors
+        completed: dict[str, float] = {}
+        for process in self.app.processes:
+            finishes = [
+                self.completion[(process.name, c)]
+                for c in range(len(self.policies.of(process.name).copies))
+                if (process.name, c) in self.completion
+            ]
+            if not finishes:
+                errors.append(f"process {process.name!r} never completed "
+                              f"(plan: {self.plan.describe()})")
+                continue
+            completed[process.name] = min(finishes)
+            if process.deadline is not None and \
+                    fgt(completed[process.name], process.deadline):
+                errors.append(
+                    f"process {process.name!r} missed local deadline "
+                    f"{process.deadline} (finished "
+                    f"{completed[process.name]})")
+        makespan = max(completed.values()) if completed else float("inf")
+        if fgt(makespan, self.app.deadline):
+            errors.append(
+                f"global deadline {self.app.deadline} missed (makespan "
+                f"{makespan}, plan {self.plan.describe()})")
+        return SimulationResult(
+            plan=self.plan,
+            completed=completed,
+            makespan=makespan,
+            errors=errors,
+            fired_entries=tuple(self.fired),
+        )

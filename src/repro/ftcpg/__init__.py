@@ -18,17 +18,27 @@ nodes implement the designer's transparency (frozen) requirements.
 from repro.ftcpg.conditions import AttemptId, ConditionLiteral, Guard
 from repro.ftcpg.graph import Ftcpg, FtcpgEdge, FtcpgNode, NodeKind
 from repro.ftcpg.builder import build_ftcpg
-from repro.ftcpg.scenarios import FaultPlan, count_fault_plans, iter_fault_plans
+from repro.ftcpg.scenarios import (
+    DesFaultPlan,
+    FaultPlan,
+    FaultWindow,
+    SlotFault,
+    count_fault_plans,
+    iter_fault_plans,
+)
 
 __all__ = [
     "AttemptId",
     "ConditionLiteral",
+    "DesFaultPlan",
     "FaultPlan",
+    "FaultWindow",
     "Ftcpg",
     "FtcpgEdge",
     "FtcpgNode",
     "Guard",
     "NodeKind",
+    "SlotFault",
     "build_ftcpg",
     "count_fault_plans",
     "iter_fault_plans",

@@ -21,12 +21,13 @@ lets callers check the size first.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from collections.abc import Iterator, Mapping
 
-from repro.errors import PolicyError
+from repro.errors import PolicyError, ValidationError
 from repro.model.application import Application
 from repro.policies.types import PolicyAssignment
+from repro.utils.mathutils import flt
 
 CopyKey = tuple[str, int]
 
@@ -77,6 +78,113 @@ class FaultPlan:
             else:
                 parts.append(f"{label}:{counts[0]}")
         return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """An intermittent fault active on one node over ``[t_on, t_off)``.
+
+    While the window is active, *every* execution attempt on ``node``
+    whose busy interval overlaps it fails — including re-executions,
+    which is exactly what the per-segment counts of a :class:`FaultPlan`
+    cannot express (a count makes the ``j+1``-th attempt succeed by
+    construction). Only the event-driven simulator
+    (:mod:`repro.des`) can execute these.
+    """
+
+    node: str
+    t_on: float
+    t_off: float
+
+    def __post_init__(self) -> None:
+        if not self.t_off > self.t_on:
+            raise ValidationError(
+                f"fault window must satisfy t_on < t_off, got "
+                f"[{self.t_on}, {self.t_off})")
+
+    def hits(self, start: float, end: float) -> bool:
+        """Whether an attempt busy over ``[start, end)`` overlaps the
+        active window (eps-tolerant strict overlap)."""
+        return flt(start, self.t_off) and flt(self.t_on, end)
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``N1@[4,9)``."""
+        return f"{self.node}@[{self.t_on:g},{self.t_off:g})"
+
+
+@dataclass(frozen=True)
+class SlotFault:
+    """One corrupted TDMA slot occurrence.
+
+    Any frame transmitted in slot ``slot_index`` of round
+    ``round_index`` is lost; the sender retransmits it in a later slot
+    occurrence it owns, delaying the message arrival — an axis the
+    schedule tables assume away (the bus is fault-free in the paper's
+    hypothesis) and only the DES can execute.
+    """
+
+    round_index: int
+    slot_index: int
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``r2s0``."""
+        return f"r{self.round_index}s{self.slot_index}"
+
+
+@dataclass(frozen=True)
+class DesFaultPlan:
+    """A :class:`FaultPlan` extended with DES-only scenario axes.
+
+    ``base`` carries the per-segment transient-fault counts that table
+    replay can express; ``windows`` (intermittent faults),
+    ``slot_faults`` (corrupted TDMA slots) and ``jitter`` (per-process
+    release delays, in schedule time units) are executable only by the
+    event-driven simulator. A plan with no extensions round-trips
+    through the DES bit-identically to table replay.
+    """
+
+    base: FaultPlan
+    windows: tuple[FaultWindow, ...] = ()
+    slot_faults: tuple[SlotFault, ...] = ()
+    jitter: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def is_table_expressible(self) -> bool:
+        """True when no DES-only axis is used and table replay applies."""
+        return (not self.windows and not self.slot_faults
+                and not any(self.jitter.values()))
+
+    @property
+    def total_faults(self) -> int:
+        """Injected faults: base transients + windows + slot faults.
+
+        Release jitter is a timing perturbation, not a fault, and does
+        not count.
+        """
+        return (self.base.total_faults + len(self.windows)
+                + len(self.slot_faults))
+
+    def is_fault_free(self) -> bool:
+        """True when nothing at all is injected (jitter included)."""
+        return self.total_faults == 0 and not any(self.jitter.values())
+
+    def describe(self) -> str:
+        """Human-readable summary combining the base plan and axes."""
+        parts = []
+        if not self.base.is_fault_free():
+            parts.append(self.base.describe())
+        if self.windows:
+            detail = ",".join(w.describe() for w in self.windows)
+            parts.append(f"win[{detail}]")
+        if self.slot_faults:
+            detail = ",".join(s.describe() for s in self.slot_faults)
+            parts.append(f"slot[{detail}]")
+        jittered = {p: j for p, j in self.jitter.items() if j > 0}
+        if jittered:
+            detail = ",".join(f"{p}+{j:g}" for p, j in sorted(
+                jittered.items()))
+            parts.append(f"jitter[{detail}]")
+        return " ".join(parts) if parts else "fault-free"
 
 
 def _copy_distributions(segments: int, max_total: int,

@@ -12,6 +12,8 @@ exhaustively over *all* fault scenarios within the budget ``k``.
 
 from repro.runtime.simulator import SimulationResult, simulate
 from repro.runtime.faults import (
+    extend_fault_plans,
+    sample_des_axes,
     sample_fault_plan,
     sample_fault_plan_exact,
     sample_fault_plans,
@@ -25,6 +27,8 @@ from repro.runtime.verify import (
 __all__ = [
     "SimulationResult",
     "VerificationReport",
+    "extend_fault_plans",
+    "sample_des_axes",
     "sample_fault_plan",
     "sample_fault_plan_exact",
     "sample_fault_plans",

@@ -16,7 +16,14 @@ uniformly chosen segment among those the copy still executes.
 
 from __future__ import annotations
 
-from repro.ftcpg.scenarios import FaultPlan
+from collections.abc import Sequence
+
+from repro.ftcpg.scenarios import (
+    DesFaultPlan,
+    FaultPlan,
+    FaultWindow,
+    SlotFault,
+)
 from repro.model.application import Application
 from repro.policies.types import PolicyAssignment
 from repro.utils.rng import DeterministicRng
@@ -76,6 +83,89 @@ def sample_fault_plan_exact(app: Application, policies: PolicyAssignment,
         for key, values in counts.items()
         if sum(values) > 0
     })
+
+
+def sample_des_axes(rng: DeterministicRng, *,
+                    node_names: Sequence[str],
+                    process_names: Sequence[str],
+                    horizon: float,
+                    round_length: float,
+                    slots_per_round: int,
+                    intermittent: int = 0,
+                    slot_faults: int = 0,
+                    jitter: float = 0.0,
+                    ) -> tuple[tuple[FaultWindow, ...],
+                               tuple[SlotFault, ...],
+                               dict[str, float]]:
+    """Draw one set of DES-only axis values for one scenario.
+
+    ``intermittent`` fault windows land on uniformly chosen nodes,
+    switching on uniformly within the schedule horizon and staying
+    active for 5–25% of it; ``slot_faults`` corrupted slot occurrences
+    are drawn from the rounds the horizon covers (plus one round of
+    retransmission headroom); each process gets a release delay drawn
+    uniformly from ``[0, jitter]`` when ``jitter > 0``. All draws come
+    from ``rng`` in a fixed order, so the extension is a pure function
+    of the stream state.
+    """
+    windows: list[FaultWindow] = []
+    for _ in range(intermittent):
+        node = rng.choice(tuple(node_names))
+        t_on = rng.uniform(0.0, max(horizon, 1.0))
+        length = rng.uniform(0.05, 0.25) * max(horizon, 1.0)
+        windows.append(FaultWindow(node=node, t_on=t_on,
+                                   t_off=t_on + length))
+    faults: list[SlotFault] = []
+    rounds = max(1, int(max(horizon, 1.0) // round_length) + 1)
+    for _ in range(slot_faults):
+        faults.append(SlotFault(
+            round_index=rng.randint(0, rounds),
+            slot_index=rng.randint(0, slots_per_round - 1)))
+    delays: dict[str, float] = {}
+    if jitter > 0:
+        for name in process_names:
+            delays[name] = rng.uniform(0.0, jitter)
+    return tuple(windows), tuple(faults), delays
+
+
+def extend_fault_plans(plans: Sequence[FaultPlan], *,
+                       node_names: Sequence[str],
+                       process_names: Sequence[str],
+                       horizon: float,
+                       round_length: float,
+                       slots_per_round: int,
+                       intermittent: int = 0,
+                       slot_faults: int = 0,
+                       jitter: float = 0.0,
+                       seed: int = 0,
+                       ) -> list[FaultPlan | DesFaultPlan]:
+    """Extend sampled fault plans with DES-only axes, deterministically.
+
+    The first plan is left pristine when it is fault-free (campaign
+    samplers anchor their sample on the fault-free scenario, which
+    stays the oracle-checkable baseline); every other plan becomes a
+    :class:`~repro.ftcpg.scenarios.DesFaultPlan` carrying freshly
+    drawn axis values. The extension is a pure function of ``seed``
+    and the plan order, so parallel campaign chunks — each of which
+    samples the full plan list before slicing — derive byte-identical
+    extended lists.
+    """
+    if intermittent <= 0 and slot_faults <= 0 and jitter <= 0:
+        return list(plans)
+    rng = DeterministicRng(seed)
+    extended: list[FaultPlan | DesFaultPlan] = []
+    for index, plan in enumerate(plans):
+        if index == 0 and plan.is_fault_free():
+            extended.append(plan)
+            continue
+        windows, faults, delays = sample_des_axes(
+            rng, node_names=node_names, process_names=process_names,
+            horizon=horizon, round_length=round_length,
+            slots_per_round=slots_per_round, intermittent=intermittent,
+            slot_faults=slot_faults, jitter=jitter)
+        extended.append(DesFaultPlan(base=plan, windows=windows,
+                                     slot_faults=faults, jitter=delays))
+    return extended
 
 
 def sample_fault_plans(app: Application, policies: PolicyAssignment,

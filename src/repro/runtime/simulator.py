@@ -172,101 +172,144 @@ def _finish_simulation(
     sweep of :mod:`repro.verify.core` derives that list incrementally
     along shared fault-plan prefixes and re-enters here, so everything
     from the replay ordering on is one shared implementation and the
-    two paths are bit-identical by construction.
+    two paths are bit-identical by construction. The event-driven
+    simulator (:mod:`repro.des.core`) drives the same
+    :class:`_ReplayState` with its queue-ordered entry stream, which
+    is what makes *its* table path bit-identical too.
     """
-    errors: list[str] = []
-    if plan.total_faults > fault_model.k:
-        errors.append(
-            f"plan injects {plan.total_faults} faults, budget is "
-            f"{fault_model.k}")
     fired = _replay_order(fired)
+    state = _ReplayState(app, arch, mapping, policies, fault_model,
+                         plan, truth)
+    state.prime(fired)
+    for entry in fired:
+        state.step(entry)
+    return state.finish(fired)
 
-    # Knowledge of condition values per node: produced locally at the
-    # detection point, remotely at the broadcast arrival.
-    known_at: dict[tuple[AttemptId, str], float] = {}
-    for entry in fired:
-        if entry.kind is EntryKind.ATTEMPT and entry.can_fail \
-                and entry.attempt in truth.executed:
-            key = (entry.attempt, entry.location)
-            known_at[key] = min(known_at.get(key, float("inf")), entry.end)
-    for entry in fired:
-        if entry.kind is EntryKind.BROADCAST \
-                and entry.attempt in truth.executed:
-            for node in arch.node_names:
-                key = (entry.attempt, node)
+
+class _ReplayState:
+    """The per-scenario mutable state of the table-replay checker.
+
+    One instance replays one fault scenario: :meth:`prime` derives the
+    per-node condition-knowledge times from the fired entries,
+    :meth:`step` processes one entry (in replay order), and
+    :meth:`finish` applies the completion/deadline checks. Both the
+    sorted replay above and the event-queue-ordered DES table path
+    drive this same object, so their results are one implementation,
+    not two kept in sync.
+    """
+
+    def __init__(self, app: Application, arch: Architecture,
+                 mapping: CopyMapping, policies: PolicyAssignment,
+                 fault_model: FaultModel, plan: FaultPlan,
+                 truth: _GroundTruth) -> None:
+        self.app = app
+        self.arch = arch
+        self.mapping = mapping
+        self.policies = policies
+        self.plan = plan
+        self.truth = truth
+        self.errors: list[str] = []
+        if plan.total_faults > fault_model.k:
+            self.errors.append(
+                f"plan injects {plan.total_faults} faults, budget is "
+                f"{fault_model.k}")
+        # Knowledge of condition values per node: produced locally at
+        # the detection point, remotely at the broadcast arrival.
+        self.known_at: dict[tuple[AttemptId, str], float] = {}
+        self.node_busy: dict[str, float] = {n: 0.0 for n in arch.node_names}
+        #: (round, slot) -> entry; TDMA interleaves multi-frame
+        #: transmissions, so collisions are checked per slot occurrence,
+        #: not by busy intervals.
+        self.slot_owner: dict[tuple[int, int], TableEntry] = {}
+        #: message name -> node -> earliest time data from a
+        #: successful copy
+        self.delivered: dict[str, dict[str, float]] = {}
+        #: (copy, segment) -> finish of the successful attempt
+        self.segment_finish: dict[tuple[CopyKey, int], float] = {}
+        #: copy -> finish time of the last fired attempt (continuity)
+        self.attempt_finish: dict[AttemptId, float] = {}
+        self.completion: dict[CopyKey, float] = {}
+
+    def prime(self, fired: list[TableEntry]) -> None:
+        """Derive condition-knowledge times from the fired entries."""
+        truth = self.truth
+        known_at = self.known_at
+        for entry in fired:
+            if entry.kind is EntryKind.ATTEMPT and entry.can_fail \
+                    and entry.attempt in truth.executed:
+                key = (entry.attempt, entry.location)
                 known_at[key] = min(known_at.get(key, float("inf")),
                                     entry.end)
+        for entry in fired:
+            if entry.kind is EntryKind.BROADCAST \
+                    and entry.attempt in truth.executed:
+                for node in self.arch.node_names:
+                    key = (entry.attempt, node)
+                    known_at[key] = min(known_at.get(key, float("inf")),
+                                        entry.end)
 
-    # -- replay ---------------------------------------------------------------
-    node_busy: dict[str, float] = {n: 0.0 for n in arch.node_names}
-    #: (round, slot) -> entry; TDMA interleaves multi-frame
-    #: transmissions, so collisions are checked per slot occurrence,
-    #: not by busy intervals.
-    slot_owner: dict[tuple[int, int], TableEntry] = {}
-    #: message name -> node -> earliest time data from a successful copy
-    delivered: dict[str, dict[str, float]] = {}
-    #: (copy, segment) -> finish of the successful attempt
-    segment_finish: dict[tuple[CopyKey, int], float] = {}
-    #: copy -> finish time of the last fired attempt (for continuity)
-    attempt_finish: dict[AttemptId, float] = {}
-    completion: dict[CopyKey, float] = {}
-
-    def attempt_is_live(entry: TableEntry) -> bool:
-        """Dead copies stop executing (fail-silence): attempts beyond
-        the death point are skipped by the local scheduler."""
-        return entry.attempt in truth.executed
-
-    for entry in fired:
+    def step(self, entry: TableEntry) -> None:
+        """Process one fired entry (entries must arrive in replay
+        order)."""
         if entry.kind is EntryKind.ATTEMPT:
-            if not attempt_is_live(entry):
-                continue  # copy died earlier; the slot idles
-            _check_attempt(entry, app, arch, mapping, policies, truth,
-                           known_at, node_busy, delivered, segment_finish,
-                           attempt_finish, completion, errors)
+            # Dead copies stop executing (fail-silence): attempts
+            # beyond the death point are skipped by the local
+            # scheduler and the slot idles.
+            if entry.attempt not in self.truth.executed:
+                return
+            _check_attempt(entry, self.app, self.arch, self.mapping,
+                           self.policies, self.truth, self.known_at,
+                           self.node_busy, self.delivered,
+                           self.segment_finish, self.attempt_finish,
+                           self.completion, self.errors)
         else:
             # Bus activity: frame-level collision check, then effects.
             for frame in entry.frames:
                 key = (frame.round_index, frame.slot_index)
-                other = slot_owner.get(key)
+                other = self.slot_owner.get(key)
                 if other is not None and other is not entry:
-                    errors.append(
+                    self.errors.append(
                         f"bus collision in round {frame.round_index} "
                         f"slot {frame.slot_index}: {entry} vs {other}")
-                slot_owner[key] = entry
+                self.slot_owner[key] = entry
             if entry.kind is EntryKind.MESSAGE:
-                _deliver_message(entry, app, mapping, truth, delivered,
-                                 completion, errors, arch)
+                _deliver_message(entry, self.app, self.mapping, self.truth,
+                                 self.delivered, self.completion,
+                                 self.errors, self.arch)
 
-    # -- completion & deadlines -------------------------------------------------
-    completed: dict[str, float] = {}
-    for process in app.processes:
-        finishes = [
-            completion[(process.name, c)]
-            for c in range(len(policies.of(process.name).copies))
-            if (process.name, c) in completion
-        ]
-        if not finishes:
-            errors.append(f"process {process.name!r} never completed "
-                          f"(plan: {plan.describe()})")
-            continue
-        completed[process.name] = min(finishes)
-        if process.deadline is not None and \
-                fgt(completed[process.name], process.deadline):
+    def finish(self, fired: list[TableEntry]) -> SimulationResult:
+        """Completion & deadline checks; build the result."""
+        errors = self.errors
+        completed: dict[str, float] = {}
+        for process in self.app.processes:
+            finishes = [
+                self.completion[(process.name, c)]
+                for c in range(len(self.policies.of(process.name).copies))
+                if (process.name, c) in self.completion
+            ]
+            if not finishes:
+                errors.append(f"process {process.name!r} never completed "
+                              f"(plan: {self.plan.describe()})")
+                continue
+            completed[process.name] = min(finishes)
+            if process.deadline is not None and \
+                    fgt(completed[process.name], process.deadline):
+                errors.append(
+                    f"process {process.name!r} missed local deadline "
+                    f"{process.deadline} (finished "
+                    f"{completed[process.name]})")
+        makespan = max(completed.values()) if completed else float("inf")
+        if fgt(makespan, self.app.deadline):
             errors.append(
-                f"process {process.name!r} missed local deadline "
-                f"{process.deadline} (finished {completed[process.name]})")
-    makespan = max(completed.values()) if completed else float("inf")
-    if fgt(makespan, app.deadline):
-        errors.append(
-            f"global deadline {app.deadline} missed (makespan {makespan}, "
-            f"plan {plan.describe()})")
-    return SimulationResult(
-        plan=plan,
-        completed=completed,
-        makespan=makespan,
-        errors=errors,
-        fired_entries=tuple(fired),
-    )
+                f"global deadline {self.app.deadline} missed (makespan "
+                f"{makespan}, plan {self.plan.describe()})")
+        return SimulationResult(
+            plan=self.plan,
+            completed=completed,
+            makespan=makespan,
+            errors=errors,
+            fired_entries=tuple(fired),
+        )
 
 
 def _kind_rank(entry: TableEntry) -> int:

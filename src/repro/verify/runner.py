@@ -37,6 +37,7 @@ from repro.campaigns.runner import (
     synthesize_campaign_design,
 )
 from repro.campaigns.stats import estimate_bound
+from repro.des.core import DesSimulator
 from repro.engine import journal
 from repro.engine.grid import grid_jobs
 from repro.engine.jobs import BatchJob
@@ -52,7 +53,9 @@ from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.fault_model import FaultModel
 from repro.model.transparency import Transparency
+from repro.runtime.faults import extend_fault_plans, sample_fault_plans
 from repro.synthesis.tabu import TabuSettings
+from repro.utils.rng import derive_seed
 from repro.verify.core import ScenarioSweep, chunk_bounds
 from repro.verify.stats import VerificationStats
 from repro.workloads.presets import brake_by_wire, fig5_example
@@ -90,6 +93,15 @@ class VerifyConfig:
             iterations=8, neighborhood=8, bus_contention=False))
     max_contexts: int = 200_000
     max_scenarios: int = DEFAULT_MAX_SCENARIOS
+    #: DES-only scenario sampling (docs/des.md): this many random
+    #: fault plans are extended with the axes below and executed
+    #: one-shot through the event-driven simulator in the parent —
+    #: they are beyond the table-expressible enumeration, so the
+    #: sharded prefix-reuse sweep cannot carry them.
+    des_scenarios: int = 0
+    intermittent: int = 1
+    slot_faults: int = 1
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.k < 0:
@@ -99,6 +111,13 @@ class VerifyConfig:
         if self.max_scenarios < 1:
             raise ValueError(
                 f"max_scenarios must be >= 1, got {self.max_scenarios}")
+        if self.des_scenarios < 0 or self.intermittent < 0 \
+                or self.slot_faults < 0 or self.jitter < 0:
+            raise ValueError(
+                "DES knobs must be >= 0, got des_scenarios="
+                f"{self.des_scenarios} intermittent="
+                f"{self.intermittent} slot_faults={self.slot_faults} "
+                f"jitter={self.jitter}")
 
     @property
     def label(self) -> str:
@@ -245,11 +264,20 @@ class VerifyReport:
     cache_misses: int = 0
     executed_chunks: int = 0
     resumed_chunks: int = 0
+    #: One-shot DES scenario section (:func:`run_des_scenarios`),
+    #: None when ``des_scenarios`` was 0.
+    des: dict | None = None
 
     @property
     def ok(self) -> bool:
         """True when every scenario was tolerated and the transparency
-        contract held — the design is *certified* for ``k`` faults."""
+        contract held — the design is *certified* for ``k`` faults.
+
+        DES-only scenarios do not gate the verdict: they inject beyond
+        the paper's fault hypothesis (intermittent re-hits, bus
+        corruption, jitter), so their violations are reported findings
+        in :attr:`des`, not certificate failures — the certificate
+        claims exactly the ``k``-transient-fault guarantee."""
         return self.stats.ok
 
     @property
@@ -302,6 +330,7 @@ class VerifyReport:
             "scenarios_total": self.scenarios_total,
             "certified": self.ok,
             "stats": stats,
+            "des": self.des,
         }
 
     def to_json(self) -> str:
@@ -341,6 +370,16 @@ class VerifyReport:
             f" -> {'CERTIFIED' if self.ok else 'NOT certified'} "
             f"for k = {self.config.k}",
         ]
+        if self.des is not None:
+            des = self.des
+            lines.append(
+                f"DES (beyond hypothesis): {des['scenarios']} "
+                f"scenario(s) one-shot through the event engine, "
+                f"{des['failures']} with violations, worst "
+                f"{des['worst_makespan']:.1f} "
+                f"({des['axes']['intermittent']} window(s), "
+                f"{des['axes']['slot_faults']} corrupted slot(s), "
+                f"jitter up to {des['axes']['jitter']:g} per scenario)")
         return lines
 
 
@@ -380,13 +419,87 @@ def merge_verify_cells(config: VerifyConfig, cells: list[dict],
     )
 
 
+def run_des_scenarios(config: VerifyConfig) -> dict:
+    """Execute the config's DES-only scenarios one-shot (parent-side).
+
+    The sharded sweep walks the table-expressible enumeration tree;
+    intermittent windows, corrupted slots and jitter live outside it,
+    so these scenarios are sampled (seed-derived, deterministic),
+    extended with the configured axes, and run straight through
+    :class:`repro.des.core.DesSimulator`. Returns the JSON-able
+    section stored in :attr:`VerifyReport.des`.
+    """
+    app, arch, __ = load_verify_workload(config.workload)
+    fault_model = FaultModel(k=config.k)
+    pool = EvaluatorPool()
+    result = synthesize_campaign_design(
+        app, arch, config.k, config.strategy, config.settings,
+        config.seed, pool=pool)
+    evaluator = pool.evaluator_for(app, arch, fault_model)
+    schedule = evaluator.exact_schedule(
+        result.policies, result.mapping,
+        max_contexts=config.max_contexts)
+    base_plans = sample_fault_plans(
+        app, result.policies, config.k, config.des_scenarios,
+        seed=derive_seed(config.seed, "verify-des"),
+        include_fault_free=False)
+    plans = extend_fault_plans(
+        base_plans,
+        node_names=arch.node_names,
+        process_names=app.process_names,
+        horizon=schedule.worst_case_length,
+        round_length=arch.bus.round_length,
+        slots_per_round=len(arch.bus.slot_order),
+        intermittent=config.intermittent,
+        slot_faults=config.slot_faults,
+        jitter=config.jitter,
+        seed=derive_seed(config.seed, "verify-des-axes"))
+    simulator = DesSimulator(app, arch, result.mapping, result.policies,
+                             fault_model, schedule)
+    failures = 0
+    worst = 0.0
+    unfinished = 0
+    samples: list[str] = []
+    for plan in plans:
+        outcome = simulator.simulate(plan)
+        if outcome.errors:
+            failures += 1
+            if len(samples) < 5:
+                samples.append(outcome.errors[0])
+        if outcome.makespan == float("inf"):
+            unfinished += 1
+        else:
+            worst = max(worst, outcome.makespan)
+    return {
+        "axes": {
+            "intermittent": config.intermittent,
+            "jitter": config.jitter,
+            "slot_faults": config.slot_faults,
+        },
+        "error_samples": samples,
+        "failures": failures,
+        "scenarios": len(plans),
+        "unfinished": unfinished,
+        "worst_makespan": worst,
+    }
+
+
 def run_verification(config: VerifyConfig, *,
                      engine_config: EngineConfig | None = None,
                      progress: ProgressCallback | None = None,
                      ) -> VerifyReport:
-    """Run (or resume) one verification through the batch engine."""
+    """Run (or resume) one verification through the batch engine.
+
+    When ``config.des_scenarios > 0``, the sharded table-expressible
+    sweep is followed by a one-shot DES pass over the sampled
+    beyond-hypothesis scenarios; its section lands in
+    :attr:`VerifyReport.des` (reported, not certificate-gating).
+    """
     engine = BatchEngine(engine_config or EngineConfig())
     batch = engine.run(verify_jobs(config), progress=progress)
-    return merge_verify_cells(config, batch.results(),
-                              executed=batch.executed,
-                              resumed=batch.resumed)
+    report = merge_verify_cells(config, batch.results(),
+                                executed=batch.executed,
+                                resumed=batch.resumed)
+    if config.des_scenarios > 0:
+        report.des = run_des_scenarios(config)
+    return report

@@ -14,6 +14,14 @@ and the diff lands in review like any other code change.
 The same pinned scenarios are also cross-checked between the one-shot
 ``simulate()`` path and the :class:`~repro.verify.core.ScenarioSweep`
 fork, so the golden files guard both implementations at once.
+
+PR 8 adds golden **event traces** for the DES-only fault axes
+(intermittent windows, corrupted TDMA slots, release jitter): those
+scenarios have no table-replay oracle, so the full ordered event log
+of one pinned plan per axis and per design is the artifact that pins
+their behavior. The pinned plans are derived deterministically from
+each design's own schedule (first attempt, first message frame), so
+they stay meaningful if the presets evolve.
 """
 
 from __future__ import annotations
@@ -23,11 +31,19 @@ from pathlib import Path
 
 import pytest
 
-from repro.ftcpg.scenarios import iter_fault_plans
+from repro.des import DesSimulator, render_trace
+from repro.ftcpg.scenarios import (
+    DesFaultPlan,
+    FaultPlan,
+    FaultWindow,
+    SlotFault,
+    iter_fault_plans,
+)
 from repro.model import FaultModel
 from repro.policies import PolicyAssignment, ProcessPolicy
 from repro.runtime.simulator import SimulationResult, simulate
 from repro.schedule.conditional import synthesize_schedule
+from repro.schedule.table import EntryKind
 from repro.synthesis import initial_mapping
 from repro.verify.core import ScenarioSweep
 from repro.workloads.presets import brake_by_wire, fig5_example
@@ -134,3 +150,55 @@ class TestGoldenTraces:
             if golden_name is None:
                 continue
             _check_golden(golden_name, _render_trace(result))
+
+
+def _des_axis_plans(app, schedule):
+    """One pinned DES-only plan per fault axis, derived from the
+    design's own schedule so the scenario always bites: the window
+    covers the first attempt's first half, the corrupted slot is the
+    first message frame's occurrence, the jitter delays the earliest
+    process."""
+    entries = sorted(schedule.entries,
+                     key=lambda e: (e.start, e.location))
+    first_attempt = next(e for e in entries
+                         if e.kind is EntryKind.ATTEMPT)
+    half = (first_attempt.end - first_attempt.start) / 2
+    window = FaultWindow(node=first_attempt.location,
+                         t_on=first_attempt.start,
+                         t_off=first_attempt.start + half)
+    first_message = next(e for e in entries
+                         if e.kind is EntryKind.MESSAGE)
+    frame = first_message.frames[0]
+    slot = SlotFault(round_index=frame.round_index,
+                     slot_index=frame.slot_index)
+    delayed = min(app.process_names)
+    return {
+        "intermittent": DesFaultPlan(base=FaultPlan({}),
+                                     windows=(window,)),
+        "slot": DesFaultPlan(base=FaultPlan({}),
+                             slot_faults=(slot,)),
+        "jitter": DesFaultPlan(base=FaultPlan({}),
+                               jitter={delayed: 3.0}),
+    }
+
+
+class TestDesGoldenTraces:
+    """Full ordered DES event logs for the axes without an oracle."""
+
+    @pytest.fixture(scope="class", params=sorted(DESIGNS),
+                    ids=sorted(DESIGNS))
+    def design(self, request):
+        return request.param, DESIGNS[request.param]()
+
+    @pytest.mark.parametrize("axis",
+                             ("intermittent", "slot", "jitter"))
+    def test_des_axis_trace_pinned(self, design, axis):
+        name, (app, arch, mapping, policies, fm, schedule) = design
+        plan = _des_axis_plans(app, schedule)[axis]
+        des = DesSimulator(app, arch, mapping, policies, fm, schedule)
+        run = des.run(plan)
+        text = (f"# plan: {run.result.plan.describe()}\n"
+                f"# makespan: {run.result.makespan:.6f}\n"
+                f"# errors: {len(run.result.errors)}\n"
+                + render_trace(run.events))
+        _check_golden(f"{name}_des_{axis}", text)

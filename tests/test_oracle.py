@@ -22,6 +22,14 @@ The three views of a design's worst case must agree:
   replication it is *shorter*: a process completes at its first
   successful copy, the trace schedules them all).
 
+PR 8 adds a fourth leg: the **event-driven simulator**
+(:class:`repro.des.DesSimulator`) must be *bit-identical* to the
+table replay — full :class:`~repro.runtime.simulator.SimulationResult`
+equality — on every table-expressible scenario of every design the
+triangle visits. The queue-ordered path and the replay oracle share
+their handlers, so this leg pins the one thing that can drift: the
+event ordering law.
+
 Two generators feed the triangle: a deterministic grid of >= 200
 synthesized designs (seeds x strategies x fault budgets), and
 hypothesis-drawn workload shapes on top.
@@ -34,6 +42,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.campaigns.stats import estimate_bound
+from repro.des import DesSimulator
 from repro.eval.core import EvaluatorPool
 from repro.model import FaultModel
 from repro.schedule.estimation import estimate_ft_schedule
@@ -70,9 +79,16 @@ def _check_triangle(app, arch, strategy: str, k: int) -> None:
                                         max_contexts=200_000)
     sweep = ScenarioSweep(app, arch, design.mapping, design.policies,
                           fault_model, schedule)
+    des = DesSimulator(app, arch, design.mapping, design.policies,
+                       fault_model, schedule)
     stats = VerificationStats()
     for result in sweep.results():
         stats.observe(result)
+        # DES vs simulator: the event-queue path reproduces the
+        # replayed result bit for bit, scenario by scenario.
+        assert des.simulate(result.plan) == result, (
+            f"{app.name}/{strategy}/k={k}: DES diverged on "
+            f"{result.plan.describe()}")
 
     label = f"{app.name}/{strategy}/k={k}"
     pure = all(len(policy.copies) == 1
@@ -116,6 +132,22 @@ class TestOracleGrid:
         for strategy in STRATEGIES:
             for k in K_VALUES:
                 _check_triangle(app, arch, strategy, k)
+
+
+class TestDesOracleIdentity:
+    """Quick DES-vs-replay identity check (the CI smoke target).
+
+    The full grid and property classes below already assert the DES
+    leg on every design they visit; this class is a two-design slice
+    selectable with ``-k des`` so CI can smoke the identity without
+    paying for the whole grid.
+    """
+
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_des_matches_oracle(self, seed):
+        app, arch = generate_workload(GeneratorConfig(
+            processes=5, nodes=2, seed=seed, layer_width=3))
+        _check_triangle(app, arch, "MXR", 2)
 
 
 class TestOracleProperty:

@@ -7,6 +7,7 @@ import pytest
 
 import repro
 import repro.comm
+import repro.des
 import repro.engine
 import repro.eval
 import repro.experiments
@@ -23,6 +24,7 @@ import repro.workloads
 PACKAGES = [
     repro,
     repro.comm,
+    repro.des,
     repro.engine,
     repro.eval,
     repro.experiments,
