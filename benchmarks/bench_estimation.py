@@ -35,6 +35,8 @@ def test_estimation_throughput(benchmark, size, policy):
     benchmark.extra_info["copies"] = policies.total_copies()
     benchmark.extra_info["schedule_length"] = round(
         estimate.schedule_length, 1)
+    benchmark.extra_info["evals_per_sec"] = round(
+        1.0 / benchmark.stats.stats.min, 1)
     assert estimate.schedule_length > 0
 
 
@@ -51,3 +53,5 @@ def test_estimation_with_bus_contention(benchmark):
         FaultModel(k=k), bus_contention=True)
     benchmark.extra_info["schedule_length"] = round(
         estimate.schedule_length, 1)
+    benchmark.extra_info["evals_per_sec"] = round(
+        1.0 / benchmark.stats.stats.min, 1)

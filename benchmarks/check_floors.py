@@ -18,8 +18,12 @@ Usage::
         --floors benchmarks/floors.json --out benchmark-trend.json
 
 Exit status is 1 when any floored metric regressed, a floored metric
-is missing from a present benchmark, or a ``"required": true``
-benchmark produced no result at all.
+is missing from a present benchmark, a ``"required": true`` benchmark
+produced no result at all, or a floor's **source bench file** (the
+``benchmarks/*.py`` part of its key) contributed no records to any
+result file — the last catches a result JSON dropped from the CI
+wiring, which would otherwise let every floor in that file pass
+silently as "missing but optional".
 """
 
 from __future__ import annotations
@@ -46,13 +50,24 @@ def check(results: dict[str, dict],
           floors: dict[str, dict]) -> tuple[list[dict], list[str]]:
     """One trend row per floored benchmark, plus failure messages."""
     rows, failures = [], []
+    covered_sources = {fullname.split("::")[0] for fullname in results}
     for fullname, floor in sorted(floors.items()):
         record = results.get(fullname)
         if record is None:
-            status = "missing"
-            if floor.get("required", False):
-                failures.append(f"{fullname}: no result produced "
-                                f"(required benchmark)")
+            source = fullname.split("::")[0]
+            if source not in covered_sources:
+                # No result file carried *anything* from this bench
+                # file: the JSON is missing from the CI wiring, not
+                # just one benchmark — never pass that silently.
+                status = "no_source_json"
+                failures.append(f"{fullname}: source bench JSON "
+                                f"missing (no result file has "
+                                f"records from {source})")
+            else:
+                status = "missing"
+                if floor.get("required", False):
+                    failures.append(f"{fullname}: no result produced "
+                                    f"(required benchmark)")
             rows.append({"fullname": fullname, "status": status,
                          "floors": floor.get("min_extra_info", {})})
             continue

@@ -53,6 +53,7 @@ from repro.engine.runner import (
 from repro.des.core import DesSimulator
 from repro.errors import ToleranceViolationError
 from repro.eval.core import EvaluatorPool
+from repro.kernels import kernels_enabled, kernels_info
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.fault_model import FaultModel
@@ -266,10 +267,14 @@ def build_campaign_design(params: Mapping[str, object],
     # slack-sharing estimate (sound for the replication hybrids the
     # search may pick — the default "max" rule is not; see
     # :func:`repro.schedule.estimation.estimate_ft_schedule`) plus the
-    # condition-broadcast allowance the estimation model skips.
+    # condition-broadcast allowance the estimation model skips,
+    # floored at the exact tables' certified worst case (replicated
+    # designs can serialize co-located replicas in a different order
+    # than the estimator assumed, which no allowance covers).
     certified = evaluator.estimate(
         result.policies, result.mapping, slack_sharing="budgeted")
-    bound = estimate_bound(app, arch, certified, k)
+    bound = estimate_bound(app, arch, certified, k,
+                           exact_worst_case=schedule.worst_case_length)
     return CampaignDesign(app=app, arch=arch, fault_model=fault_model,
                           result=result, schedule=schedule,
                           certified=certified, bound=bound, pool=pool)
@@ -324,12 +329,23 @@ def run_campaign_chunk(params: Mapping[str, object],
     if intermittent > 0 or slot_faults > 0 or jitter > 0:
         des = DesSimulator(app, arch, result.mapping, result.policies,
                            fault_model, schedule)
+    batched = None
+    if des is None and kernels_enabled():
+        # Table-expressible plans only (no DES axes): the batched
+        # kernel replays them bit-identically to simulate(), falling
+        # back to the oracle per plan for anything it cannot prove.
+        from repro.kernels.batch import BatchedSimulator
+        batched = BatchedSimulator(app, arch, result.mapping,
+                                   result.policies, fault_model,
+                                   schedule)
     stats = CampaignStats()
     for plan in slice_plans:
         if des is not None:
             # The DES executes every plan: table-expressible ones
             # bit-identically to replay, extended ones forward.
             outcome = des.simulate(plan)
+        elif batched is not None:
+            outcome = batched.simulate_plan(plan)
         else:
             outcome = simulate(app, arch, result.mapping,
                                result.policies, fault_model, schedule,
@@ -444,6 +460,12 @@ class CampaignReport:
             "plans_total": self.plans_total,
             "gap_hist_bin_pct": HIST_BIN_PCT,
             "stats": stats,
+            # One table set per design; DES-extended plans are not
+            # batch-eligible (deterministic shape, not live counters).
+            "kernels": kernels_info(
+                compiled_tables=1,
+                batched_scenarios=(0 if self.config.uses_des_axes
+                                   else self.plans_total)),
         }
         if self.verification is not None:
             payload["verification"] = self.verification.to_jsonable()

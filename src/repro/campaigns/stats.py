@@ -47,9 +47,27 @@ def broadcast_allowance(app: Application, arch: Architecture,
 
 
 def estimate_bound(app: Application, arch: Architecture,
-                   estimate: FtEstimate, k: int) -> float:
-    """The sound upper bound a campaign holds simulations against."""
-    return estimate.schedule_length + broadcast_allowance(app, arch, k)
+                   estimate: FtEstimate, k: int,
+                   exact_worst_case: float | None = None) -> float:
+    """The sound upper bound a campaign holds simulations against.
+
+    For single-copy designs the slack-sharing estimate plus the
+    broadcast allowance dominates every simulated finish (the
+    invariant of ``tests/test_property_scheduling``). Replication
+    breaks that: the estimator's list order and the exact scheduler's
+    context order can serialize co-located replicas *differently*, so
+    the exact timeline may exceed the estimate by whole WCETs — an
+    amount no bus-round allowance covers (regression pinned by
+    ``tests/test_campaigns.py::TestSoundnessSeam``). Callers that
+    hold the exact tables therefore pass ``exact_worst_case``: the
+    simulator provably never exceeds it (the other leg of the
+    ``tests/test_oracle.py`` triangle), so flooring the bound there
+    keeps the certificate sound for every policy mix.
+    """
+    bound = estimate.schedule_length + broadcast_allowance(app, arch, k)
+    if exact_worst_case is not None:
+        bound = max(bound, exact_worst_case)
+    return bound
 
 
 @dataclass

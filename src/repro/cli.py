@@ -91,6 +91,7 @@ from repro.dse import (
 from repro.engine import BACKENDS, BatchEngine, EngineConfig
 from repro.engine.workdir import DEFAULT_LEASE_TIMEOUT, work
 from repro.eval import CACHE_DIR_ENV
+from repro.kernels import KERNELS_ENV, kernels_info
 from repro.lint import (
     RULE_IDS,
     lint_paths,
@@ -154,6 +155,8 @@ def _engine_config(args) -> EngineConfig:
     """
     if args.cache_dir:
         os.environ[CACHE_DIR_ENV] = str(args.cache_dir)
+    if getattr(args, "no_kernels", False):
+        os.environ[KERNELS_ENV] = "0"
     return EngineConfig(
         workers=args.workers,
         checkpoint_path=args.checkpoint,
@@ -332,6 +335,10 @@ def _cmd_batch(args) -> int:
         "entries": stats.entries,
         "hit_rate": stats.hit_rate,
     }
+    # One compiled table set per sweep cell; batch sweeps evaluate
+    # estimates only (deterministic shape, not live counters).
+    report.extra_info["kernels"] = kernels_info(
+        compiled_tables=len(cells), batched_scenarios=0)
     if args.out:
         report.write_json(args.out)
         print(f"results written to {args.out}")
@@ -437,6 +444,8 @@ def _cmd_lint(args) -> int:
 def _cmd_worker(args) -> int:
     if args.cache_dir:
         os.environ[CACHE_DIR_ENV] = str(args.cache_dir)
+    if args.no_kernels:
+        os.environ[KERNELS_ENV] = "0"
 
     def announce(job, result, elapsed):
         print(f"  [{job.job_id}] done in {elapsed:.1f}s", flush=True)
@@ -576,6 +585,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "without it); also honored via the "
                             "REPRO_EVAL_CACHE_DIR environment "
                             "variable")
+        p.add_argument("--no-kernels", action="store_true",
+                       help="force the pure-Python oracle instead of "
+                            "the array-compiled kernels (exported as "
+                            "REPRO_KERNELS=0 so engine workers "
+                            "inherit it); reports are byte-identical "
+                            "either way")
 
     p_synth = sub.add_parser("synth", help="run one synthesis strategy")
     add_workload_args(p_synth)
@@ -877,6 +892,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="persistent evaluation cache shared "
                                "with the coordinator (see the sweep "
                                "commands' --cache-dir)")
+    p_worker.add_argument("--no-kernels", action="store_true",
+                          help="force the pure-Python oracle (see the "
+                               "sweep commands' --no-kernels)")
     p_worker.set_defaults(func=_cmd_worker)
     return parser
 

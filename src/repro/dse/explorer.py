@@ -54,6 +54,7 @@ from repro.engine.runner import (
     ProgressCallback,
 )
 from repro.errors import ReproError
+from repro.kernels import kernels_info
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.fault_model import FaultModel
@@ -397,6 +398,10 @@ class DseReport:
             "objectives": list(OBJECTIVE_NAMES),
             "archive": self.archive.to_jsonable(),
             "frontier": [p.to_jsonable() for p in self.frontier],
+            # One table set per design; DSE evaluates estimates only
+            # (deterministic shape, not live counters).
+            "kernels": kernels_info(compiled_tables=1,
+                                    batched_scenarios=0),
         }
 
     def to_json(self) -> str:

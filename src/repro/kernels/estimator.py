@@ -1,0 +1,368 @@
+"""Index-based estimator kernel over compiled problem tables.
+
+:func:`kernel_compute` is the fast path behind
+:meth:`repro.schedule.estimation.EstimatorState.compute`: the same
+slack-sharing list scheduler, operating on the integer tables of a
+:class:`~repro.kernels.tables.CompiledProblem` instead of per-run
+dictionaries rebuilt from the model objects. It performs the identical
+IEEE arithmetic in the identical order as
+:class:`~repro.schedule.estimation._EstimationRun` — same float adds,
+same pool folds over the same :class:`_CopyCost` objects, same
+transmission scheduling — so the resulting
+:class:`~repro.schedule.estimation.EstimatorState` (estimate, trace,
+cache-key inputs) is bit-identical to the oracle's by construction.
+
+The selection structures are order-isomorphic to the oracle's:
+
+* priority heap — oracle entries ``(-priority, (name, copy))`` and
+  kernel entries ``(-priority, rank, copy, pid)`` (``rank`` = position
+  of ``name`` in sorted name order) are totally ordered the same way,
+  and ``heapq`` pop order depends only on entry ordering, never on
+  insertion history;
+* non-delay scan — the ready pool is an insertion-ordered dict walked
+  in the oracle's insertion order, with strict-``<`` candidate
+  comparison on ``(start, -priority, rank, copy)``.
+
+The incremental path (:meth:`EstimatorState.reevaluate`) stays the
+oracle's pure-Python replay; states produced here share the compiled
+problem's :class:`_AppStructure`, bus and send memo, so re-evaluation
+chains off kernel states run unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Mapping
+
+from repro.comm.reservations import BusReservations
+from repro.errors import SchedulingError
+from repro.kernels import counters
+from repro.kernels.tables import CompiledProblem, compile_problem
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+from repro.model.fault_model import FaultModel
+from repro.policies.types import PolicyAssignment
+from repro.schedule.estimation import (
+    CopyTiming,
+    EstimatorState,
+    FtEstimate,
+    SendRecord,
+    _BudgetedSlackPool,
+    _CopyCost,
+    _MaxSlackPool,
+    _uncontended,
+)
+from repro.schedule.mapping import CopyMapping
+
+CopyKey = tuple[str, int]
+
+
+def kernel_compute(
+    app: Application,
+    arch: Architecture,
+    mapping: CopyMapping,
+    policies: PolicyAssignment,
+    fault_model: FaultModel,
+    *,
+    priorities: Mapping[str, float] | None,
+    bus_contention: bool,
+    slack_sharing: str,
+) -> EstimatorState:
+    """Full evaluation over compiled tables (bit-identical)."""
+    compiled = compile_problem(app, arch, fault_model.k, priorities)
+    counters.estimator_runs += 1
+    return _KernelRun(compiled, mapping, policies, bus_contention,
+                      slack_sharing).execute()
+
+
+class _KernelRun:
+    """One kernel execution of the slack-sharing list scheduler."""
+
+    __slots__ = (
+        "cp", "mapping", "policies", "bus_contention", "slack_sharing",
+        "reservations", "ncopies", "nid", "costs", "plans",
+        "node_free", "pools", "blockers", "remaining",
+        "ff", "wc", "arrival", "timings", "pops", "post_slack",
+        "sends", "first_pop", "completion", "heap", "ready_pool",
+    )
+
+    def __init__(self, cp: CompiledProblem, mapping: CopyMapping,
+                 policies: PolicyAssignment, bus_contention: bool,
+                 slack_sharing: str) -> None:
+        self.cp = cp
+        self.mapping = mapping
+        self.policies = policies
+        self.bus_contention = bus_contention
+        self.slack_sharing = slack_sharing
+        self.reservations = (BusReservations() if bus_contention
+                             else None)
+
+        names = cp.names
+        nid_of = cp.nid_of
+        ncopies: list[int] = []
+        nid: list[list[int]] = []
+        costs: list[list[_CopyCost]] = []
+        plans: list[tuple] = []
+        for pid, name in enumerate(names):
+            copies = policies.of(name).copies
+            ncopies.append(len(copies))
+            row_nid: list[int] = []
+            row_cost: list[_CopyCost] = []
+            for copy_index, plan in enumerate(copies):
+                node_id = nid_of[mapping.node_of(name, copy_index)]
+                row_nid.append(node_id)
+                row_cost.append(cp.copy_cost(pid, node_id, plan))
+            nid.append(row_nid)
+            costs.append(row_cost)
+            plans.append(copies)
+        self.ncopies = ncopies
+        self.nid = nid
+        self.costs = costs
+        self.plans = plans
+
+        n_nodes = len(cp.node_names)
+        self.node_free = [0.0] * n_nodes
+        pool_type = (_MaxSlackPool if slack_sharing == "max"
+                     else _BudgetedSlackPool)
+        self.pools = [pool_type(cp.k) for _ in range(n_nodes)]
+        self.blockers = list(cp.base_blockers)
+        self.remaining = list(ncopies)
+        self.ff = [[0.0] * n for n in ncopies]
+        self.wc = [[0.0] * n for n in ncopies]
+        self.arrival: dict[tuple[int, int], float] = {}
+
+        self.timings: dict[CopyKey, CopyTiming] = {}
+        self.pops: list[CopyKey] = []
+        self.post_slack: list[float] = []
+        self.sends: dict[str, tuple[SendRecord, ...]] = {}
+        self.first_pop: dict[str, int] = {}
+        self.completion: dict[str, int] = {}
+
+        self.heap: list[tuple[float, int, int, int]] = []
+        self.ready_pool: dict[tuple[int, int], None] = {}
+
+    # -- ready-set plumbing ---------------------------------------------------
+
+    def _release(self, pid: int) -> None:
+        if self.cp.non_delay:
+            pool = self.ready_pool
+            for copy_index in range(self.ncopies[pid]):
+                pool[(pid, copy_index)] = None
+        else:
+            negpri = self.cp.negpri[pid]
+            rank = self.cp.rank[pid]
+            for copy_index in range(self.ncopies[pid]):
+                heapq.heappush(self.heap,
+                               (negpri, rank, copy_index, pid))
+
+    def _pop_next(self) -> tuple[int, int]:
+        if not self.cp.non_delay:
+            if not self.heap:
+                raise SchedulingError("estimation deadlock (cycle?)")
+            entry = heapq.heappop(self.heap)
+            return entry[3], entry[2]
+        if not self.ready_pool:
+            raise SchedulingError("estimation deadlock (cycle?)")
+        cp = self.cp
+        node_free = self.node_free
+        best = None
+        for pool_key in self.ready_pool:
+            pid, copy_index = pool_key
+            start = self._fixed_ready(pid, copy_index)
+            free = node_free[self.nid[pid][copy_index]]
+            if free > start:
+                start = free
+            candidate = (start, cp.negpri[pid], cp.rank[pid],
+                         copy_index, pid)
+            if best is None or candidate < best:
+                best = candidate
+        self.ready_pool.pop((best[4], best[3]))
+        return best[4], best[3]
+
+    def _fixed_ready(self, pid: int, copy_index: int) -> float:
+        cp = self.cp
+        node_id = self.nid[pid][copy_index]
+        ready = cp.release[pid]
+        arrival = self.arrival
+        for msg_index, src_pid in cp.inputs[pid]:
+            src_nid = self.nid[src_pid]
+            src_ff = self.ff[src_pid]
+            for src_copy in range(self.ncopies[src_pid]):
+                if src_nid[src_copy] == node_id:
+                    value = src_ff[src_copy]
+                else:
+                    value = arrival[(msg_index, src_copy)]
+                if value > ready:
+                    ready = value
+        return ready
+
+    # -- main loop ------------------------------------------------------------
+
+    def execute(self) -> EstimatorState:
+        cp = self.cp
+        for pid in range(len(cp.names)):
+            if self.blockers[pid] == 0:
+                self._release(pid)
+
+        names = cp.names
+        node_names = cp.node_names
+        release = cp.release
+        inputs = cp.inputs
+        nid = self.nid
+        ncopies = self.ncopies
+        node_free = self.node_free
+        pools = self.pools
+        arrival = self.arrival
+        timings = self.timings
+        pops = self.pops
+        post_slack = self.post_slack
+        ff_rows = self.ff
+        wc_rows = self.wc
+        first_pop = self.first_pop
+        remaining = self.remaining
+
+        scheduled = 0
+        total = sum(ncopies)
+        while scheduled < total:
+            pid, copy_index = self._pop_next()
+            name = names[pid]
+            node_id = nid[pid][copy_index]
+            cost = self.costs[pid][copy_index]
+            position = len(pops)
+            pops.append(cp.copy_key(pid, copy_index))
+            if name not in first_pop:
+                first_pop[name] = position
+
+            earliest = release[pid]
+            free = node_free[node_id]
+            if free > earliest:
+                earliest = free
+            for msg_index, src_pid in inputs[pid]:
+                src_nid = nid[src_pid]
+                src_ff = ff_rows[src_pid]
+                for src_copy in range(ncopies[src_pid]):
+                    if src_nid[src_copy] == node_id:
+                        value = src_ff[src_copy]
+                    else:
+                        value = arrival[(msg_index, src_copy)]
+                    if value > earliest:
+                        earliest = value
+
+            ff_finish = earliest + cost.duration
+            node_free[node_id] = ff_finish
+            shared_slack = pools[node_id].add(cost)
+            post_slack.append(shared_slack)
+            wc_finish = ff_finish + shared_slack
+            ff_rows[pid][copy_index] = ff_finish
+            wc_rows[pid][copy_index] = wc_finish
+            timings[cp.copy_key(pid, copy_index)] = CopyTiming(
+                node=node_names[node_id], start=earliest,
+                ff_finish=ff_finish, wc_finish=wc_finish)
+            scheduled += 1
+            remaining[pid] -= 1
+
+            if remaining[pid] == 0:
+                self.completion[name] = position
+                self._transmit(pid)
+                for succ_pid in cp.successors[pid]:
+                    self.blockers[succ_pid] -= 1
+                    if self.blockers[succ_pid] == 0:
+                        self._release(succ_pid)
+
+        return self._finish()
+
+    def _transmit(self, pid: int) -> None:
+        """Schedule every cross-node output of a completed process."""
+        cp = self.cp
+        nid = self.nid
+        node_names = cp.node_names
+        wc_row = self.wc[pid]
+        src_nids = nid[pid]
+        records: list[SendRecord] = []
+        for msg_index, msg_name, dst_pid, size_bytes in cp.outputs[pid]:
+            dst_nids = nid[dst_pid]
+            first = dst_nids[0]
+            common = first
+            for dst_nid in dst_nids:
+                if dst_nid != first:
+                    common = -1
+                    break
+            for src_copy in range(self.ncopies[pid]):
+                src_nid = src_nids[src_copy]
+                if src_nid == common:
+                    # All consumer copies share the producer's node:
+                    # the message never touches the bus.
+                    continue
+                send_time = wc_row[src_copy]
+                if self.reservations is not None:
+                    transmission = cp.bus.schedule_transmission(
+                        node_names[src_nid], send_time, size_bytes,
+                        self.reservations)
+                else:
+                    transmission = self._uncontended_cached(
+                        node_names[src_nid], send_time, size_bytes)
+                self.arrival[(msg_index, src_copy)] = \
+                    transmission.arrival
+                records.append((msg_name, src_copy, transmission))
+        self.sends[cp.names[pid]] = tuple(records)
+
+    def _uncontended_cached(self, node: str, ready: float,
+                            size_bytes: int):
+        memo_key = (node, ready, size_bytes)
+        memo = self.cp.send_memo
+        transmission = memo.get(memo_key)
+        if transmission is None:
+            transmission = _uncontended(self.cp.bus, node, ready,
+                                        size_bytes)
+            if len(memo) >= 200_000:
+                memo.clear()
+            memo[memo_key] = transmission
+        return transmission
+
+    def _finish(self) -> EstimatorState:
+        cp = self.cp
+        timings = self.timings
+        schedule_length = max(t.wc_finish for t in timings.values())
+        ff_length = max(t.ff_finish for t in timings.values())
+        violations = []
+        wc_rows = self.wc
+        for pid, process in enumerate(cp.app.processes):
+            if process.deadline is None:
+                continue
+            bound = max(wc_rows[pid])
+            if bound > process.deadline + 1e-9:
+                violations.append(process.name)
+        estimate = FtEstimate(
+            schedule_length=schedule_length,
+            ff_length=ff_length,
+            timings=timings,
+            deadline=cp.app.deadline,
+            local_deadline_violations=tuple(violations),
+        )
+        copies = {}
+        keys_of = {}
+        for pid, name in enumerate(cp.names):
+            cost_row = self.costs[pid]
+            keys = tuple(cp.copy_key(pid, copy_index)
+                         for copy_index in range(self.ncopies[pid]))
+            keys_of[name] = keys
+            for copy_index, key in enumerate(keys):
+                copies[key] = cost_row[copy_index]
+        return EstimatorState(
+            app=cp.app, arch=cp.arch, mapping=self.mapping,
+            policies=self.policies, k=cp.k,
+            priorities=dict(cp.priorities),
+            bus_contention=self.bus_contention,
+            slack_sharing=self.slack_sharing,
+            estimate=estimate,
+            copies=copies, keys_of=keys_of,
+            pops=tuple(self.pops),
+            post_slack=tuple(self.post_slack),
+            sends=self.sends,
+            first_pop=self.first_pop,
+            completion=self.completion,
+            non_delay=cp.non_delay,
+            structure=cp.structure,
+            bus=cp.bus,
+            send_memo=cp.send_memo,
+        )

@@ -31,7 +31,12 @@ Like the authors' estimator it is an *estimate*, not a certified
 bound: the exact conditional scheduler additionally pays
 condition-broadcast frames and knowledge waits on the bus (at most one
 TDMA round per observed fault and per cross-node dependency), which
-the estimate does not model. Final designs should be validated with
+the estimate does not model — and for replicated designs it may
+serialize co-located replicas in a different order than this list
+schedule, exceeding the estimate by whole WCETs (which is why the
+campaign/verify bound of :func:`repro.campaigns.stats.estimate_bound`
+is floored at the exact tables' worst case). Final designs should be
+validated with
 :func:`repro.schedule.conditional.synthesize_schedule` plus
 :func:`repro.runtime.verify.verify_tolerance` where feasible.
 
@@ -345,6 +350,16 @@ class EstimatorState:
             raise ValueError(
                 f"unknown slack_sharing {slack_sharing!r}, expected one "
                 f"of {SLACK_SHARING_MODES}")
+        # The array-compiled kernel performs the identical arithmetic
+        # in the identical order over precompiled tables;
+        # REPRO_KERNELS=0 forces this pure-Python oracle.
+        from repro.kernels import kernels_enabled
+        if kernels_enabled():
+            from repro.kernels.estimator import kernel_compute
+            return kernel_compute(
+                app, arch, mapping, policies, fault_model,
+                priorities=priorities, bus_contention=bus_contention,
+                slack_sharing=slack_sharing)
         if priorities is None:
             priorities = partial_critical_path_priorities(app, arch)
         run = _EstimationRun(app, arch, mapping, policies,

@@ -48,7 +48,8 @@ from repro.engine.runner import (
 )
 from repro.errors import ToleranceViolationError
 from repro.eval.core import EvaluatorPool
-from repro.ftcpg.scenarios import count_fault_plans
+from repro.ftcpg.scenarios import count_fault_plans, iter_fault_plans
+from repro.kernels import kernels_enabled, kernels_info
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.fault_model import FaultModel
@@ -206,14 +207,33 @@ def run_verify_chunk(params: Mapping[str, object]) -> dict:
         max_contexts=int(params["max_contexts"]))
     certified = evaluator.estimate(
         result.policies, result.mapping, slack_sharing="budgeted")
-    bound = estimate_bound(app, arch, certified, k)
+    # Floored at the exact worst case: for replicated designs the
+    # estimate + allowance alone is not sound (see estimate_bound).
+    bound = estimate_bound(app, arch, certified, k,
+                           exact_worst_case=schedule.worst_case_length)
     start, stop = chunk_bounds(total, int(params["chunk"]),
                                int(params["chunks"]))
-    sweep = ScenarioSweep(app, arch, result.mapping, result.policies,
-                          fault_model, schedule)
     stats = VerificationStats()
-    for outcome in sweep.results(start, stop):
-        stats.observe(outcome, transparency)
+    if kernels_enabled():
+        # The batched kernel walks the identical enumeration order the
+        # sweep emits (iter_fault_plans), so the observed stream — and
+        # thus every merged cell — is bit-identical to the oracle path
+        # below (REPRO_KERNELS=0 forces it).
+        from itertools import islice
+
+        from repro.kernels.batch import BatchedSimulator
+        batched = BatchedSimulator(app, arch, result.mapping,
+                                   result.policies, fault_model,
+                                   schedule)
+        window = islice(iter_fault_plans(app, result.policies, k),
+                        start, stop)
+        for outcome in batched.results(window):
+            stats.observe(outcome, transparency)
+    else:
+        sweep = ScenarioSweep(app, arch, result.mapping,
+                              result.policies, fault_model, schedule)
+        for outcome in sweep.results(start, stop):
+            stats.observe(outcome, transparency)
 
     cache_stats = pool.stats()
     return {
@@ -331,6 +351,11 @@ class VerifyReport:
             "certified": self.ok,
             "stats": stats,
             "des": self.des,
+            # One table set per design; every enumerated scenario is
+            # batch-eligible (deterministic shape, not live counters).
+            "kernels": kernels_info(
+                compiled_tables=1,
+                batched_scenarios=self.scenarios_total),
         }
 
     def to_json(self) -> str:

@@ -72,7 +72,11 @@ class TestCheckFloors:
 
     def test_missing_required_benchmark_fails(self, gate, tmp_path,
                                               capsys):
-        code, trend = self.run(gate, tmp_path, [])
+        # A sibling record keeps the source JSON "covered", so the
+        # failure is the required benchmark itself, not the wiring.
+        code, trend = self.run(
+            gate, tmp_path,
+            [record("bench.py::test_other", speedup=9.0)])
         assert code == 1
         assert trend["benchmarks"][0]["status"] == "missing"
         assert "no result produced" in capsys.readouterr().err
@@ -80,9 +84,21 @@ class TestCheckFloors:
     def test_missing_optional_benchmark_passes(self, gate, tmp_path):
         floors = {"bench.py::test_speed": {
             "min_extra_info": {"speedup": 3.0}}}
-        code, trend = self.run(gate, tmp_path, [], floors=floors)
+        code, trend = self.run(
+            gate, tmp_path,
+            [record("bench.py::test_other", speedup=9.0)],
+            floors=floors)
         assert code == 0
         assert trend["benchmarks"][0]["status"] == "missing"
+
+    def test_missing_source_json_fails_even_optional(self, gate,
+                                                     tmp_path, capsys):
+        floors = {"bench.py::test_speed": {
+            "min_extra_info": {"speedup": 3.0}}}
+        code, trend = self.run(gate, tmp_path, [], floors=floors)
+        assert code == 1
+        assert trend["benchmarks"][0]["status"] == "no_source_json"
+        assert "source bench JSON missing" in capsys.readouterr().err
 
     def test_missing_metric_fails(self, gate, tmp_path, capsys):
         code, __ = self.run(

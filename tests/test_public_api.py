@@ -12,6 +12,7 @@ import repro.engine
 import repro.eval
 import repro.experiments
 import repro.ftcpg
+import repro.kernels
 import repro.lint
 import repro.model
 import repro.policies
@@ -29,6 +30,7 @@ PACKAGES = [
     repro.eval,
     repro.experiments,
     repro.ftcpg,
+    repro.kernels,
     repro.lint,
     repro.model,
     repro.policies,
