@@ -100,4 +100,10 @@ def test_estimation_cache_hit_rate(benchmark):
     benchmark.extra_info["hits"] = stats.hits
     benchmark.extra_info["misses"] = stats.misses
     benchmark.extra_info["hit_rate"] = round(stats.hit_rate, 3)
+    # The floors.json pin on hit_rate tracks how often this tabu cell
+    # revisits designs, not cache correctness (the assert below is
+    # the correctness guard). Re-pinned 0.1 -> 0.05 when the
+    # estimator's replica serialization order changed the cost
+    # landscape and the deterministic search trajectory revisits
+    # fewer designs on this tiny budget.
     assert stats.hits > 0

@@ -25,23 +25,39 @@ from repro.workloads.generator import (
     paper_experiment_config,
 )
 
-SETTINGS = TabuSettings(iterations=16, neighborhood=12,
-                        bus_contention=False)
 SEEDS = (1, 2)
+
+
+def _settings(size: int) -> TabuSettings:
+    """Search budget for one instance size.
+
+    The paper's qualitative ordering (MR trails MX) compares
+    *converged* single-policy searches. The smallest instances draw
+    extreme fault budgets (seed 2 gives ``k = 7`` on 20 processes),
+    which leaves the quick budget's MX search far from its attainable
+    design — iterations there are cheap, so size 20 walks a denser
+    neighborhood instead of inheriting the large-instance budget.
+    """
+    if size <= 20:
+        return TabuSettings(iterations=32, neighborhood=16,
+                            bus_contention=False)
+    return TabuSettings(iterations=16, neighborhood=12,
+                        bus_contention=False)
 
 
 @pytest.mark.parametrize("size", [20, 40, 60])
 def test_fig7_policy_assignment(benchmark, size):
+    settings = _settings(size)
     workloads = []
     for seed in SEEDS:
         config, k = paper_experiment_config(size, seed)
         app, arch = generate_workload(config)
-        baseline = nft_baseline(app, arch, SETTINGS)
+        baseline = nft_baseline(app, arch, settings)
         workloads.append((app, arch, FaultModel(k=k), baseline))
 
     def synthesize_mxr():
         return [
-            synthesize(app, arch, fm, "MXR", settings=SETTINGS,
+            synthesize(app, arch, fm, "MXR", settings=settings,
                        baseline=baseline)
             for app, arch, fm, baseline in workloads
         ]
@@ -54,7 +70,7 @@ def test_fig7_policy_assignment(benchmark, size):
         values = []
         for (app, arch, fm, baseline), mxr in zip(workloads, mxr_results):
             other = synthesize(app, arch, fm, strategy,
-                               settings=SETTINGS, baseline=baseline)
+                               settings=settings, baseline=baseline)
             values.append(percentage_deviation(other.fto, mxr.fto))
         deviations[strategy] = sum(values) / len(values)
 

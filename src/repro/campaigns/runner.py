@@ -267,14 +267,14 @@ def build_campaign_design(params: Mapping[str, object],
     # slack-sharing estimate (sound for the replication hybrids the
     # search may pick — the default "max" rule is not; see
     # :func:`repro.schedule.estimation.estimate_ft_schedule`) plus the
-    # condition-broadcast allowance the estimation model skips,
-    # floored at the exact tables' certified worst case (replicated
-    # designs can serialize co-located replicas in a different order
-    # than the estimator assumed, which no allowance covers).
+    # condition-broadcast allowance the estimation model skips. The
+    # estimator shares the exact scheduler's earliest-start-first
+    # replica serialization, so the bound needs no exact-tables floor;
+    # the tables built above serve simulation and the report's
+    # exact_worst_case gap column only.
     certified = evaluator.estimate(
         result.policies, result.mapping, slack_sharing="budgeted")
-    bound = estimate_bound(app, arch, certified, k,
-                           exact_worst_case=schedule.worst_case_length)
+    bound = estimate_bound(app, arch, certified, k)
     return CampaignDesign(app=app, arch=arch, fault_model=fault_model,
                           result=result, schedule=schedule,
                           certified=certified, bound=bound, pool=pool)

@@ -47,27 +47,21 @@ def broadcast_allowance(app: Application, arch: Architecture,
 
 
 def estimate_bound(app: Application, arch: Architecture,
-                   estimate: FtEstimate, k: int,
-                   exact_worst_case: float | None = None) -> float:
+                   estimate: FtEstimate, k: int) -> float:
     """The sound upper bound a campaign holds simulations against.
 
-    For single-copy designs the slack-sharing estimate plus the
-    broadcast allowance dominates every simulated finish (the
-    invariant of ``tests/test_property_scheduling``). Replication
-    breaks that: the estimator's list order and the exact scheduler's
-    context order can serialize co-located replicas *differently*, so
-    the exact timeline may exceed the estimate by whole WCETs — an
-    amount no bus-round allowance covers (regression pinned by
-    ``tests/test_campaigns.py::TestSoundnessSeam``). Callers that
-    hold the exact tables therefore pass ``exact_worst_case``: the
-    simulator provably never exceeds it (the other leg of the
-    ``tests/test_oracle.py`` triangle), so flooring the bound there
-    keeps the certificate sound for every policy mix.
+    The slack-sharing estimate plus the broadcast allowance dominates
+    every simulated finish across the whole policy zoo — re-execution,
+    checkpointing, replication and hybrids. The estimator serializes
+    co-located copies earliest-start-first, exactly as the exact
+    conditional scheduler's context exploration does (the ordering
+    contract in :mod:`repro.schedule.estimation`), so replicated
+    designs no longer need the exact tables' worst case as a floor;
+    the seam is pinned positively by
+    ``tests/test_campaigns.py::TestSoundnessSeam`` and swept by its
+    hypothesis soundness property over replicated/hybrid designs.
     """
-    bound = estimate.schedule_length + broadcast_allowance(app, arch, k)
-    if exact_worst_case is not None:
-        bound = max(bound, exact_worst_case)
-    return bound
+    return estimate.schedule_length + broadcast_allowance(app, arch, k)
 
 
 @dataclass

@@ -35,6 +35,21 @@ class BusReservations:
             raise ValueError(f"bus slot {key} reserved twice")
         self._own.add(key)
 
+    def acquire(self, key: tuple[int, int]) -> bool:
+        """Claim a slot occurrence if free; one ancestry walk total.
+
+        Equivalent to ``is_reserved`` + ``reserve`` but walks the
+        parent chain once — slot searches probe many occupied slots,
+        so the doubled walk is measurable.
+        """
+        table: BusReservations | None = self
+        while table is not None:
+            if key in table._own:
+                return False
+            table = table._parent
+        self._own.add(key)
+        return True
+
     def fork(self) -> "BusReservations":
         """Child table sharing everything reserved so far.
 

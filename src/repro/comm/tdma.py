@@ -14,7 +14,7 @@ the end of the last frame's slot (broadcast bus).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.errors import SchedulingError, ValidationError
 from repro.model.architecture import BusSpec
@@ -25,9 +25,14 @@ from repro.utils.mathutils import TIME_EPS, ceil_div
 _MAX_SEARCH_ROUNDS = 1_000_000
 
 
-@dataclass(frozen=True)
-class FrameWindow:
-    """One reserved slot occurrence."""
+class FrameWindow(NamedTuple):
+    """One reserved slot occurrence.
+
+    A ``NamedTuple`` rather than a frozen dataclass: slot searches
+    construct one per accepted frame on the hottest estimation paths,
+    and tuple construction is C-level while a frozen dataclass pays
+    ``object.__setattr__`` per field.
+    """
 
     round_index: int
     slot_index: int
@@ -35,8 +40,7 @@ class FrameWindow:
     end: float
 
 
-@dataclass(frozen=True)
-class Transmission:
+class Transmission(NamedTuple):
     """A scheduled message transmission: one or more frame windows."""
 
     sender: str
@@ -62,6 +66,11 @@ class TdmaBus:
         for index, owner in enumerate(spec.slot_order):
             self._slots_of.setdefault(owner, ())
             self._slots_of[owner] += (index,)
+        # Cached once: the slot searches below touch these per
+        # candidate window, and the property chain through BusSpec
+        # recomputes the round length on every access.
+        self._round_length = spec.round_length
+        self._slot_length = spec.slot_length
 
     @property
     def spec(self) -> BusSpec:
@@ -71,7 +80,7 @@ class TdmaBus:
     @property
     def round_length(self) -> float:
         """Duration of one round."""
-        return self._spec.round_length
+        return self._round_length
 
     def slots_of(self, node: str) -> tuple[int, ...]:
         """Slot indices within a round owned by ``node``."""
@@ -82,10 +91,10 @@ class TdmaBus:
 
     def slot_window(self, round_index: int, slot_index: int) -> FrameWindow:
         """The time window of one slot occurrence."""
-        start = (round_index * self.round_length
-                 + slot_index * self._spec.slot_length)
+        start = (round_index * self._round_length
+                 + slot_index * self._slot_length)
         return FrameWindow(round_index, slot_index, start,
-                           start + self._spec.slot_length)
+                           start + self._slot_length)
 
     def frames_needed(self, size_bytes: int) -> int:
         """Frames required for a payload of ``size_bytes``."""
@@ -100,12 +109,15 @@ class TdmaBus:
         is (within tolerance) >= ``earliest`` qualify.
         """
         slots = self.slots_of(node)
-        round_index = max(0, int(earliest // self.round_length) - 1)
+        round_length = self._round_length
+        slot_length = self._slot_length
+        threshold = earliest - TIME_EPS
+        round_index = max(0, int(earliest // round_length) - 1)
         for r in range(round_index, round_index + _MAX_SEARCH_ROUNDS):
             for s in slots:
-                window = self.slot_window(r, s)
-                if window.start >= earliest - TIME_EPS:
-                    yield window
+                start = r * round_length + s * slot_length
+                if start >= threshold:
+                    yield FrameWindow(r, s, start, start + slot_length)
         raise SchedulingError(
             f"no bus slot found for {node!r} within "
             f"{_MAX_SEARCH_ROUNDS} rounds of t={earliest}"
@@ -121,17 +133,34 @@ class TdmaBus:
         free slot occurrences of ``node`` at or after ``earliest``.
         """
         remaining = self.frames_needed(size_bytes)
+        slots = self.slots_of(node)
+        round_length = self._round_length
+        slot_length = self._slot_length
+        threshold = earliest - TIME_EPS
+        acquire = reservations.acquire
         frames: list[FrameWindow] = []
-        for window in self.owner_slot_occurrences(node, earliest):
-            key = (window.round_index, window.slot_index)
-            if reservations.is_reserved(key):
-                continue
-            reservations.reserve(key)
-            frames.append(window)
-            remaining -= 1
-            if remaining == 0:
-                break
-        return Transmission(sender=node, frames=tuple(frames))
+        # Inlined slot search (same windows, same order as
+        # :meth:`owner_slot_occurrences`): the generator handshake and
+        # the window objects of reserved candidates are pure overhead
+        # on this hottest of paths.
+        first = max(0, int(earliest // round_length) - 1)
+        for r in range(first, first + _MAX_SEARCH_ROUNDS):
+            base = r * round_length
+            for s in slots:
+                start = base + s * slot_length
+                if start < threshold:
+                    continue
+                if not acquire((r, s)):
+                    continue
+                frames.append(FrameWindow(r, s, start,
+                                          start + slot_length))
+                remaining -= 1
+                if remaining == 0:
+                    return Transmission(sender=node, frames=tuple(frames))
+        raise SchedulingError(
+            f"no free bus slot for {node!r} within "
+            f"{_MAX_SEARCH_ROUNDS} rounds of t={earliest}"
+        )  # pragma: no cover - defensive
 
 
 class BusReservationsLike:
@@ -142,3 +171,10 @@ class BusReservationsLike:
 
     def reserve(self, key: tuple[int, int]) -> None:  # pragma: no cover
         raise NotImplementedError
+
+    def acquire(self, key: tuple[int, int]) -> bool:  # pragma: no cover
+        """Reserve if free; default composes the two primitives."""
+        if self.is_reserved(key):
+            return False
+        self.reserve(key)
+        return True

@@ -12,26 +12,31 @@ transmission scheduling — so the resulting
 :class:`~repro.schedule.estimation.EstimatorState` (estimate, trace,
 cache-key inputs) is bit-identical to the oracle's by construction.
 
-The selection structures are order-isomorphic to the oracle's:
-
-* priority heap — oracle entries ``(-priority, (name, copy))`` and
-  kernel entries ``(-priority, rank, copy, pid)`` (``rank`` = position
-  of ``name`` in sorted name order) are totally ordered the same way,
-  and ``heapq`` pop order depends only on entry ordering, never on
-  insertion history;
-* non-delay scan — the ready pool is an insertion-ordered dict walked
-  in the oracle's insertion order, with strict-``<`` candidate
-  comparison on ``(start, -priority, rank, copy)``.
+Selection is order-isomorphic to the oracle's earliest-start-first
+scan: the ready pool is an insertion-ordered dict walked in the
+oracle's insertion order, with strict-``<`` candidate comparison on
+``(start, -priority, rank, copy, pid)``. Oracle candidates
+``(start, -priority, (name, copy))`` and kernel candidates order the
+same way because ``rank`` is the position of ``name`` in sorted name
+order, so the lexicographic comparison of ``(rank, copy, pid)``
+matches ``(name, copy)`` exactly (``pid`` never decides — equal rank
+implies equal pid). The pool value is the copy's fixed ready time
+plus its node id and tie-break constants, computed once at release;
+the ready time is constant from release onward because every producer
+arrival and same-node finish is recorded before the consumer's
+blockers reach zero, so each pop only folds in the current node-free
+time.
 
 The incremental path (:meth:`EstimatorState.reevaluate`) stays the
-oracle's pure-Python replay; states produced here share the compiled
-problem's :class:`_AppStructure`, bus and send memo, so re-evaluation
-chains off kernel states run unchanged.
+oracle's pure-Python replay — its per-call cost is dominated by the
+adopted prefix, not the scheduling loop, so compiled tables buy it
+nothing; states produced here share the compiled problem's
+:class:`_AppStructure`, bus and send memo, so re-evaluation chains
+off kernel states run unchanged.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Mapping
 
 from repro.comm.reservations import BusReservations
@@ -83,7 +88,8 @@ class _KernelRun:
         "reservations", "ncopies", "nid", "costs", "plans",
         "node_free", "pools", "blockers", "remaining",
         "ff", "wc", "arrival", "timings", "pops", "post_slack",
-        "sends", "first_pop", "completion", "heap", "ready_pool",
+        "sends", "first_pop", "completion", "ready_pool",
+        "max_wc", "max_ff",
     )
 
     def __init__(self, cp: CompiledProblem, mapping: CopyMapping,
@@ -138,63 +144,77 @@ class _KernelRun:
         self.first_pop: dict[str, int] = {}
         self.completion: dict[str, int] = {}
 
-        self.heap: list[tuple[float, int, int, int]] = []
-        self.ready_pool: dict[tuple[int, int], None] = {}
+        #: pool value: (fixed ready, node id, -priority, rank) — all
+        #: constant from release to pop, mirroring the oracle's pool.
+        self.ready_pool: dict[
+            tuple[int, int], tuple[float, int, float, int]] = {}
+
+        #: Running maxima folded in the main loop (max over floats is
+        #: value-exact, so these match a full post-hoc scan bit for
+        #: bit), mirroring the oracle.
+        self.max_wc = 0.0
+        self.max_ff = 0.0
 
     # -- ready-set plumbing ---------------------------------------------------
 
     def _release(self, pid: int) -> None:
-        if self.cp.non_delay:
-            pool = self.ready_pool
-            for copy_index in range(self.ncopies[pid]):
-                pool[(pid, copy_index)] = None
-        else:
-            negpri = self.cp.negpri[pid]
-            rank = self.cp.rank[pid]
-            for copy_index in range(self.ncopies[pid]):
-                heapq.heappush(self.heap,
-                               (negpri, rank, copy_index, pid))
+        cp = self.cp
+        pool = self.ready_pool
+        nid_row = self.nid[pid]
+        negpri = cp.negpri[pid]
+        rank = cp.rank[pid]
+        # The fixed-ready fold is inlined per copy: releases fire once
+        # per process but touch every (input x producer copy) pair for
+        # every copy, so the per-copy call and table lookups add up.
+        release_time = cp.release[pid]
+        inputs = cp.inputs[pid]
+        nid = self.nid
+        ncopies = self.ncopies
+        ff = self.ff
+        arrival = self.arrival
+        for copy_index in range(ncopies[pid]):
+            node_id = nid_row[copy_index]
+            ready = release_time
+            for msg_index, src_pid in inputs:
+                src_nid = nid[src_pid]
+                src_ff = ff[src_pid]
+                for src_copy in range(ncopies[src_pid]):
+                    if src_nid[src_copy] == node_id:
+                        value = src_ff[src_copy]
+                    else:
+                        value = arrival[(msg_index, src_copy)]
+                    if value > ready:
+                        ready = value
+            pool[(pid, copy_index)] = (ready, node_id, negpri, rank)
 
-    def _pop_next(self) -> tuple[int, int]:
-        if not self.cp.non_delay:
-            if not self.heap:
-                raise SchedulingError("estimation deadlock (cycle?)")
-            entry = heapq.heappop(self.heap)
-            return entry[3], entry[2]
+    def _pop_next(self) -> tuple[int, int, float, int]:
+        """The next (pid, copy) to schedule, with start and node id.
+
+        Strict lexicographic minimum over ``(start, -priority, rank,
+        copy, pid)`` — spelled out field by field so the scan
+        allocates no candidate tuples (mirrors the oracle's scan;
+        ``pid`` never decides, equal rank implies equal pid).
+        """
         if not self.ready_pool:
             raise SchedulingError("estimation deadlock (cycle?)")
-        cp = self.cp
         node_free = self.node_free
-        best = None
-        for pool_key in self.ready_pool:
-            pid, copy_index = pool_key
-            start = self._fixed_ready(pid, copy_index)
-            free = node_free[self.nid[pid][copy_index]]
-            if free > start:
-                start = free
-            candidate = (start, cp.negpri[pid], cp.rank[pid],
-                         copy_index, pid)
-            if best is None or candidate < best:
-                best = candidate
-        self.ready_pool.pop((best[4], best[3]))
-        return best[4], best[3]
-
-    def _fixed_ready(self, pid: int, copy_index: int) -> float:
-        cp = self.cp
-        node_id = self.nid[pid][copy_index]
-        ready = cp.release[pid]
-        arrival = self.arrival
-        for msg_index, src_pid in cp.inputs[pid]:
-            src_nid = self.nid[src_pid]
-            src_ff = self.ff[src_pid]
-            for src_copy in range(self.ncopies[src_pid]):
-                if src_nid[src_copy] == node_id:
-                    value = src_ff[src_copy]
-                else:
-                    value = arrival[(msg_index, src_copy)]
-                if value > ready:
-                    ready = value
-        return ready
+        best_key = None
+        for pool_key, (ready, node_id, negpri, rank) \
+                in self.ready_pool.items():
+            start = node_free[node_id]
+            if ready > start:
+                start = ready
+            if best_key is None or start < best_start or (
+                    start == best_start
+                    and (negpri, rank, pool_key[1]) <
+                    (best_negpri, best_rank, best_key[1])):
+                best_key = pool_key
+                best_start = start
+                best_negpri = negpri
+                best_rank = rank
+                best_node = node_id
+        del self.ready_pool[best_key]
+        return best_key[0], best_key[1], best_start, best_node
 
     # -- main loop ------------------------------------------------------------
 
@@ -206,47 +226,41 @@ class _KernelRun:
 
         names = cp.names
         node_names = cp.node_names
-        release = cp.release
-        inputs = cp.inputs
-        nid = self.nid
         ncopies = self.ncopies
         node_free = self.node_free
         pools = self.pools
-        arrival = self.arrival
+        costs = self.costs
         timings = self.timings
         pops = self.pops
         post_slack = self.post_slack
         ff_rows = self.ff
         wc_rows = self.wc
         first_pop = self.first_pop
+        completion = self.completion
         remaining = self.remaining
+        blockers = self.blockers
+        successors = cp.successors
+        copy_key = cp.copy_key
+        pop_next = self._pop_next
+        transmit = self._transmit
+        release = self._release
+        max_wc = 0.0
+        max_ff = 0.0
 
         scheduled = 0
         total = sum(ncopies)
         while scheduled < total:
-            pid, copy_index = self._pop_next()
+            # As in the oracle: the popped start IS the fold of
+            # release, inputs and node availability (max is
+            # value-exact, so the fold order is immaterial).
+            pid, copy_index, earliest, node_id = pop_next()
             name = names[pid]
-            node_id = nid[pid][copy_index]
-            cost = self.costs[pid][copy_index]
-            position = len(pops)
-            pops.append(cp.copy_key(pid, copy_index))
+            cost = costs[pid][copy_index]
+            position = scheduled
+            key = copy_key(pid, copy_index)
+            pops.append(key)
             if name not in first_pop:
                 first_pop[name] = position
-
-            earliest = release[pid]
-            free = node_free[node_id]
-            if free > earliest:
-                earliest = free
-            for msg_index, src_pid in inputs[pid]:
-                src_nid = nid[src_pid]
-                src_ff = ff_rows[src_pid]
-                for src_copy in range(ncopies[src_pid]):
-                    if src_nid[src_copy] == node_id:
-                        value = src_ff[src_copy]
-                    else:
-                        value = arrival[(msg_index, src_copy)]
-                    if value > earliest:
-                        earliest = value
 
             ff_finish = earliest + cost.duration
             node_free[node_id] = ff_finish
@@ -255,31 +269,46 @@ class _KernelRun:
             wc_finish = ff_finish + shared_slack
             ff_rows[pid][copy_index] = ff_finish
             wc_rows[pid][copy_index] = wc_finish
-            timings[cp.copy_key(pid, copy_index)] = CopyTiming(
-                node=node_names[node_id], start=earliest,
-                ff_finish=ff_finish, wc_finish=wc_finish)
+            timings[key] = CopyTiming(
+                node_names[node_id], earliest, ff_finish, wc_finish)
+            if wc_finish > max_wc:
+                max_wc = wc_finish
+            if ff_finish > max_ff:
+                max_ff = ff_finish
             scheduled += 1
             remaining[pid] -= 1
 
             if remaining[pid] == 0:
-                self.completion[name] = position
-                self._transmit(pid)
-                for succ_pid in cp.successors[pid]:
-                    self.blockers[succ_pid] -= 1
-                    if self.blockers[succ_pid] == 0:
-                        self._release(succ_pid)
+                completion[name] = position
+                transmit(pid)
+                for succ_pid in successors[pid]:
+                    blockers[succ_pid] -= 1
+                    if blockers[succ_pid] == 0:
+                        release(succ_pid)
 
+        self.max_wc = max_wc
+        self.max_ff = max_ff
         return self._finish()
 
     def _transmit(self, pid: int) -> None:
         """Schedule every cross-node output of a completed process."""
         cp = self.cp
+        outputs = cp.outputs[pid]
+        if not outputs:
+            self.sends[cp.names[pid]] = ()
+            return
         nid = self.nid
         node_names = cp.node_names
         wc_row = self.wc[pid]
         src_nids = nid[pid]
+        n_src = self.ncopies[pid]
+        arrival = self.arrival
+        reservations = self.reservations
+        schedule_on_bus = cp.bus.schedule_transmission
+        send_memo = cp.send_memo
+        uncontended = self._uncontended_cached
         records: list[SendRecord] = []
-        for msg_index, msg_name, dst_pid, size_bytes in cp.outputs[pid]:
+        for msg_index, msg_name, dst_pid, size_bytes in outputs:
             dst_nids = nid[dst_pid]
             first = dst_nids[0]
             common = first
@@ -287,22 +316,24 @@ class _KernelRun:
                 if dst_nid != first:
                     common = -1
                     break
-            for src_copy in range(self.ncopies[pid]):
+            for src_copy in range(n_src):
                 src_nid = src_nids[src_copy]
                 if src_nid == common:
                     # All consumer copies share the producer's node:
                     # the message never touches the bus.
                     continue
                 send_time = wc_row[src_copy]
-                if self.reservations is not None:
-                    transmission = cp.bus.schedule_transmission(
-                        node_names[src_nid], send_time, size_bytes,
-                        self.reservations)
+                src_name = node_names[src_nid]
+                if reservations is not None:
+                    transmission = schedule_on_bus(
+                        src_name, send_time, size_bytes, reservations)
                 else:
-                    transmission = self._uncontended_cached(
-                        node_names[src_nid], send_time, size_bytes)
-                self.arrival[(msg_index, src_copy)] = \
-                    transmission.arrival
+                    transmission = send_memo.get(
+                        (src_name, send_time, size_bytes))
+                    if transmission is None:
+                        transmission = uncontended(
+                            src_name, send_time, size_bytes)
+                arrival[(msg_index, src_copy)] = transmission.arrival
                 records.append((msg_name, src_copy, transmission))
         self.sends[cp.names[pid]] = tuple(records)
 
@@ -322,29 +353,27 @@ class _KernelRun:
     def _finish(self) -> EstimatorState:
         cp = self.cp
         timings = self.timings
-        schedule_length = max(t.wc_finish for t in timings.values())
-        ff_length = max(t.ff_finish for t in timings.values())
         violations = []
         wc_rows = self.wc
-        for pid, process in enumerate(cp.app.processes):
-            if process.deadline is None:
-                continue
-            bound = max(wc_rows[pid])
-            if bound > process.deadline + 1e-9:
-                violations.append(process.name)
+        pid_of = cp.pid_of
+        for name, deadline in cp.structure.deadlined:
+            bound = max(wc_rows[pid_of[name]])
+            if bound > deadline + 1e-9:
+                violations.append(name)
         estimate = FtEstimate(
-            schedule_length=schedule_length,
-            ff_length=ff_length,
+            schedule_length=self.max_wc,
+            ff_length=self.max_ff,
             timings=timings,
             deadline=cp.app.deadline,
             local_deadline_violations=tuple(violations),
         )
         copies = {}
         keys_of = {}
+        keys_row = cp.keys_row
+        ncopies = self.ncopies
         for pid, name in enumerate(cp.names):
             cost_row = self.costs[pid]
-            keys = tuple(cp.copy_key(pid, copy_index)
-                         for copy_index in range(self.ncopies[pid]))
+            keys = keys_row(pid, ncopies[pid])
             keys_of[name] = keys
             for copy_index, key in enumerate(keys):
                 copies[key] = cost_row[copy_index]
@@ -361,7 +390,6 @@ class _KernelRun:
             sends=self.sends,
             first_pop=self.first_pop,
             completion=self.completion,
-            non_delay=cp.non_delay,
             structure=cp.structure,
             bus=cp.bus,
             send_memo=cp.send_memo,

@@ -59,8 +59,8 @@ class CompiledProblem:
         "app", "arch", "k", "priorities", "structure", "bus",
         "send_memo", "names", "pid_of", "rank", "release", "negpri",
         "node_names", "nid_of", "inputs", "outputs", "successors",
-        "base_blockers", "non_delay", "msg_names",
-        "_cost_memo", "_key_memo",
+        "base_blockers", "msg_names",
+        "_cost_memo", "_key_memo", "_keys_rows",
     )
 
     def __init__(self, app: Application, arch: Architecture, k: int,
@@ -76,8 +76,9 @@ class CompiledProblem:
         names = tuple(app.process_names)
         self.names = names
         self.pid_of = {name: pid for pid, name in enumerate(names)}
-        # Rank in sorted-name order: heap keys built on (rank, copy)
-        # pop in exactly the order the oracle's (name, copy) keys do.
+        # Rank in sorted-name order: candidate tuples built on
+        # (rank, copy) compare in exactly the order the oracle's
+        # (name, copy) keys do.
         order = {name: rank
                  for rank, name in enumerate(sorted(names))}
         self.rank = array("q", (order[name] for name in names))
@@ -85,7 +86,6 @@ class CompiledProblem:
             "d", (app.process(name).release for name in names))
         self.negpri = array(
             "d", (-priorities[name] for name in names))
-        self.non_delay = any(r > 0 for r in self.release)
 
         self.node_names = tuple(arch.node_names)
         self.nid_of = {node: nid
@@ -126,6 +126,9 @@ class CompiledProblem:
         self._cost_memo: dict[tuple[int, int, CopyPlan], _CopyCost] = {}
         #: (pid, copy) -> interned CopyKey tuple.
         self._key_memo: dict[tuple[int, int], CopyKey] = {}
+        #: (pid, ncopies) -> interned tuple of that process's keys.
+        self._keys_rows: dict[tuple[int, int],
+                              tuple[CopyKey, ...]] = {}
 
     def copy_cost(self, pid: int, nid: int, plan: CopyPlan,
                   ) -> _CopyCost:
@@ -149,6 +152,21 @@ class CompiledProblem:
             key = (self.names[pid], copy)
             self._key_memo[memo_key] = key
         return key
+
+    def keys_row(self, pid: int, ncopies: int) -> tuple[CopyKey, ...]:
+        """The interned key tuple of one process's placed copies.
+
+        Copy counts take few distinct values (1..k+1), so the row for
+        a given ``(pid, ncopies)`` is built once and shared by every
+        run that places that many copies of the process.
+        """
+        memo_key = (pid, ncopies)
+        row = self._keys_rows.get(memo_key)
+        if row is None:
+            row = tuple(self.copy_key(pid, copy)
+                        for copy in range(ncopies))
+            self._keys_rows[memo_key] = row
+        return row
 
 
 def _priority_key(priorities: Mapping[str, float] | None,

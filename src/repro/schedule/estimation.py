@@ -27,16 +27,27 @@ The estimate captures exactly the trade-off the paper's Fig. 7 lives
 on: re-execution pays shared recovery slack on the local node, while
 replication pays duplicated load and worst-copy waiting but no slack.
 
+**Ordering contract.** The list scheduler selects the next copy to
+place exactly like the exact conditional scheduler's context
+exploration does (:meth:`repro.schedule.conditional.
+ConditionalScheduler._best_attempt`): among the ready copies, the one
+with the earliest start — ``max(ready, node free)`` — wins, ties
+broken by descending priority, then by ``(process name, copy index)``.
+Matching the exact scheduler's serialization matters for soundness,
+not just fidelity: an earlier priority-first selection could place
+two co-located copies in the *opposite* order from the exact tables,
+delaying one of them — and every cross-node consumer downstream — by
+whole WCETs beyond the estimate, which no bus-round allowance covers
+(the ``4p-3n-s283`` regression pinned in
+``tests/test_campaigns.py::TestSoundnessSeam``).
+
 Like the authors' estimator it is an *estimate*, not a certified
 bound: the exact conditional scheduler additionally pays
 condition-broadcast frames and knowledge waits on the bus (at most one
 TDMA round per observed fault and per cross-node dependency), which
-the estimate does not model — and for replicated designs it may
-serialize co-located replicas in a different order than this list
-schedule, exceeding the estimate by whole WCETs (which is why the
-campaign/verify bound of :func:`repro.campaigns.stats.estimate_bound`
-is floored at the exact tables' worst case). Final designs should be
-validated with
+the estimate does not model — the campaign/verify bound of
+:func:`repro.campaigns.stats.estimate_bound` adds that allowance on
+top. Final designs should be validated with
 :func:`repro.schedule.conditional.synthesize_schedule` plus
 :func:`repro.runtime.verify.verify_tolerance` where feasible.
 
@@ -51,20 +62,25 @@ the list scheduler, the shared-slack value after every pop, and the
 bus transmissions issued at every process completion. Re-evaluating a
 moved solution (:meth:`EstimatorState.reevaluate`) replays the trace
 prefix that provably cannot have changed and re-runs the scheduler
-only from the first position the move can influence. The replay is
-**exact**: prefix timings and bus frames are reused verbatim (no
-float is recomputed), and the suffix runs the identical algorithm
-from identical intermediate state, so the incremental estimate is
-bit-identical to a full :func:`estimate_ft_schedule` — the full
-recompute stays available as the oracle the tests and benchmarks
-compare against.
+only from the first position the move can influence. Because
+selection is earliest-start-first, the moved process's copies
+influence every selection from the moment they join the ready pool
+(they compete on start time, not just on a static priority), so the
+prefix ends where the process's last predecessor completes — not at
+its own first pop. The replay is **exact**: prefix timings and bus
+frames are reused verbatim (no float is recomputed), and the suffix
+runs the identical algorithm from identical intermediate state, so
+the incremental estimate is bit-identical to a full
+:func:`estimate_ft_schedule` — the full recompute stays available as
+the oracle the tests and benchmarks compare against.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from collections.abc import Mapping
+from itertools import islice
+from typing import NamedTuple
 
 from repro.comm.reservations import BusReservations
 from repro.comm.tdma import TdmaBus, Transmission
@@ -105,9 +121,14 @@ def solution_fingerprint(policies: PolicyAssignment,
     return tuple(parts)
 
 
-@dataclass(frozen=True)
-class CopyTiming:
-    """Estimated timing of one copy."""
+class CopyTiming(NamedTuple):
+    """Estimated timing of one copy.
+
+    A ``NamedTuple`` rather than a frozen dataclass: the scheduler
+    constructs one per pop in its hottest loop, and tuple construction
+    is C-level while a frozen dataclass pays ``object.__setattr__``
+    per field.
+    """
 
     node: str
     start: float
@@ -164,6 +185,12 @@ class _CopyCost:
         self.duration = (execution.fault_free_duration() if k > 0
                          else execution.worst_case_duration(0))
         self.slack = execution.recovery_slack(k)
+
+
+#: (wcet, plan, alpha, mu, chi, k) -> shared :class:`_CopyCost`. Each
+#: value is a pure function of its key, so cross-run sharing cannot
+#: change any output; bounded defensively like the send memos.
+_COST_MEMO: dict[tuple, _CopyCost] = {}
 
 
 class _MaxSlackPool:
@@ -258,7 +285,8 @@ class _AppStructure:
     the chain.
     """
 
-    __slots__ = ("blockers", "successors", "inputs", "outputs")
+    __slots__ = ("blockers", "successors", "inputs", "outputs",
+                 "deadlined")
 
     def __init__(self, app: Application) -> None:
         names = app.process_names
@@ -267,6 +295,11 @@ class _AppStructure:
         self.successors = {name: app.successors(name) for name in names}
         self.inputs = {name: app.inputs_of(name) for name in names}
         self.outputs = {name: app.outputs_of(name) for name in names}
+        #: Processes with a local deadline, in application order.
+        self.deadlined = tuple(
+            (process.name, process.deadline)
+            for process in app.processes
+            if process.deadline is not None)
 
 
 class EstimatorState:
@@ -289,7 +322,7 @@ class EstimatorState:
         "app", "arch", "mapping", "policies", "k", "priorities",
         "bus_contention", "slack_sharing", "estimate",
         "_copies", "_keys_of", "_pops", "_post_slack", "_sends",
-        "_first_pop", "_completion", "_non_delay",
+        "_first_pop", "_completion",
         "_structure", "_bus", "_send_memo",
     )
 
@@ -305,7 +338,6 @@ class EstimatorState:
                  sends: dict[str, tuple[SendRecord, ...]],
                  first_pop: dict[str, int],
                  completion: dict[str, int],
-                 non_delay: bool,
                  structure: "_AppStructure",
                  bus: TdmaBus,
                  send_memo: dict) -> None:
@@ -325,7 +357,6 @@ class EstimatorState:
         self._sends = sends
         self._first_pop = first_pop
         self._completion = completion
-        self._non_delay = non_delay
         self._structure = structure
         self._bus = bus
         self._send_memo = send_memo
@@ -369,17 +400,6 @@ class EstimatorState:
 
     # -- incremental path -----------------------------------------------------
 
-    @property
-    def supports_delta(self) -> bool:
-        """False when release times forced timing-dependent selection.
-
-        With non-zero release times the list scheduler selects by
-        earliest start, so the pop order depends on timing and the
-        prefix-replay argument breaks; :meth:`reevaluate` then falls
-        back to a full recompute.
-        """
-        return not self._non_delay
-
     def reevaluate(self, policies: PolicyAssignment,
                    mapping: CopyMapping,
                    changed: str) -> "EstimatorState":
@@ -395,8 +415,6 @@ class EstimatorState:
         replayed up to the first position the change can influence and
         re-run from there.
         """
-        if self._non_delay:
-            return self._full(policies, mapping)
         divergence = self._divergence_position(policies, mapping, changed)
         if divergence <= 0:
             return self._full(policies, mapping)
@@ -418,40 +436,169 @@ class EstimatorState:
                              mapping: CopyMapping, changed: str) -> int:
         """First trace position the move can influence.
 
-        That is the first pop of ``changed`` itself — everything
-        earlier is structurally and numerically independent of the
-        moved process — unless a message *into* ``changed`` changes
-        its on-bus decision: a producer skips the bus when all
+        Selection is earliest-start-first, so ``changed``'s copies
+        compete in every selection from the moment they join the
+        ready pool — the pop right after its last predecessor
+        completes (position zero for a source process). Replay stays
+        valid past that point as long as the prefix's recorded pops
+        keep winning: a recorded pop was the strict minimum over the
+        parent's pool, the new pool differs from it only by swapping
+        ``changed``'s copies (which had not popped yet), so the pop
+        stands unless one of ``changed``'s *new* copies beats its
+        recorded candidate ``(start, -priority, key)``. The scan below
+        checks exactly that, per prefix position, using the recorded
+        start times and a running node-free vector; divergence is the
+        first preemption — or the first recorded pop of a ``changed``
+        copy the move actually *touched* (different plan or node). An
+        untouched copy's recorded pop is value-identical under the
+        move (same fixed ready time, duration and slack on the same
+        node), so the scan walks straight through it and retires its
+        pool candidate; a remap of one replica therefore replays past
+        the other replicas' pops.
+
+        Under bus contention one case rewinds *earlier* than the
+        pool-entry position: a message *into* ``changed`` changing
+        its on-bus decision (a producer skips the bus when all
         consumer copies share its node, so moving the consumer can
-        add or remove a prefix transmission. In that case divergence
-        starts at that producer's completion.
+        add or remove a prefix transmission — which shifts contended
+        frames of unrelated messages too); then divergence falls back
+        to that producer's completion. Without contention a
+        transmission is a pure function of (sender, finish, size), so
+        a flipped input perturbs nothing else in the prefix: the scan
+        computes the flipped-on arrival directly from the recorded
+        producer finish, and replay re-derives that producer's send
+        records instead of adopting them (see
+        :meth:`_EstimationRun._replay`).
         """
-        try:
-            position = self._first_pop[changed]
-        except KeyError:
+        if changed not in self._keys_of:
             raise SchedulingError(
                 f"unknown process {changed!r} in delta "
-                "re-evaluation") from None
+                "re-evaluation")
+        predecessors = self.app.predecessors(changed)
+        entry = (0 if not predecessors
+                 else 1 + max(self._completion[name]
+                              for name in predecessors))
         old_policy = self.policies.of(changed)
         new_policy = policies.of(changed)
         old_nodes = {self.mapping.node_of(changed, c)
                      for c in range(len(old_policy.copies))}
         new_nodes = {mapping.node_of(changed, c)
                      for c in range(len(new_policy.copies))}
-        if old_nodes == new_nodes:
-            return position
-        for message in self.app.inputs_of(changed):
-            producer = message.src
-            done_at = self._completion.get(producer)
-            if done_at is None or done_at >= position:
-                continue
-            for src_key in self._keys_of[producer]:
-                src_node = self.mapping.node_of(*src_key)
-                if ((old_nodes <= {src_node})
-                        != (new_nodes <= {src_node})):
-                    position = min(position, done_at)
-                    break
-        return position
+        if self.bus_contention and old_nodes != new_nodes:
+            rewind = entry
+            for message in self.app.inputs_of(changed):
+                producer = message.src
+                done_at = self._completion.get(producer)
+                if done_at is None or done_at >= rewind:
+                    continue
+                for src_key in self._keys_of[producer]:
+                    src_node = self.mapping.node_of(*src_key)
+                    if ((old_nodes <= {src_node})
+                            != (new_nodes <= {src_node})):
+                        rewind = min(rewind, done_at)
+                        break
+            if rewind < entry:
+                return rewind
+
+        # Preemption scan over the prefix. The fixed ready time of
+        # every new copy (constant from pool entry, see _fixed_ready)
+        # comes from recorded prefix data: with the on-bus decisions
+        # unchanged, every cross-node input arrival the new placement
+        # needs was recorded by the parent.
+        priorities = self.priorities
+        negpri = -priorities[changed]
+        inputs = self.app.inputs_of(changed)
+        arrival: dict[tuple[str, int], float] = {}
+        for message in inputs:
+            for m_name, copy_index, transmission in \
+                    self._sends.get(message.src, ()):
+                if m_name == message.name:
+                    arrival[(m_name, copy_index)] = \
+                        transmission.arrival
+        timings = self.estimate.timings
+        release = self.app.process(changed).release
+        pool: dict[CopyKey, tuple[float, str]] = {}
+        for c in range(len(new_policy.copies)):
+            node = mapping.node_of(changed, c)
+            ready = release
+            for message in inputs:
+                for idx, src_key in \
+                        enumerate(self._keys_of[message.src]):
+                    if self.mapping.node_of(*src_key) == node:
+                        value = timings[src_key].ff_finish
+                    else:
+                        value = arrival.get((message.name, idx))
+                        if value is None:
+                            # The move flipped this input onto the
+                            # bus (no recorded transmission). Only
+                            # reachable without contention — the
+                            # rewind above handles the contended
+                            # case — so the arrival is a pure
+                            # function of the recorded finish.
+                            value = self._uncontended_arrival(
+                                src_key, message.size_bytes)
+                    if value > ready:
+                        ready = value
+            pool[(changed, c)] = (ready, node)
+
+        # A recorded pop of one of ``changed``'s own copies replays
+        # too when the move left that copy untouched (same recovery
+        # plan on the same node — hence the same fixed ready time,
+        # duration and slack): the pop and its whole timing are
+        # value-identical, so the scan walks straight through it and
+        # retires its pool candidate. A touched copy's pop (or a copy
+        # the new policy dropped) is the divergence.
+        old_copies = old_policy.copies
+        new_copies = new_policy.copies
+        untouched = [
+            c < len(new_copies)
+            and new_copies[c] == old_copies[c]
+            and mapping.node_of(changed, c)
+            == self.mapping.node_of(changed, c)
+            for c in range(len(old_copies))
+        ]
+
+        node_free: dict[str, float] = {}
+        for position, (key, timing) in enumerate(timings.items()):
+            if position >= entry:
+                rec_start = timing.start
+                rec_negpri = -priorities[key[0]]
+                for copy_key, (ready, node) in pool.items():
+                    start = node_free.get(node, 0.0)
+                    if ready > start:
+                        start = ready
+                    if start < rec_start or (
+                            start == rec_start
+                            and (negpri, copy_key)
+                            < (rec_negpri, key)):
+                        return position
+                if key[0] == changed:
+                    if not untouched[key[1]]:
+                        return position
+                    del pool[key]
+            node_free[timing.node] = timing.ff_finish
+        return len(timings)
+
+    def _uncontended_arrival(self, src_key: CopyKey,
+                             size_bytes: int) -> float:
+        """Arrival of an uncontended send off a recorded finish.
+
+        Shares the run chain's send memo (same key layout as
+        :meth:`_EstimationRun._uncontended_cached`), so the value —
+        and the cached transmission a replay will reuse — is
+        bit-identical to the one a full run computes.
+        """
+        node = self.mapping.node_of(*src_key)
+        ready = self.estimate.timings[src_key].wc_finish
+        memo_key = (node, ready, size_bytes)
+        transmission = self._send_memo.get(memo_key)
+        if transmission is None:
+            transmission = _uncontended(self._bus, node, ready,
+                                        size_bytes)
+            if len(self._send_memo) >= 200_000:
+                self._send_memo.clear()
+            self._send_memo[memo_key] = transmission
+        return transmission.arrival
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"EstimatorState({len(self._pops)} copies, "
@@ -483,6 +630,11 @@ class _EstimationRun:
         self.bus_contention = bus_contention
         self.slack_sharing = slack_sharing
         self.reservations = BusReservations() if bus_contention else None
+        self.changed = changed
+        # Flat copy-key -> node table for the hot loops (the
+        # per-lookup cost of CopyMapping.node_of adds up over the
+        # thousands of pool scans of one run).
+        self.node_map: dict[CopyKey, str] = dict(mapping.items())
 
         # -- shared run-chain context -----------------------------------------
         if reuse_from is not None:
@@ -531,14 +683,19 @@ class _EstimationRun:
         self.first_pop: dict[str, int] = {}
         self.completion: dict[str, int] = {}
 
-        # Priority-first selection is cheap and fine when all releases
-        # are zero; with release times it can idle a processor on a
-        # future job while a ready one waits, so a non-delay
-        # (earliest-start-first, priority tie-break) selection is used
-        # instead.
-        self.non_delay = any(p.release > 0 for p in app.processes)
-        self.ready_heap: list[tuple[float, CopyKey]] = []
-        self.ready_pool: dict[CopyKey, None] = {}
+        # Earliest-start-first selection (priority tie-break) — the
+        # exact conditional scheduler's serialization order (see the
+        # module docstring's ordering contract). The pool maps each
+        # ready copy to (fixed ready time, node, -priority): every
+        # input of a released process is already timed, so all three
+        # are constant from release to pop.
+        self.ready_pool: dict[CopyKey, tuple[float, str, float]] = {}
+
+        # Running maxima over all recorded timings (value-exact, so
+        # folding during the loops matches a final full scan bit for
+        # bit).
+        self.max_wc = 0.0
+        self.max_ff = 0.0
 
     def _expand_process(self, process_name: str) -> None:
         process = self.app.process(process_name)
@@ -546,53 +703,77 @@ class _EstimationRun:
         for copy_index, plan in enumerate(
                 self.policies.of(process_name).copies):
             key = (process_name, copy_index)
-            node = self.mapping.node_of(process_name, copy_index)
-            execution = CopyExecution(
-                wcet=process.wcet_on(node), plan=plan,
-                alpha=process.alpha, mu=process.mu, chi=process.chi,
-            )
-            self.copies[key] = _CopyCost(execution, self.k)
+            node = self.node_map[key]
+            # A copy cost is a pure function of this memo key;
+            # incremental walks re-expand the changed process with the
+            # same few (node, plan) combinations over and over, so the
+            # recovery arithmetic is shared across the run chain.
+            memo_key = (process.wcet_on(node), plan, process.alpha,
+                        process.mu, process.chi, self.k)
+            cost = _COST_MEMO.get(memo_key)
+            if cost is None:
+                execution = CopyExecution(
+                    wcet=memo_key[0], plan=plan, alpha=process.alpha,
+                    mu=process.mu, chi=process.chi,
+                )
+                if len(_COST_MEMO) >= 100_000:
+                    _COST_MEMO.clear()
+                cost = _CopyCost(execution, self.k)
+                _COST_MEMO[memo_key] = cost
+            self.copies[key] = cost
             keys.append(key)
         self.keys_of[process_name] = tuple(keys)
 
     # -- ready-set plumbing ---------------------------------------------------
 
     def _release_copies(self, name: str) -> None:
+        negpri = -self.priorities[name]
+        node_map = self.node_map
         for key in self.keys_of[name]:
-            if self.non_delay:
-                self.ready_pool[key] = None
-            else:
-                heapq.heappush(self.ready_heap,
-                               (-self.priorities[name], key))
+            self.ready_pool[key] = (self._fixed_ready(key),
+                                    node_map[key], negpri)
 
-    def _pop_next(self) -> CopyKey:
-        if not self.non_delay:
-            if not self.ready_heap:
-                raise SchedulingError("estimation deadlock (cycle?)")
-            return heapq.heappop(self.ready_heap)[1]
+    def _pop_next(self) -> tuple[CopyKey, float, str]:
+        """The next copy to schedule, with its start time and node.
+
+        Strict lexicographic minimum over ``(start, -priority, key)``
+        — spelled out field by field so the scan allocates no
+        candidate tuples.
+        """
         if not self.ready_pool:
             raise SchedulingError("estimation deadlock (cycle?)")
-        best = None
-        for key in self.ready_pool:
-            start = max(self._fixed_ready(key),
-                        self.node_free[self.mapping.node_of(*key)])
-            candidate = (start, -self.priorities[key[0]], key)
-            if best is None or candidate < best:
-                best = candidate
-        self.ready_pool.pop(best[2])
-        return best[2]
+        node_free = self.node_free
+        best_key = None
+        for key, (ready, node, negpri) in self.ready_pool.items():
+            start = node_free[node]
+            if ready > start:
+                start = ready
+            if best_key is None or start < best_start or (
+                    start == best_start
+                    and (negpri, key) < (best_negpri, best_key)):
+                best_key = key
+                best_start = start
+                best_negpri = negpri
+                best_node = node
+        del self.ready_pool[best_key]
+        return best_key, best_start, best_node
 
     def _fixed_ready(self, key: CopyKey) -> float:
-        process = self.app.process(key[0])
-        node = self.mapping.node_of(*key)
-        ready = process.release
+        ready = self.app.process(key[0]).release
+        node = self.node_map[key]
+        node_map = self.node_map
+        timings = self.timings
+        arrival = self.arrival
+        keys_of = self.keys_of
         for message in self.structure.inputs[key[0]]:
-            for src_key in self.keys_of[message.src]:
-                if self.mapping.node_of(*src_key) == node:
-                    ready = max(ready, self.timings[src_key].ff_finish)
+            message_name = message.name
+            for src_key in keys_of[message.src]:
+                if node_map[src_key] == node:
+                    value = timings[src_key].ff_finish
                 else:
-                    ready = max(ready,
-                                self.arrival[(message.name, src_key[1])])
+                    value = arrival[(message_name, src_key[1])]
+                if value > ready:
+                    ready = value
         return ready
 
     # -- replay ---------------------------------------------------------------
@@ -609,61 +790,140 @@ class _EstimationRun:
         state beyond its returned value, so it is re-folded over the
         same executions in the same order — deterministic identical
         arithmetic, hence still bit-identical to the oracle.
+
+        One class of records is *re-derived* rather than adopted: on
+        an uncontended bus, a prefix producer of the changed process
+        may have had an on-bus decision flipped by the move (a send
+        is skipped when every consumer copy shares the sender's
+        node). Its timings still replay — uncontended transmissions
+        perturb nothing else — but its send records are recomputed
+        from the adopted finishes under the *new* mapping/policies,
+        so unflipped messages come back value-identical through the
+        send memo while flipped ones appear or vanish exactly as a
+        full run would record them. Under contention the divergence
+        scan already rewinds to before such a producer completes, so
+        adoption there is always safe.
         """
         refold = self.slack_sharing != "max"
+        # Producers of the changed process whose on-bus decision the
+        # move may have flipped. The skip test in :meth:`_transmit`
+        # compares the consumer node set against the sender's node, so
+        # only a changed node set can flip it, and only for senders it
+        # brackets — everything else adopts the parent's records.
+        resend: set[str] = set()
+        if self.reservations is None and self.changed is not None:
+            changed = self.changed
+            node_map = self.node_map
+            old_nodes = {
+                parent.mapping.node_of(changed, c)
+                for c in range(len(parent.policies.of(changed).copies))}
+            new_nodes = {
+                node_map[(changed, c)]
+                for c in range(len(self.policies.of(changed).copies))}
+            if old_nodes != new_nodes:
+                for message in self.structure.inputs[changed]:
+                    for src_key in self.keys_of[message.src]:
+                        src_node = node_map[src_key]
+                        if ((old_nodes <= {src_node})
+                                != (new_nodes <= {src_node})):
+                            resend.add(message.src)
+                            break
         prefix_pops = parent._pops[:divergence]
         prefix_slack = parent._post_slack[:divergence]
         self.pops.extend(prefix_pops)
         self.post_slack.extend(prefix_slack)
         # The timings dict of any state is insertion-ordered by pop
-        # position, so the prefix items come straight off the front.
+        # position, so the prefix items come straight off the front —
+        # adopted wholesale, then swept once to restore the running
+        # per-node state (last fault-free finish and slack value).
+        # Per-name bookkeeping comes from the parent's own
+        # first-pop/completion tables, whose sub-``divergence``
+        # entries are exactly the prefix's: a position-identical
+        # prefix first-pops and completes the same names at the same
+        # positions.
         timings = self.timings
+        timings.update(islice(parent.estimate.timings.items(),
+                              divergence))
         node_free = self.node_free
         node_slack = self.node_slack
+        max_wc = 0.0
+        max_ff = 0.0
+        if refold:
+            copies = self.copies
+            for key, timing in zip(prefix_pops, timings.values()):
+                ff = timing.ff_finish
+                wc = timing.wc_finish
+                node_free[timing.node] = ff
+                node_slack[timing.node].add(copies[key])
+                if wc > max_wc:
+                    max_wc = wc
+                if ff > max_ff:
+                    max_ff = ff
+        else:
+            # Only the last recorded value per node matters: resume
+            # overwrites the pool's whole state for this rule.
+            last_slack: dict[str, float] = {}
+            for timing, slack in zip(timings.values(), prefix_slack):
+                ff = timing.ff_finish
+                wc = timing.wc_finish
+                node_free[timing.node] = ff
+                last_slack[timing.node] = slack
+                if wc > max_wc:
+                    max_wc = wc
+                if ff > max_ff:
+                    max_ff = ff
+            for node, slack in last_slack.items():
+                node_slack[node].resume(slack)
+        self.max_wc = max_wc
+        self.max_ff = max_ff
         remaining = self.remaining
+        for key in prefix_pops:
+            remaining[key[0]] -= 1
         first_pop = self.first_pop
-        successors_of = self.structure.successors
-        popped: dict[str, int] = {}
-        parent_items = iter(parent.estimate.timings.items())
-        for position in range(divergence):
-            key, timing = next(parent_items)
-            name = key[0]
-            timings[key] = timing
-            node_free[timing.node] = timing.ff_finish
-            if refold:
-                node_slack[timing.node].add(self.copies[key])
-            else:
-                node_slack[timing.node].resume(prefix_slack[position])
-            if name not in first_pop:
+        for name, position in parent._first_pop.items():
+            if position < divergence:
                 first_pop[name] = position
-            popped[name] = popped.get(name, 0) + 1
-            remaining[name] -= 1
-            if remaining[name] == 0:
-                self.completion[name] = position
-                records = parent._sends[name]
-                self.sends[name] = records
+        completion = self.completion
+        arrival = self.arrival
+        sends = self.sends
+        reservations = self.reservations
+        blockers = self.blockers
+        successors_of = self.structure.successors
+        parent_sends = parent._sends
+        for name, position in parent._completion.items():
+            if position >= divergence:
+                continue
+            completion[name] = position
+            if name in resend:
+                self._transmit(name)
+            else:
+                records = parent_sends[name]
+                sends[name] = records
                 for message_name, copy_index, transmission in records:
-                    self.arrival[(message_name, copy_index)] = \
+                    arrival[(message_name, copy_index)] = \
                         transmission.arrival
-                    if self.reservations is not None:
+                    if reservations is not None:
                         for frame in transmission.frames:
-                            self.reservations.reserve(
+                            reservations.reserve(
                                 (frame.round_index, frame.slot_index))
-                for successor in successors_of[name]:
-                    self.blockers[successor] -= 1
-        # Rebuild the ready heap: every copy of a released process that
-        # was not popped in the prefix. Copies of one process pop in
-        # index order (equal priority, tuple tie-break), so the popped
-        # ones are exactly the leading slice of its key list. heapq
-        # results depend only on contents, never on insertion history.
-        entries = []
+            for successor in successors_of[name]:
+                blockers[successor] -= 1
+        # Rebuild the ready pool: every copy of a released process
+        # that was not popped in the prefix. Earliest-start selection
+        # can pop a process's copies out of index order, so the
+        # popped set is taken from the prefix itself, not assumed to
+        # be a leading slice. Selection is a strict minimum over the
+        # full candidate tuple, so pool insertion order never matters.
+        popped = set(prefix_pops)
+        node_map = self.node_map
         for name, keys in self.keys_of.items():
             if self.blockers[name] != 0:
                 continue
-            for key in keys[popped.get(name, 0):]:
-                entries.append((-self.priorities[name], key))
-        heapq.heapify(entries)
-        self.ready_heap = entries
+            negpri = -self.priorities[name]
+            for key in keys:
+                if key not in popped:
+                    self.ready_pool[key] = (self._fixed_ready(key),
+                                            node_map[key], negpri)
 
     # -- main loop ------------------------------------------------------------
 
@@ -677,84 +937,121 @@ class _EstimationRun:
                     self._release_copies(name)
 
         structure = self.structure
-        scheduled = len(self.pops)
-        total_copies = len(self.copies)
+        copies = self.copies
+        pops = self.pops
+        first_pop = self.first_pop
+        node_free = self.node_free
+        node_slack = self.node_slack
+        post_slack = self.post_slack
+        timings = self.timings
+        remaining = self.remaining
+        completion = self.completion
+        blockers = self.blockers
+        successors_of = structure.successors
+        pop_next = self._pop_next
+        transmit = self._transmit
+        release_copies = self._release_copies
+        scheduled = len(pops)
+        total_copies = len(copies)
+        max_wc = self.max_wc
+        max_ff = self.max_ff
         while scheduled < total_copies:
-            key = self._pop_next()
-            process_name, copy_index = key
-            process = self.app.process(process_name)
-            node = self.mapping.node_of(process_name, copy_index)
-            cost = self.copies[key]
-            position = len(self.pops)
-            self.pops.append(key)
-            if process_name not in self.first_pop:
-                self.first_pop[process_name] = position
-
-            earliest = max(process.release, self.node_free[node])
-            for message in structure.inputs[process_name]:
-                for src_key in self.keys_of[message.src]:
-                    src_node = self.mapping.node_of(*src_key)
-                    if src_node == node:
-                        # Same node: slack is shared, the fault-free
-                        # finish is the dependency.
-                        earliest = max(earliest,
-                                       self.timings[src_key].ff_finish)
-                    else:
-                        earliest = max(
-                            earliest,
-                            self.arrival[(message.name, src_key[1])])
+            # The popped entry's start is max(fixed ready, node free) —
+            # exactly the fold of release, same-node fault-free
+            # finishes, cross-node arrivals and node availability that
+            # a from-scratch scan would compute (max is value-exact on
+            # floats, so the fold order is immaterial).
+            key, earliest, node = pop_next()
+            process_name = key[0]
+            cost = copies[key]
+            position = scheduled
+            pops.append(key)
+            if process_name not in first_pop:
+                first_pop[process_name] = position
 
             ff_finish = earliest + cost.duration
-            self.node_free[node] = ff_finish
-            shared_slack = self.node_slack[node].add(cost)
-            self.post_slack.append(shared_slack)
+            node_free[node] = ff_finish
+            shared_slack = node_slack[node].add(cost)
+            post_slack.append(shared_slack)
             wc_finish = ff_finish + shared_slack
-            self.timings[key] = CopyTiming(
-                node=node, start=earliest,
-                ff_finish=ff_finish, wc_finish=wc_finish)
+            timings[key] = CopyTiming(node, earliest,
+                                      ff_finish, wc_finish)
+            if wc_finish > max_wc:
+                max_wc = wc_finish
+            if ff_finish > max_ff:
+                max_ff = ff_finish
             scheduled += 1
-            self.remaining[process_name] -= 1
+            remaining[process_name] -= 1
 
-            if self.remaining[process_name] == 0:
-                self.completion[process_name] = position
-                # Transmit every cross-node output of every copy; the
-                # message is budgeted at the producer's worst-case
-                # finish (node-level transparency).
-                records: list[SendRecord] = []
-                for message in structure.outputs[process_name]:
-                    consumer_nodes = {
-                        self.mapping.node_of(message.dst, c)
-                        for c in range(
-                            len(self.policies.of(message.dst).copies))
-                    }
-                    for src_key in self.keys_of[process_name]:
-                        src_node = self.mapping.node_of(*src_key)
-                        if consumer_nodes <= {src_node}:
-                            continue
-                        send_time = self.timings[src_key].wc_finish
-                        if self.reservations is not None:
-                            transmission = \
-                                self.bus.schedule_transmission(
-                                    src_node, send_time,
-                                    message.size_bytes,
-                                    self.reservations)
-                        else:
-                            transmission = self._uncontended_cached(
-                                src_node, send_time,
-                                message.size_bytes)
-                        self.arrival[(message.name, src_key[1])] = \
-                            transmission.arrival
-                        records.append(
-                            (message.name, src_key[1], transmission))
-                self.sends[process_name] = tuple(records)
+            if remaining[process_name] == 0:
+                completion[process_name] = position
+                transmit(process_name)
                 # Release successors whose predecessors are all
                 # complete.
-                for successor in structure.successors[process_name]:
-                    self.blockers[successor] -= 1
-                    if self.blockers[successor] == 0:
-                        self._release_copies(successor)
+                for successor in successors_of[process_name]:
+                    blockers[successor] -= 1
+                    if blockers[successor] == 0:
+                        release_copies(successor)
 
+        self.max_wc = max_wc
+        self.max_ff = max_ff
         return self._finish()
+
+    def _transmit(self, process_name: str) -> None:
+        """Record every cross-node output of a completed process.
+
+        The message is budgeted at the producer's worst-case finish
+        (node-level transparency). Called from the main loop at every
+        completion — and from :meth:`_replay` to *re-derive* a prefix
+        producer's records when the move may have flipped an on-bus
+        decision (same recorded finishes in, so unflipped messages
+        come back value-identical through the send memo).
+        """
+        outputs = self.structure.outputs[process_name]
+        if not outputs:
+            self.sends[process_name] = ()
+            return
+        records: list[SendRecord] = []
+        node_map = self.node_map
+        timings = self.timings
+        arrival = self.arrival
+        keys = self.keys_of[process_name]
+        policies_of = self.policies.of
+        reservations = self.reservations
+        send_memo = self.send_memo
+        uncontended = self._uncontended_cached
+        for message in outputs:
+            consumer_nodes = {
+                node_map[(message.dst, c)]
+                for c in range(len(policies_of(message.dst).copies))
+            }
+            local_only = len(consumer_nodes) == 1
+            for src_key in keys:
+                src_node = node_map[src_key]
+                # Skip iff every consumer copy shares the sender's
+                # node (consumer_nodes is never empty).
+                if local_only and src_node in consumer_nodes:
+                    continue
+                send_time = timings[src_key].wc_finish
+                if reservations is not None:
+                    transmission = \
+                        self.bus.schedule_transmission(
+                            src_node, send_time,
+                            message.size_bytes,
+                            reservations)
+                else:
+                    # Memo hit inline; the method handles the miss.
+                    transmission = send_memo.get(
+                        (src_node, send_time, message.size_bytes))
+                    if transmission is None:
+                        transmission = uncontended(
+                            src_node, send_time,
+                            message.size_bytes)
+                arrival[(message.name, src_key[1])] = \
+                    transmission.arrival
+                records.append(
+                    (message.name, src_key[1], transmission))
+        self.sends[process_name] = tuple(records)
 
     def _uncontended_cached(self, node: str, ready: float,
                             size_bytes: int) -> Transmission:
@@ -777,19 +1074,16 @@ class _EstimationRun:
         return transmission
 
     def _finish(self) -> EstimatorState:
-        schedule_length = max(t.wc_finish for t in self.timings.values())
-        ff_length = max(t.ff_finish for t in self.timings.values())
         violations = []
-        for process in self.app.processes:
-            if process.deadline is None:
-                continue
-            bound = max(self.timings[key].wc_finish
-                        for key in self.keys_of[process.name])
-            if bound > process.deadline + 1e-9:
-                violations.append(process.name)
+        timings = self.timings
+        for name, deadline in self.structure.deadlined:
+            bound = max(timings[key].wc_finish
+                        for key in self.keys_of[name])
+            if bound > deadline + 1e-9:
+                violations.append(name)
         estimate = FtEstimate(
-            schedule_length=schedule_length,
-            ff_length=ff_length,
+            schedule_length=self.max_wc,
+            ff_length=self.max_ff,
             timings=self.timings,
             deadline=self.app.deadline,
             local_deadline_violations=tuple(violations),
@@ -807,7 +1101,6 @@ class _EstimationRun:
             sends=self.sends,
             first_pop=self.first_pop,
             completion=self.completion,
-            non_delay=self.non_delay,
             structure=self.structure,
             bus=self.bus,
             send_memo=self.send_memo,
@@ -851,7 +1144,7 @@ def estimate_ft_schedule(
     ...                                 FaultModel(k=1))
     >>> print(f"worst case {estimate.schedule_length:.1f}, "
     ...       f"fault-free {estimate.ff_length:.1f}")
-    worst case 362.0, fault-free 302.0
+    worst case 322.0, fault-free 262.0
     >>> estimate.feasible
     True
 

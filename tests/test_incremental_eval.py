@@ -6,10 +6,12 @@ intermediate result is compared — field by field, with exact float
 equality — against a from-scratch
 :func:`~repro.schedule.estimation.estimate_ft_schedule`. Both
 slack-sharing modes and the full policy zoo (re-execution,
-checkpointing, replication, hybrids) are exercised, plus the
-structural corner cases the replay argument leans on: divergence at
-position zero, producer bus-decision flips, and the non-delay
-fallback for release times.
+checkpointing, replication, hybrids) are exercised — replicated and
+hybrid starting designs included, so the rewind path is walked where
+the earliest-start-first pop order matters — plus the structural
+corner cases the replay argument leans on: divergence at position
+zero, producer bus-decision flips, and release times (whose fixed
+ready offsets replay through the same delta path).
 """
 
 from __future__ import annotations
@@ -84,11 +86,18 @@ def move_walks(draw):
     space = policy_candidates(
         app, k, allow_combined=k >= 2,
         checkpoints_for=(lambda _name: draw(st.integers(0, 3))))
-    start = draw(st.sampled_from([
+    starts = [
         ProcessPolicy.re_execution(k),
         ProcessPolicy.replication(k),
         ProcessPolicy.checkpointing(k, 2),
-    ]))
+    ]
+    if k >= 2:
+        # Hybrid start: replicas and re-execution share the budget, so
+        # the walk rewinds through co-located replica serialization.
+        starts.append(
+            ProcessPolicy.replication_and_checkpointing(
+                k, 1, checkpoints=1))
+    start = draw(st.sampled_from(starts))
     policies = PolicyAssignment.uniform(app, start)
     mapping = initial_mapping(app, arch, policies)
     moves = []
@@ -210,17 +219,18 @@ class TestIncrementalEdgeCases:
                 estimate_ft_schedule(app, arch, mapping, policies,
                                      fm))
 
-    def test_release_times_disable_delta_support(self):
+    def test_release_times_replay_through_delta_path(self):
+        """Release offsets are part of each copy's fixed ready time,
+        so delta replay covers them like any other input — no
+        full-recompute fallback remains for released workloads."""
         app, arch = tiny_chain(release=5.0)
         policies, mapping = self._solution(app, arch)
         fm = FaultModel(k=1)
         state = EstimatorState.compute(app, arch, mapping, policies,
                                        fm)
-        assert state.supports_delta is False
         other = "N2" if mapping.node_of("B", 0) == "N1" else "N1"
         move = RemapMove("B", 0, other)
         new_p, new_m = move.apply((policies, mapping), app)
-        # Fallback still produces the oracle result.
         incremental = state.reevaluate(new_p, new_m, "B")
         assert_estimates_equal(
             incremental.estimate,

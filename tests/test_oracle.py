@@ -163,16 +163,13 @@ def _check_triangle(app, arch, strategy: str, k: int) -> None:
                 fault_model, slack_sharing=mode)
         assert estimate == oracle_estimate, (
             f"{label}: estimator kernel diverged in {mode} mode")
-        # Replicated designs may serialize co-located replicas in a
-        # different order than the estimator's list schedule assumed
-        # (found by hypothesis at 4p-3n-s283/MXR/k=1: the exact tables
-        # exceed the estimate by whole WCETs, not bus rounds), so the
-        # certified bound the runners use floors the estimate at the
-        # exact worst case — pure designs keep the strict check.
-        bound = estimate_bound(
-            app, arch, estimate, k,
-            exact_worst_case=(None if pure
-                              else schedule.worst_case_length))
+        # The bare estimate + broadcast allowance is the certified
+        # bound for *every* policy mix: the estimator serializes
+        # co-located copies earliest-start-first like the exact
+        # scheduler's context exploration, so replicated designs need
+        # no exact-worst-case floor (the 4p-3n-s283 counterexample is
+        # pinned positively in tests/test_campaigns.py).
+        bound = estimate_bound(app, arch, estimate, k)
         assert stats.worst_makespan <= bound + 1e-6, (
             f"{label}: simulated worst {stats.worst_makespan} beyond "
             f"the {mode} bound {bound}")

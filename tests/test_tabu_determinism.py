@@ -154,17 +154,21 @@ class TestSeededDeterminism:
 
         If this changes, search determinism changed — an intentional
         algorithm change must update the pins in the same commit.
-        (Last intentional change: neighborhood move deduplication —
-        duplicate draws no longer crowd out distinct candidates, so
-        the same budget explores more moves; on this seed the search
-        finds a strictly better design, 474.0 vs the 498.7 of the
-        duplicate-wasting sampler.)
+        (Last intentional change: the estimator now serializes
+        ready copies earliest-start-first — the exact scheduler's
+        order — instead of priority-first; the non-fault-tolerant
+        baseline schedule loses priority-inversion idle and shortens
+        from 235.954 to 217.832, while the FT result of this seed is
+        order-insensitive: same design, same 473.999 length, same
+        evaluation count. Before that: neighborhood move
+        deduplication, 474.0 vs the 498.7 of the duplicate-wasting
+        sampler.)
         """
         app, arch = small_workload()
         result = synthesize(app, arch, FaultModel(k=2), "MXR",
                             settings=SETTINGS)
         assert result.schedule_length == 473.999
-        assert result.nft_length == 235.954
+        assert result.nft_length == 217.832
         assert result.evaluations == 327
         assert {name: mapped
                 for (name, copy), mapped in result.mapping.items()
